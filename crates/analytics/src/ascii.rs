@@ -1,0 +1,126 @@
+//! Terminal line plots.
+//!
+//! The repro binaries print their figures as ASCII so a run is legible in
+//! the shell; the CSVs carry the precise numbers. Multiple series share
+//! one canvas with per-series glyphs and a legend.
+
+use crate::series::Series;
+use std::fmt::Write as _;
+
+/// Glyphs assigned to series, in order.
+const GLYPHS: &[char] = &['o', '*', '+', 'x', '#', '@'];
+
+/// Renders series onto a `width × height` character canvas with y-axis
+/// labels and a legend line.
+pub fn plot(series: &[Series], width: usize, height: usize, title: &str) -> String {
+    let width = width.max(16);
+    let height = height.max(4);
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    let pts: Vec<(f64, f64)> = series.iter().flat_map(|s| s.points.iter().copied()).collect();
+    if pts.is_empty() {
+        out.push_str("(no data)\n");
+        return out;
+    }
+    let (mut x_min, mut x_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut y_min, mut y_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &(x, y) in &pts {
+        x_min = x_min.min(x);
+        x_max = x_max.max(x);
+        y_min = y_min.min(y);
+        y_max = y_max.max(y);
+    }
+    // Pad degenerate ranges so single points and flat lines render.
+    if x_min == x_max {
+        x_max += 1.0;
+    }
+    if y_min == y_max {
+        y_max += 1.0;
+    }
+    // Always show y=0 context for cost curves unless values are far away.
+    if y_min > 0.0 && y_min < y_max * 0.5 {
+        y_min = 0.0;
+    }
+
+    let mut canvas = vec![vec![' '; width]; height];
+    for (si, s) in series.iter().enumerate() {
+        let glyph = GLYPHS[si % GLYPHS.len()];
+        for &(x, y) in &s.points {
+            let cx = (((x - x_min) / (x_max - x_min)) * (width - 1) as f64).round() as usize;
+            let cy = (((y - y_min) / (y_max - y_min)) * (height - 1) as f64).round() as usize;
+            let row = height - 1 - cy.min(height - 1);
+            canvas[row][cx.min(width - 1)] = glyph;
+        }
+    }
+    for (i, row) in canvas.iter().enumerate() {
+        let y_val = y_max - (y_max - y_min) * i as f64 / (height - 1) as f64;
+        let line: String = row.iter().collect();
+        let _ = writeln!(out, "{y_val:>8.1} |{line}");
+    }
+    let _ = writeln!(
+        out,
+        "         +{}",
+        "-".repeat(width)
+    );
+    let _ = writeln!(out, "          x: {x_min:.0} .. {x_max:.0}");
+    for (si, s) in series.iter().enumerate() {
+        let _ = writeln!(out, "          {} = {}", GLYPHS[si % GLYPHS.len()], s.label);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plots_points_with_glyphs_and_legend() {
+        let mut a = Series::new("alpha");
+        a.push(0.0, 0.0);
+        a.push(10.0, 10.0);
+        let mut b = Series::new("beta");
+        b.push(5.0, 5.0);
+        let s = plot(&[a, b], 40, 10, "test plot");
+        assert!(s.contains("test plot"));
+        assert!(s.contains('o'), "first series glyph");
+        assert!(s.contains('*'), "second series glyph");
+        assert!(s.contains("o = alpha"));
+        assert!(s.contains("* = beta"));
+        assert!(s.contains("x: 0 .. 10"));
+    }
+
+    #[test]
+    fn empty_series_say_no_data() {
+        let s = plot(&[Series::new("empty")], 40, 10, "t");
+        assert!(s.contains("(no data)"));
+    }
+
+    #[test]
+    fn single_point_renders() {
+        let mut a = Series::new("dot");
+        a.push(3.0, 7.0);
+        let s = plot(&[a], 30, 8, "single");
+        assert!(s.contains('o'));
+    }
+
+    #[test]
+    fn flat_line_renders() {
+        let mut a = Series::new("flat");
+        for x in 0..10 {
+            a.push(x as f64, 4.0);
+        }
+        let s = plot(&[a], 40, 6, "flat");
+        assert!(s.matches('o').count() >= 5);
+    }
+
+    #[test]
+    fn canvas_dimensions_respected() {
+        let mut a = Series::new("a");
+        a.push(0.0, 0.0);
+        a.push(1.0, 1.0);
+        let s = plot(&[a], 50, 12, "dims");
+        // 12 canvas rows, each beginning with a y label and '|'
+        let canvas_rows = s.lines().filter(|l| l.contains('|')).count();
+        assert_eq!(canvas_rows, 12);
+    }
+}

@@ -1,0 +1,179 @@
+//! Linear and logarithmic histograms.
+
+/// A histogram over `f64` observations.
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    edges: Vec<f64>,
+    counts: Vec<u64>,
+    total: u64,
+    /// Observations outside `[first_edge, last_edge)`.
+    out_of_range: u64,
+}
+
+impl Histogram {
+    /// Linear bins: `bins` equal-width bins over `[lo, hi)`.
+    ///
+    /// # Panics
+    /// If `bins == 0` or `lo >= hi`.
+    pub fn linear(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0 && lo < hi, "invalid histogram range");
+        let w = (hi - lo) / bins as f64;
+        let edges = (0..=bins).map(|i| lo + w * i as f64).collect();
+        Histogram {
+            edges,
+            counts: vec![0; bins],
+            total: 0,
+            out_of_range: 0,
+        }
+    }
+
+    /// Logarithmic bins: `per_decade` bins per factor of 10 over
+    /// `[lo, hi)`; both bounds must be positive.
+    pub fn logarithmic(lo: f64, hi: f64, per_decade: usize) -> Self {
+        assert!(per_decade > 0 && lo > 0.0 && lo < hi, "invalid log range");
+        let decades = (hi / lo).log10();
+        let bins = (decades * per_decade as f64).ceil() as usize;
+        let ratio = 10f64.powf(1.0 / per_decade as f64);
+        let mut edges = Vec::with_capacity(bins + 1);
+        let mut e = lo;
+        for _ in 0..=bins {
+            edges.push(e);
+            e *= ratio;
+        }
+        Histogram {
+            edges,
+            counts: vec![0; bins],
+            total: 0,
+            out_of_range: 0,
+        }
+    }
+
+    /// Number of bins.
+    pub fn bins(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Adds one observation.
+    pub fn add(&mut self, x: f64) {
+        self.total += 1;
+        let lo = self.edges[0];
+        let hi = *self.edges.last().expect("edges non-empty");
+        if !(lo..hi).contains(&x) {
+            self.out_of_range += 1;
+            return;
+        }
+        // binary search for the bin
+        let idx = match self
+            .edges
+            .binary_search_by(|e| e.partial_cmp(&x).expect("no NaN"))
+        {
+            Ok(i) => i.min(self.counts.len() - 1),
+            Err(i) => i - 1,
+        };
+        self.counts[idx] += 1;
+    }
+
+    /// Adds many observations.
+    pub fn extend(&mut self, xs: impl IntoIterator<Item = f64>) {
+        for x in xs {
+            self.add(x);
+        }
+    }
+
+    /// Total observations (including out-of-range ones).
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Observations that fell outside the histogram range.
+    pub fn out_of_range(&self) -> u64 {
+        self.out_of_range
+    }
+
+    /// `(bin_center, count)` pairs.
+    pub fn counts(&self) -> impl Iterator<Item = (f64, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| ((self.edges[i] + self.edges[i + 1]) / 2.0, c))
+    }
+
+    /// `(bin_center, probability_density)` pairs: count normalised by total
+    /// observations *and* bin width, i.e. a proper pdf estimate (what
+    /// Figure 1(a) plots on log axes).
+    pub fn pdf(&self) -> impl Iterator<Item = (f64, f64)> + '_ {
+        let total = self.total.max(1) as f64;
+        self.counts.iter().enumerate().map(move |(i, &c)| {
+            let w = self.edges[i + 1] - self.edges[i];
+            ((self.edges[i] + self.edges[i + 1]) / 2.0, c as f64 / (total * w))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_binning() {
+        let mut h = Histogram::linear(0.0, 10.0, 10);
+        h.extend([0.0, 0.5, 1.0, 9.99]);
+        assert_eq!(h.total(), 4);
+        let counts: Vec<u64> = h.counts().map(|(_, c)| c).collect();
+        assert_eq!(counts[0], 2); // 0.0, 0.5
+        assert_eq!(counts[1], 1); // 1.0
+        assert_eq!(counts[9], 1); // 9.99
+    }
+
+    #[test]
+    fn out_of_range_tracked_not_binned() {
+        let mut h = Histogram::linear(0.0, 1.0, 4);
+        h.extend([-0.1, 1.0, 0.5]);
+        assert_eq!(h.out_of_range(), 2);
+        assert_eq!(h.total(), 3);
+    }
+
+    #[test]
+    fn log_bins_grow_geometrically() {
+        let h = Histogram::logarithmic(1.0, 1000.0, 1);
+        assert_eq!(h.bins(), 3);
+        let centers: Vec<f64> = h.counts().map(|(c, _)| c).collect();
+        assert!(centers[0] < 10.0 && centers[2] > 100.0);
+    }
+
+    #[test]
+    fn log_histogram_bins_degrees_like_fig1a() {
+        // Degrees 1..=150 at 5 bins/decade: every degree lands in range.
+        let mut h = Histogram::logarithmic(1.0, 200.0, 5);
+        for d in 1..=150 {
+            h.add(d as f64);
+        }
+        assert_eq!(h.out_of_range(), 0);
+        assert_eq!(h.total(), 150);
+    }
+
+    #[test]
+    fn pdf_integrates_to_one() {
+        let mut h = Histogram::linear(0.0, 1.0, 20);
+        for i in 0..1000 {
+            h.add((i as f64 + 0.5) / 1000.0);
+        }
+        let integral: f64 = h
+            .pdf()
+            .map(|(_, density)| density * (1.0 / 20.0))
+            .sum();
+        assert!((integral - 1.0).abs() < 1e-9, "integral {integral}");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid histogram range")]
+    fn zero_bins_panics() {
+        Histogram::linear(0.0, 1.0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid log range")]
+    fn log_with_zero_lo_panics() {
+        Histogram::logarithmic(0.0, 10.0, 3);
+    }
+}

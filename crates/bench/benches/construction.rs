@@ -1,0 +1,111 @@
+//! Criterion benches: overlay construction (Oscar vs Mercury).
+//!
+//! Covers the two construction phases separately (partition/CDF
+//! estimation, link acquisition) and end-to-end growth, so a regression in
+//! either phase is attributable.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use oscar_core::{estimate_partitions, OscarBuilder, OscarConfig};
+use oscar_degree::{ConstantDegrees, DegreeCaps};
+use oscar_keydist::GnutellaKeys;
+use oscar_mercury::{MercuryBuilder, MercuryConfig};
+use oscar_sim::{FaultModel, Network, OverlayBuilder, PeerIdx, Overlay};
+use oscar_types::{Id, SeedTree};
+use rand::Rng;
+
+fn test_net(n: u64, extra: usize, seed: u64) -> Network {
+    let mut net = Network::new(FaultModel::StabilizedRing);
+    let step = u64::MAX / n;
+    let idxs: Vec<PeerIdx> = (0..n)
+        .map(|i| {
+            net.add_peer(Id::new(i * step + 1), DegreeCaps::symmetric(64))
+                .unwrap()
+        })
+        .collect();
+    let mut rng = SeedTree::new(seed).rng();
+    for &i in &idxs {
+        for _ in 0..extra {
+            let j = idxs[rng.gen_range(0..idxs.len())];
+            let _ = net.try_link(i, j);
+        }
+    }
+    net
+}
+
+fn bench_partition_estimation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("construction/partitions");
+    for n in [512u64, 2048] {
+        let mut net = test_net(n, 8, 1);
+        let cfg = OscarConfig::default();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            let mut rng = SeedTree::new(2).rng();
+            b.iter(|| estimate_partitions(&mut net, PeerIdx(0), &cfg, &mut rng).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_build_links_per_peer(c: &mut Criterion) {
+    let mut group = c.benchmark_group("construction/build_links");
+    group.sample_size(20);
+    let oscar = OscarBuilder::new(OscarConfig::default());
+    let mercury = MercuryBuilder::new(MercuryConfig::default());
+    {
+        let n = 1024u64;
+        group.bench_function(BenchmarkId::new("oscar", n), |b| {
+            let mut net = test_net(n, 8, 3);
+            let mut rng = SeedTree::new(4).rng();
+            b.iter(|| {
+                net.unlink_long_out(PeerIdx(7));
+                oscar.build_links(&mut net, PeerIdx(7), &mut rng).unwrap();
+            });
+        });
+        group.bench_function(BenchmarkId::new("mercury", n), |b| {
+            let mut net = test_net(n, 8, 5);
+            let mut rng = SeedTree::new(6).rng();
+            b.iter(|| {
+                net.unlink_long_out(PeerIdx(7));
+                mercury.build_links(&mut net, PeerIdx(7), &mut rng).unwrap();
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_grow_to(c: &mut Criterion) {
+    let mut group = c.benchmark_group("construction/grow_to_512");
+    group.sample_size(10);
+    let keys = GnutellaKeys::default();
+    let degrees = ConstantDegrees::paper();
+    group.bench_function("oscar", |b| {
+        b.iter(|| {
+            let mut ov = Overlay::new(
+                OscarBuilder::new(OscarConfig::default()),
+                FaultModel::StabilizedRing,
+                7,
+            );
+            ov.grow_to(512, &keys, &degrees).unwrap();
+            ov.network().len()
+        });
+    });
+    group.bench_function("mercury", |b| {
+        b.iter(|| {
+            let mut ov = Overlay::new(
+                MercuryBuilder::new(MercuryConfig::default()),
+                FaultModel::StabilizedRing,
+                7,
+            );
+            ov.grow_to(512, &keys, &degrees).unwrap();
+            ov.network().len()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_partition_estimation,
+    bench_build_links_per_peer,
+    bench_grow_to
+);
+criterion_main!(benches);

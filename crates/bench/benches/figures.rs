@@ -1,0 +1,80 @@
+//! Criterion benches: one per paper table/figure, at bounded scale.
+//!
+//! Each bench runs the same pipeline its `repro_*` binary runs at paper
+//! scale, shrunk so `cargo bench` terminates in minutes. They measure the
+//! *harness* cost (how long a figure takes to regenerate), which is the
+//! number a user planning a full reproduction needs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use oscar_bench::experiments::{run_churn_experiment, run_growth_experiment};
+use oscar_bench::figures::fig1a_report;
+use oscar_bench::Scale;
+use oscar_core::{OscarBuilder, OscarConfig};
+use oscar_degree::{ConstantDegrees, SpikyDegrees};
+use oscar_keydist::GnutellaKeys;
+use oscar_mercury::{MercuryBuilder, MercuryConfig};
+
+fn bench_fig1a(c: &mut Criterion) {
+    c.bench_function("figures/fig1a_degree_pdf", |b| {
+        let scale = Scale::small(100, 1);
+        b.iter(|| fig1a_report(&scale));
+    });
+}
+
+fn bench_fig1bc_growth_run(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures/fig1bc_growth_400");
+    group.sample_size(10);
+    let scale = Scale::small(400, 2);
+    let keys = GnutellaKeys::default();
+    group.bench_function("oscar_constant", |b| {
+        let builder = OscarBuilder::new(OscarConfig::default());
+        b.iter(|| {
+            run_growth_experiment(&builder, &keys, &ConstantDegrees::paper(), &scale, "c")
+                .unwrap()
+                .final_utilization
+        });
+    });
+    group.bench_function("oscar_realistic", |b| {
+        let builder = OscarBuilder::new(OscarConfig::default());
+        let degrees = SpikyDegrees::paper();
+        b.iter(|| {
+            run_growth_experiment(&builder, &keys, &degrees, &scale, "r")
+                .unwrap()
+                .final_utilization
+        });
+    });
+    group.bench_function("mercury_constant", |b| {
+        let builder = MercuryBuilder::new(MercuryConfig::default());
+        b.iter(|| {
+            run_growth_experiment(&builder, &keys, &ConstantDegrees::paper(), &scale, "m")
+                .unwrap()
+                .final_utilization
+        });
+    });
+    group.finish();
+}
+
+fn bench_fig2_churn_run(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures/fig2_churn_400");
+    group.sample_size(10);
+    let scale = Scale::small(400, 3);
+    let keys = GnutellaKeys::default();
+    group.bench_function("constant_3_fractions", |b| {
+        let builder = OscarBuilder::new(OscarConfig::default());
+        b.iter(|| {
+            run_churn_experiment(
+                &builder,
+                &keys,
+                &ConstantDegrees::paper(),
+                &scale,
+                &[0.0, 0.10, 0.33],
+            )
+            .unwrap()
+            .len()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig1a, bench_fig1bc_growth_run, bench_fig2_churn_run);
+criterion_main!(benches);

@@ -1,0 +1,95 @@
+//! Criterion benches: query routing (the measurement hot path).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use oscar_core::{OscarBuilder, OscarConfig};
+use oscar_degree::ConstantDegrees;
+use oscar_keydist::GnutellaKeys;
+use oscar_sim::{kill_fraction, route_to_owner, FaultModel, Network, Overlay, RoutePolicy};
+use oscar_types::{Id, SeedTree};
+use rand::Rng;
+
+fn grown_network(n: usize, seed: u64) -> Network {
+    let mut ov = Overlay::new(
+        OscarBuilder::new(OscarConfig::default()),
+        FaultModel::StabilizedRing,
+        seed,
+    );
+    ov.grow_to(n, &GnutellaKeys::default(), &ConstantDegrees::paper())
+        .unwrap();
+    ov.network().clone()
+}
+
+fn bench_route_fault_free(c: &mut Criterion) {
+    let mut group = c.benchmark_group("routing/fault_free");
+    for n in [512usize, 2048] {
+        let net = grown_network(n, 1);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            let policy = RoutePolicy::default();
+            let mut rng = SeedTree::new(2).rng();
+            b.iter(|| {
+                let src = net.random_live_peer(&mut rng).unwrap();
+                let key = Id::new(rng.gen());
+                route_to_owner(&net, src, key, &policy)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_route_under_churn(c: &mut Criterion) {
+    let mut group = c.benchmark_group("routing/churn_33pct");
+    let mut net = grown_network(2048, 3);
+    let mut crng = SeedTree::new(4).rng();
+    kill_fraction(&mut net, 0.33, &mut crng).unwrap();
+    group.bench_function("stabilized", |b| {
+        let policy = RoutePolicy::default();
+        let mut rng = SeedTree::new(5).rng();
+        b.iter(|| {
+            let src = net.random_live_peer(&mut rng).unwrap();
+            let key = Id::new(rng.gen());
+            route_to_owner(&net, src, key, &policy)
+        });
+    });
+    let mut unstab = net.clone();
+    unstab.set_fault_model(FaultModel::UnstabilizedRing);
+    group.bench_function("unstabilized", |b| {
+        let policy = RoutePolicy::default();
+        let mut rng = SeedTree::new(6).rng();
+        b.iter(|| {
+            let src = unstab.random_live_peer(&mut rng).unwrap();
+            let key = Id::new(rng.gen());
+            route_to_owner(&unstab, src, key, &policy)
+        });
+    });
+    group.finish();
+}
+
+fn bench_ring_only_baseline(c: &mut Criterion) {
+    // O(N) ring walking vs O(log²N) with long links, as wall time.
+    let mut group = c.benchmark_group("routing/policy");
+    group.sample_size(30);
+    let net = grown_network(1024, 7);
+    for (label, use_long) in [("with_long_links", true), ("ring_only", false)] {
+        group.bench_function(label, |b| {
+            let policy = RoutePolicy {
+                use_long_links: use_long,
+                max_messages: 1 << 16,
+            };
+            let mut rng = SeedTree::new(8).rng();
+            b.iter(|| {
+                let src = net.random_live_peer(&mut rng).unwrap();
+                let key = Id::new(rng.gen());
+                route_to_owner(&net, src, key, &policy)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_route_fault_free,
+    bench_route_under_churn,
+    bench_ring_only_baseline
+);
+criterion_main!(benches);

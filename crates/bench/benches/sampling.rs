@@ -1,0 +1,88 @@
+//! Criterion benches: random-walk sampling (the construction hot path).
+//!
+//! A full figure run performs ~10⁸ walk steps; these benches watch the
+//! per-sample cost of the walker under its three regimes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use oscar_degree::DegreeCaps;
+use oscar_sim::{FaultModel, Network, PeerIdx, WalkConfig, Walker};
+use oscar_types::{Arc, Id, SeedTree};
+use rand::Rng;
+
+/// Ring + `extra` random long links per peer.
+fn test_net(n: u64, extra: usize, seed: u64) -> Network {
+    let mut net = Network::new(FaultModel::StabilizedRing);
+    let step = u64::MAX / n;
+    let idxs: Vec<PeerIdx> = (0..n)
+        .map(|i| {
+            net.add_peer(Id::new(i * step + 1), DegreeCaps::symmetric(64))
+                .unwrap()
+        })
+        .collect();
+    let mut rng = SeedTree::new(seed).rng();
+    for &i in &idxs {
+        for _ in 0..extra {
+            let j = idxs[rng.gen_range(0..idxs.len())];
+            let _ = net.try_link(i, j);
+        }
+    }
+    net
+}
+
+fn bench_uniform_sampling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("walker/uniform");
+    for n in [256u64, 1024, 4096] {
+        let net = test_net(n, 8, 1);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            let mut walker = Walker::new(&net, WalkConfig::default());
+            let mut rng = SeedTree::new(2).rng();
+            b.iter(|| walker.sample(PeerIdx(0), None, &mut rng).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_restricted_sampling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("walker/restricted");
+    let net = test_net(1024, 8, 3);
+    for frac_pow in [1u32, 3, 6] {
+        // arcs covering 1/2, 1/8, 1/64 of the ring
+        let arc = Arc::between(Id::new(1), Id::new(1 + (u64::MAX >> frac_pow)));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("1_over_{}", 1u64 << frac_pow)),
+            &arc,
+            |b, arc| {
+                let mut walker = Walker::new(&net, WalkConfig::default());
+                let mut rng = SeedTree::new(4).rng();
+                let start = net.idx_of(Id::new(1)).unwrap();
+                b.iter(|| walker.sample(start, Some(arc), &mut rng).unwrap());
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_mh_correction_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("walker/mh");
+    let net = test_net(1024, 8, 5);
+    for (label, mh) in [("with_mh", true), ("without_mh", false)] {
+        group.bench_function(label, |b| {
+            let cfg = WalkConfig {
+                burn_in: 24,
+                metropolis_hastings: mh,
+            };
+            let mut walker = Walker::new(&net, cfg);
+            let mut rng = SeedTree::new(6).rng();
+            b.iter(|| walker.sample(PeerIdx(0), None, &mut rng).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_uniform_sampling,
+    bench_restricted_sampling,
+    bench_mh_correction_overhead
+);
+criterion_main!(benches);

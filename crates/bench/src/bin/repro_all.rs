@@ -1,0 +1,47 @@
+//! Regenerates every table and figure of the paper in one run, reusing
+//! the heavy growth experiments across figures.
+//!
+//! ```sh
+//! cargo run --release -p oscar-bench --bin repro_all            # paper scale
+//! OSCAR_SCALE=2000 cargo run --release -p oscar-bench --bin repro_all
+//! ```
+//!
+//! Outputs: ASCII plots + Markdown tables on stdout, CSVs under
+//! `results/` (override with `OSCAR_RESULTS_DIR`).
+
+use oscar_bench::figures::{
+    fig1a_report, fig1b_report, fig1c_report, fig2_report, mercury_compare_report, run_fig1_suite,
+};
+use oscar_bench::Scale;
+use oscar_degree::{ConstantDegrees, SpikyDegrees};
+
+fn main() -> std::io::Result<()> {
+    let scale = Scale::from_env();
+    eprintln!(
+        "regenerating all figures at scale {} (step {}, seed {})",
+        scale.target, scale.step, scale.seed
+    );
+    let t0 = std::time::Instant::now();
+
+    // Figure 1(a): pure model, cheap.
+    fig1a_report(&scale).emit("fig1a_degree_pdf")?;
+
+    // Figures 1(b), 1(c), E3 and E7 share the growth suite.
+    let suite = run_fig1_suite(&scale).expect("fig1 suite");
+    fig1b_report(&suite).emit("fig1b_degree_load")?;
+    fig1c_report(&suite, &scale).emit("fig1c_search_cost")?;
+    mercury_compare_report(&suite, &scale).emit("mercury_compare")?;
+
+    // Figure 2(a): churn with constant degrees.
+    fig2_report(&scale, &ConstantDegrees::paper(), "constant")
+        .expect("fig2a")
+        .emit("fig2a_churn_constant")?;
+
+    // Figure 2(b): churn with the realistic (spiky) degrees.
+    fig2_report(&scale, &SpikyDegrees::paper(), "realistic")
+        .expect("fig2b")
+        .emit("fig2b_churn_realistic")?;
+
+    eprintln!("all figures regenerated in {:.1?}", t0.elapsed());
+    Ok(())
+}

@@ -1,0 +1,14 @@
+//! Regenerates Figure 1(a): the synthetic spiky node-degree pdf.
+//!
+//! ```sh
+//! cargo run --release -p oscar-bench --bin repro_fig1a
+//! ```
+
+use oscar_bench::figures::fig1a_report;
+use oscar_bench::Scale;
+
+fn main() -> std::io::Result<()> {
+    let scale = Scale::from_env();
+    fig1a_report(&scale).emit("fig1a_degree_pdf")?;
+    Ok(())
+}

@@ -1,0 +1,17 @@
+//! Regenerates Figure 1(b) (relative degree load, three in-degree
+//! distributions) and the E3 comparison (Mercury's degree-volume
+//! utilisation).
+//!
+//! ```sh
+//! OSCAR_SCALE=10000 cargo run --release -p oscar-bench --bin repro_fig1b
+//! ```
+
+use oscar_bench::figures::{fig1b_report, run_fig1_suite};
+use oscar_bench::Scale;
+
+fn main() -> std::io::Result<()> {
+    let scale = Scale::from_env();
+    let suite = run_fig1_suite(&scale).expect("fig1 suite");
+    fig1b_report(&suite).emit("fig1b_degree_load")?;
+    Ok(())
+}

@@ -1,0 +1,16 @@
+//! Regenerates Figure 1(c): Oscar's search cost vs network size under the
+//! three in-degree distributions (Gnutella key distribution).
+//!
+//! ```sh
+//! OSCAR_SCALE=10000 cargo run --release -p oscar-bench --bin repro_fig1c
+//! ```
+
+use oscar_bench::figures::{fig1c_report, run_fig1_suite};
+use oscar_bench::Scale;
+
+fn main() -> std::io::Result<()> {
+    let scale = Scale::from_env();
+    let suite = run_fig1_suite(&scale).expect("fig1 suite");
+    fig1c_report(&suite, &scale).emit("fig1c_search_cost")?;
+    Ok(())
+}

@@ -1,0 +1,18 @@
+//! Regenerates Figure 2(a): search cost under churn, constant in-degree
+//! distribution (Gnutella keys; crash fractions 0%, 10%, 33%).
+//!
+//! ```sh
+//! OSCAR_SCALE=10000 cargo run --release -p oscar-bench --bin repro_fig2a
+//! ```
+
+use oscar_bench::figures::fig2_report;
+use oscar_bench::Scale;
+use oscar_degree::ConstantDegrees;
+
+fn main() -> std::io::Result<()> {
+    let scale = Scale::from_env();
+    fig2_report(&scale, &ConstantDegrees::paper(), "constant")
+        .expect("fig2a experiment")
+        .emit("fig2a_churn_constant")?;
+    Ok(())
+}

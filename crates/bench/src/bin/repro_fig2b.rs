@@ -1,0 +1,18 @@
+//! Regenerates Figure 2(b): search cost under churn, "realistic" (spiky)
+//! in-degree distribution (Gnutella keys; crash fractions 0%, 10%, 33%).
+//!
+//! ```sh
+//! OSCAR_SCALE=10000 cargo run --release -p oscar-bench --bin repro_fig2b
+//! ```
+
+use oscar_bench::figures::fig2_report;
+use oscar_bench::Scale;
+use oscar_degree::SpikyDegrees;
+
+fn main() -> std::io::Result<()> {
+    let scale = Scale::from_env();
+    fig2_report(&scale, &SpikyDegrees::paper(), "realistic")
+        .expect("fig2b experiment")
+        .emit("fig2b_churn_realistic")?;
+    Ok(())
+}

@@ -1,0 +1,16 @@
+//! Regenerates E7: Oscar vs Mercury search cost on the skewed (Gnutella)
+//! key distribution — the headline claim of the paper's prior work [8].
+//!
+//! ```sh
+//! OSCAR_SCALE=10000 cargo run --release -p oscar-bench --bin repro_mercury_compare
+//! ```
+
+use oscar_bench::figures::{mercury_compare_report, run_fig1_suite};
+use oscar_bench::Scale;
+
+fn main() -> std::io::Result<()> {
+    let scale = Scale::from_env();
+    let suite = run_fig1_suite(&scale).expect("fig1 suite");
+    mercury_compare_report(&suite, &scale).emit("mercury_compare")?;
+    Ok(())
+}

@@ -1,0 +1,240 @@
+//! The experiment drivers behind every figure.
+
+use crate::scale::Scale;
+use oscar_analytics::{degree_load_curve, degree_volume_utilization};
+use oscar_degree::DegreeDistribution;
+use oscar_keydist::{KeyDistribution, QueryWorkload};
+use oscar_sim::{
+    kill_fraction, run_query_batch, FaultModel, GrowthConfig, GrowthDriver, Network,
+    OverlayBuilder, QueryBatchStats, RoutePolicy,
+};
+use oscar_types::{Result, SeedTree};
+
+/// Seed-tree labels.
+const LBL_GROWTH: u64 = 1;
+const LBL_QUERIES: u64 = 2;
+const LBL_CHURN: u64 = 3;
+
+/// Everything one growth run produces.
+pub struct GrowthRunResult {
+    /// Curve label (e.g. "constant", "realistic").
+    pub label: String,
+    /// Per-checkpoint query statistics (`N` queries at network size `N`,
+    /// the paper's protocol), measured after the rewire-all pass.
+    pub cost_by_size: Vec<(usize, QueryBatchStats)>,
+    /// Sorted per-peer relative degree load at the final size (Fig 1(b)).
+    pub final_degree_load: Vec<f64>,
+    /// Total degree-volume utilisation at the final size (E2/E3).
+    pub final_utilization: f64,
+    /// The grown network (for follow-up analyses, e.g. churn clones).
+    pub network: Network,
+}
+
+/// Grows an overlay under the paper's protocol and measures search cost at
+/// every checkpoint.
+pub fn run_growth_experiment(
+    builder: &dyn OverlayBuilder,
+    keys: &dyn KeyDistribution,
+    degrees: &dyn DegreeDistribution,
+    scale: &Scale,
+    label: &str,
+) -> Result<GrowthRunResult> {
+    let seed = SeedTree::new(scale.seed);
+    let mut net = Network::new(FaultModel::StabilizedRing);
+    let driver = GrowthDriver::new(GrowthConfig {
+        target_size: scale.target,
+        seed_size: 8,
+        checkpoints: scale.checkpoints(),
+        rewire_at_checkpoints: true,
+    });
+    let mut cost_by_size = Vec::new();
+    driver.run(
+        &mut net,
+        builder,
+        keys,
+        degrees,
+        seed.child(LBL_GROWTH),
+        |net, cp| {
+            let mut rng = seed.child2(LBL_QUERIES, cp.index as u64).rng();
+            let stats = run_query_batch(
+                net,
+                &QueryWorkload::UniformPeers,
+                cp.size,
+                &RoutePolicy::default(),
+                &mut rng,
+            );
+            cost_by_size.push((cp.size, stats));
+            Ok(())
+        },
+    )?;
+    let final_degree_load = degree_load_curve(&net);
+    let final_utilization = degree_volume_utilization(&net);
+    Ok(GrowthRunResult {
+        label: label.to_string(),
+        cost_by_size,
+        final_degree_load,
+        final_utilization,
+        network: net,
+    })
+}
+
+/// One churn measurement series: search cost per network size for a fixed
+/// crash fraction.
+pub struct ChurnResult {
+    /// Crash fraction (0.0, 0.10, 0.33, …).
+    pub fraction: f64,
+    /// Per-checkpoint query statistics on the crashed clone.
+    pub cost_by_size: Vec<(usize, QueryBatchStats)>,
+}
+
+/// The Figure 2 protocol: grow with rewiring; at each checkpoint, for each
+/// crash fraction, crash a *clone* of the network and measure `N` queries
+/// among the survivors (wasted traffic included).
+pub fn run_churn_experiment(
+    builder: &dyn OverlayBuilder,
+    keys: &dyn KeyDistribution,
+    degrees: &dyn DegreeDistribution,
+    scale: &Scale,
+    fractions: &[f64],
+) -> Result<Vec<ChurnResult>> {
+    let seed = SeedTree::new(scale.seed);
+    let mut net = Network::new(FaultModel::StabilizedRing);
+    let driver = GrowthDriver::new(GrowthConfig {
+        target_size: scale.target,
+        seed_size: 8,
+        checkpoints: scale.checkpoints(),
+        rewire_at_checkpoints: true,
+    });
+    let mut results: Vec<ChurnResult> = fractions
+        .iter()
+        .map(|&fraction| ChurnResult {
+            fraction,
+            cost_by_size: Vec::new(),
+        })
+        .collect();
+    driver.run(
+        &mut net,
+        builder,
+        keys,
+        degrees,
+        seed.child(LBL_GROWTH),
+        |net, cp| {
+            for (fi, result) in results.iter_mut().enumerate() {
+                let mut crashed = net.clone();
+                let churn_seed = seed.child2(LBL_CHURN, (cp.index * 16 + fi) as u64);
+                if result.fraction > 0.0 {
+                    let mut crng = churn_seed.rng();
+                    kill_fraction(&mut crashed, result.fraction, &mut crng)?;
+                }
+                let mut qrng = churn_seed.child(LBL_QUERIES).rng();
+                let stats = run_query_batch(
+                    &mut crashed,
+                    &QueryWorkload::UniformPeers,
+                    cp.size,
+                    &RoutePolicy::default(),
+                    &mut qrng,
+                );
+                result.cost_by_size.push((cp.size, stats));
+            }
+            Ok(())
+        },
+    )?;
+    Ok(results)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oscar_core::{OscarBuilder, OscarConfig};
+    use oscar_degree::ConstantDegrees;
+    use oscar_keydist::GnutellaKeys;
+    use oscar_mercury::{MercuryBuilder, MercuryConfig};
+
+    #[test]
+    fn growth_experiment_produces_full_series() {
+        let scale = Scale::small(300, 5);
+        let builder = OscarBuilder::new(OscarConfig::default());
+        let r = run_growth_experiment(
+            &builder,
+            &GnutellaKeys::default(),
+            &ConstantDegrees::paper(),
+            &scale,
+            "constant",
+        )
+        .unwrap();
+        assert_eq!(r.label, "constant");
+        assert_eq!(r.cost_by_size.len(), scale.checkpoints().len());
+        assert_eq!(r.final_degree_load.len(), 300);
+        assert!(r.final_utilization > 0.5);
+        for (size, stats) in &r.cost_by_size {
+            assert_eq!(stats.success_rate, 1.0, "at size {size}");
+        }
+    }
+
+    #[test]
+    fn churn_experiment_orders_fractions() {
+        let scale = Scale::small(300, 7);
+        let builder = OscarBuilder::new(OscarConfig::default());
+        let rs = run_churn_experiment(
+            &builder,
+            &GnutellaKeys::default(),
+            &ConstantDegrees::paper(),
+            &scale,
+            &[0.0, 0.10, 0.33],
+        )
+        .unwrap();
+        assert_eq!(rs.len(), 3);
+        // At the final checkpoint the ordering must match Figure 2.
+        let last = |r: &ChurnResult| r.cost_by_size.last().unwrap().1.mean_cost;
+        assert!(last(&rs[0]) < last(&rs[1]));
+        assert!(last(&rs[1]) < last(&rs[2]));
+        // All fractions keep full delivery under the stabilised ring.
+        for r in &rs {
+            for (_, stats) in &r.cost_by_size {
+                assert_eq!(stats.success_rate, 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn experiments_work_with_mercury_too() {
+        let scale = Scale::small(200, 9);
+        let builder = MercuryBuilder::new(MercuryConfig::default());
+        let r = run_growth_experiment(
+            &builder,
+            &GnutellaKeys::default(),
+            &ConstantDegrees::paper(),
+            &scale,
+            "mercury",
+        )
+        .unwrap();
+        assert_eq!(r.cost_by_size.len(), scale.checkpoints().len());
+        assert!(r.final_utilization > 0.0);
+    }
+
+    #[test]
+    fn experiments_are_deterministic() {
+        let scale = Scale::small(200, 11);
+        let builder = OscarBuilder::new(OscarConfig::default());
+        let run = || {
+            run_growth_experiment(
+                &builder,
+                &GnutellaKeys::default(),
+                &ConstantDegrees::paper(),
+                &scale,
+                "x",
+            )
+            .unwrap()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.final_utilization, b.final_utilization);
+        let costs = |r: &GrowthRunResult| {
+            r.cost_by_size
+                .iter()
+                .map(|(_, s)| s.mean_cost)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(costs(&a), costs(&b));
+    }
+}

@@ -1,0 +1,18 @@
+//! # oscar-bench — experiment harness for the paper's figures
+//!
+//! Shared machinery for the `repro_*` binaries (full paper-scale figure
+//! regeneration) and the Criterion benches (bounded-size performance
+//! measurements). Every experiment is a pure function of a [`Scale`] and
+//! a seed, so the binaries, the benches and the tests all drive the same
+//! code.
+
+pub mod experiments;
+pub mod figures;
+pub mod report;
+pub mod scale;
+
+pub use experiments::{
+    run_churn_experiment, run_growth_experiment, ChurnResult, GrowthRunResult,
+};
+pub use report::Report;
+pub use scale::Scale;

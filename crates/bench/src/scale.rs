@@ -1,0 +1,110 @@
+//! Experiment scale configuration.
+//!
+//! The paper's experiments run to 10,000 peers with checkpoints every
+//! 1,000. A full regeneration takes minutes; `OSCAR_SCALE` shrinks the
+//! whole schedule proportionally for quick validation runs:
+//!
+//! ```sh
+//! OSCAR_SCALE=2000 cargo run --release -p oscar-bench --bin repro_fig1c
+//! ```
+
+/// Scale and seed of an experiment run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Scale {
+    /// Final network size (paper: 10,000).
+    pub target: usize,
+    /// Checkpoint spacing (paper: 1,000).
+    pub step: usize,
+    /// Root experiment seed.
+    pub seed: u64,
+}
+
+impl Scale {
+    /// The paper's scale.
+    pub fn paper() -> Self {
+        Scale {
+            target: 10_000,
+            step: 1_000,
+            seed: 42,
+        }
+    }
+
+    /// Scale from the environment: `OSCAR_SCALE` (target size; step is
+    /// target/10) and `OSCAR_SEED`. Defaults to [`Scale::paper`].
+    pub fn from_env() -> Self {
+        let mut scale = Scale::paper();
+        if let Ok(s) = std::env::var("OSCAR_SCALE") {
+            if let Ok(target) = s.trim().parse::<usize>() {
+                let target = target.max(100);
+                scale.target = target;
+                scale.step = (target / 10).max(50);
+            }
+        }
+        if let Ok(s) = std::env::var("OSCAR_SEED") {
+            if let Ok(seed) = s.trim().parse::<u64>() {
+                scale.seed = seed;
+            }
+        }
+        scale
+    }
+
+    /// Reduced scale for tests and Criterion benches.
+    pub fn small(target: usize, seed: u64) -> Self {
+        Scale {
+            target,
+            step: (target / 5).max(20),
+            seed,
+        }
+    }
+
+    /// The checkpoint sizes: `step, 2·step, …, target`.
+    pub fn checkpoints(&self) -> Vec<usize> {
+        let mut cps: Vec<usize> = (1..)
+            .map(|k| k * self.step)
+            .take_while(|&s| s < self.target)
+            .collect();
+        cps.push(self.target);
+        cps
+    }
+
+    /// Checkpoints the figures plot (the paper's x axis starts at 2·step:
+    /// 2,000..10,000).
+    pub fn figure_checkpoints(&self) -> Vec<usize> {
+        self.checkpoints()
+            .into_iter()
+            .filter(|&s| s >= 2 * self.step)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_scale_matches_the_paper() {
+        let s = Scale::paper();
+        assert_eq!(s.target, 10_000);
+        assert_eq!(s.checkpoints().len(), 10);
+        assert_eq!(s.checkpoints()[0], 1000);
+        assert_eq!(*s.checkpoints().last().unwrap(), 10_000);
+        assert_eq!(s.figure_checkpoints()[0], 2000);
+    }
+
+    #[test]
+    fn checkpoints_cover_uneven_targets() {
+        let s = Scale {
+            target: 2500,
+            step: 1000,
+            seed: 1,
+        };
+        assert_eq!(s.checkpoints(), vec![1000, 2000, 2500]);
+    }
+
+    #[test]
+    fn small_scale_has_five_checkpoints() {
+        let s = Scale::small(500, 9);
+        assert_eq!(s.checkpoints(), vec![100, 200, 300, 400, 500]);
+        assert_eq!(s.seed, 9);
+    }
+}

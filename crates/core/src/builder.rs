@@ -1,0 +1,185 @@
+//! The Oscar link-building strategy, packaged for the growth driver.
+
+use crate::config::OscarConfig;
+use crate::links::acquire_links;
+use crate::partitions::estimate_partitions;
+use oscar_sim::{LinkError, Network, OverlayBuilder, PeerIdx};
+use oscar_types::Result;
+use rand::rngs::SmallRng;
+
+/// Networks at or below this size are wired directly (everyone links to
+/// everyone, budget permitting): sampling walks need a graph to walk on,
+/// and at this scale "everyone" *is* the logarithmic partition set.
+const DIRECT_WIRING_THRESHOLD: usize = 8;
+
+/// Oscar's [`OverlayBuilder`]: partition estimation + harmonic-by-rank
+/// link acquisition with power-of-two in-degree balancing.
+#[derive(Clone, Debug)]
+pub struct OscarBuilder {
+    config: OscarConfig,
+}
+
+impl OscarBuilder {
+    /// Builder with the given configuration.
+    ///
+    /// # Panics
+    /// On invalid configuration (zero sample size etc.) — configs are
+    /// experiment constants, so failing fast beats threading errors.
+    pub fn new(config: OscarConfig) -> Self {
+        config.validate().expect("invalid OscarConfig");
+        OscarBuilder { config }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &OscarConfig {
+        &self.config
+    }
+
+    /// Direct wiring for bootstrap-scale networks.
+    fn wire_directly(&self, net: &mut Network, p: PeerIdx) {
+        let targets: Vec<PeerIdx> = net
+            .live_peers()
+            .filter(|&t| t != p)
+            .collect();
+        for t in targets {
+            if !net.peer(p).can_open_out() {
+                break;
+            }
+            match net.try_link(p, t) {
+                Ok(()) | Err(LinkError::TargetFull) | Err(LinkError::Duplicate) => {}
+                Err(LinkError::SelfLink) | Err(LinkError::Dead) => {}
+                Err(LinkError::SourceFull) => break,
+            }
+        }
+    }
+}
+
+impl OverlayBuilder for OscarBuilder {
+    fn name(&self) -> &str {
+        "oscar"
+    }
+
+    fn build_links(&self, net: &mut Network, p: PeerIdx, rng: &mut SmallRng) -> Result<()> {
+        if !net.is_alive(p) || net.live_count() <= 1 {
+            return Ok(());
+        }
+        if net.live_count() <= DIRECT_WIRING_THRESHOLD {
+            self.wire_directly(net, p);
+            return Ok(());
+        }
+        let parts = estimate_partitions(net, p, &self.config, rng)?;
+        acquire_links(net, p, &parts, &self.config, rng)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::new_overlay;
+    use oscar_degree::{ConstantDegrees, SpikyDegrees, SteppedDegrees};
+    use oscar_keydist::{GnutellaKeys, QueryWorkload, UniformKeys};
+    use oscar_sim::FaultModel;
+
+    #[test]
+    #[should_panic(expected = "invalid OscarConfig")]
+    fn bad_config_panics_at_construction() {
+        let cfg = OscarConfig {
+            median_sample_size: 0,
+            ..OscarConfig::default()
+        };
+        let _ = OscarBuilder::new(cfg);
+    }
+
+    #[test]
+    fn builder_reports_name() {
+        assert_eq!(OscarBuilder::new(OscarConfig::default()).name(), "oscar");
+    }
+
+    #[test]
+    fn tiny_networks_are_wired_directly() {
+        let mut ov = new_overlay(OscarConfig::default(), FaultModel::StabilizedRing, 1);
+        ov.grow_to(4, &UniformKeys, &ConstantDegrees::new(8)).unwrap();
+        // each of the 4 peers links to the 3 others
+        for p in ov.network().all_peers() {
+            assert_eq!(ov.network().peer(p).out_degree(), 3);
+        }
+    }
+
+    #[test]
+    fn oscar_overlay_routes_efficiently_uniform() {
+        let mut ov = new_overlay(OscarConfig::default(), FaultModel::StabilizedRing, 2);
+        ov.grow_to(500, &UniformKeys, &ConstantDegrees::paper()).unwrap();
+        let stats = ov.run_queries(&QueryWorkload::UniformPeers, 500);
+        assert_eq!(stats.success_rate, 1.0);
+        // log2(500)^2 ≈ 80; Oscar with 27 links/peer lands way below.
+        assert!(stats.mean_cost < 10.0, "mean cost {}", stats.mean_cost);
+    }
+
+    #[test]
+    fn oscar_overlay_routes_efficiently_gnutella_keys() {
+        let mut ov = new_overlay(OscarConfig::default(), FaultModel::StabilizedRing, 3);
+        ov.grow_to(500, &GnutellaKeys::default(), &ConstantDegrees::paper())
+            .unwrap();
+        let stats = ov.run_queries(&QueryWorkload::UniformPeers, 500);
+        assert_eq!(stats.success_rate, 1.0);
+        assert!(
+            stats.mean_cost < 12.0,
+            "skewed keys should not break routing: {}",
+            stats.mean_cost
+        );
+    }
+
+    #[test]
+    fn heterogeneous_degrees_respect_budgets() {
+        let mut ov = new_overlay(OscarConfig::default(), FaultModel::StabilizedRing, 4);
+        ov.grow_to(400, &GnutellaKeys::default(), &SpikyDegrees::paper())
+            .unwrap();
+        for p in ov.network().all_peers() {
+            let peer = ov.network().peer(p);
+            assert!(peer.in_degree() <= peer.caps.rho_in, "in budget violated");
+            assert!(peer.out_degree() <= peer.caps.rho_out, "out budget violated");
+        }
+        let stats = ov.run_queries(&QueryWorkload::UniformPeers, 400);
+        assert_eq!(stats.success_rate, 1.0);
+    }
+
+    #[test]
+    fn stepped_degrees_work_too() {
+        let mut ov = new_overlay(OscarConfig::default(), FaultModel::StabilizedRing, 5);
+        ov.grow_to(300, &GnutellaKeys::default(), &SteppedDegrees::paper())
+            .unwrap();
+        let stats = ov.run_queries(&QueryWorkload::UniformPeers, 300);
+        assert_eq!(stats.success_rate, 1.0);
+        assert!(stats.mean_cost < 12.0);
+    }
+
+    #[test]
+    fn overlay_survives_churn() {
+        let mut ov = new_overlay(OscarConfig::default(), FaultModel::StabilizedRing, 6);
+        ov.grow_to(400, &GnutellaKeys::default(), &ConstantDegrees::paper())
+            .unwrap();
+        let baseline = ov.run_queries(&QueryWorkload::UniformPeers, 300);
+        ov.kill_fraction(0.33).unwrap();
+        let after = ov.run_queries(&QueryWorkload::UniformPeers, 300);
+        assert_eq!(after.success_rate, 1.0, "stabilised ring always delivers");
+        assert!(
+            after.mean_cost > baseline.mean_cost,
+            "dead links must cost something: {} vs {}",
+            after.mean_cost,
+            baseline.mean_cost
+        );
+        assert!(after.mean_wasted > 0.0);
+    }
+
+    #[test]
+    fn deterministic_end_to_end() {
+        let run = || {
+            let mut ov = new_overlay(OscarConfig::default(), FaultModel::StabilizedRing, 7);
+            ov.grow_to(200, &GnutellaKeys::default(), &ConstantDegrees::paper())
+                .unwrap();
+            ov.run_queries(&QueryWorkload::UniformPeers, 200).mean_cost
+        };
+        assert_eq!(run(), run());
+    }
+}

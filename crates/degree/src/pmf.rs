@@ -1,0 +1,252 @@
+//! Explicit discrete probability mass functions over node degrees.
+//!
+//! The "realistic" spiky distribution of Figure 1(a) is defined as a pmf;
+//! this module provides the generic machinery: construction from weighted
+//! support points, exact-mean calibration (the paper fixes the mean at 27
+//! so the three experimental distributions are comparable), inverse-CDF
+//! sampling, and pmf export for plotting.
+
+use rand::{Rng, RngCore};
+
+/// A discrete pmf over `u32` degrees with cached inverse-CDF table.
+#[derive(Clone, Debug)]
+pub struct DiscretePmf {
+    /// Ascending, de-duplicated support.
+    support: Vec<u32>,
+    /// Probability of each support point (sums to 1).
+    probs: Vec<f64>,
+    /// Cumulative probabilities (last element exactly 1.0).
+    cdf: Vec<f64>,
+}
+
+impl DiscretePmf {
+    /// Builds a pmf from `(degree, weight)` pairs; weights are normalised,
+    /// duplicate degrees are merged.
+    ///
+    /// # Panics
+    /// If empty, any weight is negative, or all weights are zero.
+    pub fn new(points: &[(u32, f64)]) -> Self {
+        assert!(!points.is_empty(), "pmf needs support points");
+        assert!(
+            points.iter().all(|&(_, w)| w >= 0.0),
+            "weights must be non-negative"
+        );
+        let mut merged: std::collections::BTreeMap<u32, f64> = std::collections::BTreeMap::new();
+        for &(d, w) in points {
+            *merged.entry(d).or_insert(0.0) += w;
+        }
+        merged.retain(|_, w| *w > 0.0);
+        let total: f64 = merged.values().sum();
+        assert!(total > 0.0, "total weight must be positive");
+        let support: Vec<u32> = merged.keys().copied().collect();
+        let probs: Vec<f64> = merged.values().map(|w| w / total).collect();
+        let mut cdf = Vec::with_capacity(probs.len());
+        let mut cum = 0.0;
+        for &p in &probs {
+            cum += p;
+            cdf.push(cum);
+        }
+        *cdf.last_mut().expect("non-empty") = 1.0;
+        DiscretePmf { support, probs, cdf }
+    }
+
+    /// Exact mean of the pmf.
+    pub fn mean(&self) -> f64 {
+        self.support
+            .iter()
+            .zip(&self.probs)
+            .map(|(&d, &p)| d as f64 * p)
+            .sum()
+    }
+
+    /// The `(degree, probability)` pairs, ascending by degree.
+    pub fn points(&self) -> Vec<(u32, f64)> {
+        self.support
+            .iter()
+            .copied()
+            .zip(self.probs.iter().copied())
+            .collect()
+    }
+
+    /// Probability of an exact degree (0 if outside the support).
+    pub fn prob(&self, degree: u32) -> f64 {
+        match self.support.binary_search(&degree) {
+            Ok(i) => self.probs[i],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Draws a degree by inverse-CDF.
+    pub fn sample(&self, rng: &mut dyn RngCore) -> u32 {
+        let u: f64 = rng.gen();
+        let idx = match self.cdf.binary_search_by(|c| c.partial_cmp(&u).expect("no NaN")) {
+            Ok(i) => i,
+            Err(i) => i.min(self.support.len() - 1),
+        };
+        self.support[idx]
+    }
+
+    /// Exponentially tilts the pmf (`p'_d ∝ p_d · e^{θd}`) so the mean
+    /// becomes exactly `target`, solving for `θ` by bisection.
+    ///
+    /// Tilting is the canonical shape-preserving way to adjust the mean of
+    /// a discrete distribution: relative spike prominence survives, and any
+    /// mean strictly inside `(min support, max support)` is reachable.
+    ///
+    /// Returns an error if `target` lies outside the open support range.
+    pub fn calibrate_mean(mut self, target: f64) -> Result<Self, String> {
+        let lo = *self.support.first().expect("non-empty") as f64;
+        let hi = *self.support.last().expect("non-empty") as f64;
+        if self.support.len() < 2 {
+            return if (self.mean() - target).abs() < 1e-12 {
+                Ok(self)
+            } else {
+                Err(format!("single-point pmf cannot reach mean {target}"))
+            };
+        }
+        if target <= lo || target >= hi {
+            return Err(format!(
+                "cannot calibrate mean to {target}: outside open support range ({lo}, {hi})"
+            ));
+        }
+        let tilted_mean = |theta: f64, support: &[u32], probs: &[f64]| -> f64 {
+            // Subtract a reference degree inside exp() for numeric range.
+            let d0 = support[0] as f64;
+            let mut z = 0.0;
+            let mut m = 0.0;
+            for (&d, &p) in support.iter().zip(probs) {
+                let w = p * ((d as f64 - d0) * theta).exp();
+                z += w;
+                m += w * d as f64;
+            }
+            m / z
+        };
+        // Bracket θ: mean(θ) is strictly increasing in θ.
+        let (mut a, mut b) = (-1.0f64, 1.0f64);
+        while tilted_mean(a, &self.support, &self.probs) > target {
+            a *= 2.0;
+            if a < -1e3 {
+                return Err(format!("tilt bracket failed for target {target}"));
+            }
+        }
+        while tilted_mean(b, &self.support, &self.probs) < target {
+            b *= 2.0;
+            if b > 1e3 {
+                return Err(format!("tilt bracket failed for target {target}"));
+            }
+        }
+        for _ in 0..200 {
+            let mid = 0.5 * (a + b);
+            if tilted_mean(mid, &self.support, &self.probs) < target {
+                a = mid;
+            } else {
+                b = mid;
+            }
+        }
+        let theta = 0.5 * (a + b);
+        let d0 = self.support[0] as f64;
+        let mut z = 0.0;
+        for (&d, p) in self.support.iter().zip(self.probs.iter_mut()) {
+            *p *= ((d as f64 - d0) * theta).exp();
+            z += *p;
+        }
+        for p in self.probs.iter_mut() {
+            *p /= z;
+        }
+        // Rebuild the CDF.
+        let mut cum = 0.0;
+        for (c, &p) in self.cdf.iter_mut().zip(&self.probs) {
+            cum += p;
+            *c = cum;
+        }
+        *self.cdf.last_mut().expect("non-empty") = 1.0;
+        Ok(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oscar_types::SeedTree;
+
+    #[test]
+    fn normalises_and_merges() {
+        let pmf = DiscretePmf::new(&[(5, 2.0), (10, 1.0), (5, 1.0)]);
+        assert_eq!(pmf.points(), vec![(5, 0.75), (10, 0.25)]);
+        assert!((pmf.mean() - 6.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn prob_lookup() {
+        let pmf = DiscretePmf::new(&[(3, 1.0), (7, 3.0)]);
+        assert!((pmf.prob(3) - 0.25).abs() < 1e-12);
+        assert!((pmf.prob(7) - 0.75).abs() < 1e-12);
+        assert_eq!(pmf.prob(5), 0.0);
+    }
+
+    #[test]
+    fn zero_weight_points_dropped() {
+        let pmf = DiscretePmf::new(&[(1, 0.0), (2, 1.0)]);
+        assert_eq!(pmf.points(), vec![(2, 1.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs support points")]
+    fn empty_panics() {
+        DiscretePmf::new(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "total weight must be positive")]
+    fn all_zero_weights_panic() {
+        DiscretePmf::new(&[(1, 0.0), (2, 0.0)]);
+    }
+
+    #[test]
+    fn sampling_matches_pmf() {
+        let pmf = DiscretePmf::new(&[(2, 0.5), (20, 0.5)]);
+        let mut rng = SeedTree::new(1).rng();
+        let n = 20_000;
+        let hi = (0..n).filter(|_| pmf.sample(&mut rng) == 20).count();
+        let frac = hi as f64 / n as f64;
+        assert!((frac - 0.5).abs() < 0.02, "fraction at 20: {frac}");
+    }
+
+    #[test]
+    fn calibrate_raises_mean_exactly() {
+        let pmf = DiscretePmf::new(&[(10, 0.5), (20, 0.3), (40, 0.2)])
+            .calibrate_mean(27.0)
+            .expect("reachable");
+        assert!((pmf.mean() - 27.0).abs() < 1e-9);
+        // tilting keeps every support point alive and the pmf valid
+        assert!(pmf.prob(20) > 0.0);
+        let total: f64 = pmf.points().iter().map(|&(_, p)| p).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn calibrate_lowers_mean_exactly() {
+        let pmf = DiscretePmf::new(&[(10, 0.2), (50, 0.8)])
+            .calibrate_mean(27.0)
+            .expect("reachable");
+        assert!((pmf.mean() - 27.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn calibrate_unreachable_errors() {
+        let pmf = DiscretePmf::new(&[(10, 0.01), (12, 0.99)]);
+        // target 100 is beyond the support maximum
+        assert!(pmf.calibrate_mean(100.0).is_err());
+    }
+
+    #[test]
+    fn calibrated_sampling_keeps_mean() {
+        let pmf = DiscretePmf::new(&[(5, 0.3), (25, 0.4), (60, 0.3)])
+            .calibrate_mean(27.0)
+            .expect("reachable");
+        let mut rng = SeedTree::new(2).rng();
+        let n = 50_000;
+        let mean: f64 = (0..n).map(|_| pmf.sample(&mut rng) as f64).sum::<f64>() / n as f64;
+        assert!((mean - 27.0).abs() < 0.3, "empirical mean {mean}");
+    }
+}

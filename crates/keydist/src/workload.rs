@@ -1,0 +1,197 @@
+//! Query workloads: how search targets are drawn.
+//!
+//! The paper measures "the average search cost induced by N random queries".
+//! The natural reading — and our default — is that each query originates at
+//! a random live peer and targets the identifier of another random live
+//! peer (data lives where peers are, because the overlay is
+//! order-preserving). Two more workloads support ablations:
+//!
+//! * `UniformKeys`: targets uniform over the ring regardless of density —
+//!   stresses the deserts of a skewed key space;
+//! * `ZipfPeers`: skewed *access* load (the paper's intro motivates
+//!   disproportionate bandwidth use under skewed access patterns).
+//!
+//! The workload is pure: it decides *what* to target; resolving a peer rank
+//! to an actual peer is the simulator's job.
+
+use crate::zipf::zipf_cdf_table;
+use oscar_types::Id;
+use rand::{Rng, RngCore};
+
+/// What a single query should target.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub enum QueryTarget {
+    /// Target the identifier of the live peer with this rank (0-based,
+    /// in ring order); the simulator resolves the rank.
+    PeerRank(usize),
+    /// Target this exact key.
+    Key(Id),
+}
+
+/// A generator of query targets.
+#[derive(Clone, Debug)]
+pub enum QueryWorkload {
+    /// Each query targets a live peer chosen uniformly at random.
+    UniformPeers,
+    /// Each query targets a uniformly random ring position.
+    UniformKeys,
+    /// Skewed access: peer ranks get Zipf(`exponent`) popularity, scattered
+    /// deterministically so the hot peers are not ring-adjacent.
+    ZipfPeers {
+        /// Zipf exponent of the access skew.
+        exponent: f64,
+    },
+}
+
+impl QueryWorkload {
+    /// Draws a target given the current number of live peers.
+    ///
+    /// # Panics
+    /// If `n_live == 0`.
+    pub fn draw(&self, n_live: usize, rng: &mut dyn RngCore) -> QueryTarget {
+        assert!(n_live > 0, "cannot query an empty network");
+        match self {
+            QueryWorkload::UniformPeers => QueryTarget::PeerRank(rng.gen_range(0..n_live)),
+            QueryWorkload::UniformKeys => QueryTarget::Key(Id::new(rng.next_u64())),
+            QueryWorkload::ZipfPeers { exponent } => {
+                // Build-per-call would be wasteful for big N; cache-free
+                // approximation: inverse-CDF on the continuous Zipf via
+                // rejection-free power-law approximation is biased for
+                // small N, so use the exact discrete table for n <= 4096
+                // and the continuous approximation beyond.
+                let rank = if n_live <= 4096 {
+                    let cdf = zipf_cdf_table(n_live, *exponent);
+                    let u: f64 = rng.gen();
+                    match cdf.binary_search_by(|c| c.partial_cmp(&u).expect("no NaN")) {
+                        Ok(i) => i,
+                        Err(i) => i.min(n_live - 1),
+                    }
+                } else {
+                    continuous_zipf_rank(n_live, *exponent, rng)
+                };
+                // Scatter so Zipf rank is decoupled from ring order.
+                let scattered = scatter_rank(rank, n_live);
+                QueryTarget::PeerRank(scattered)
+            }
+        }
+    }
+
+    /// Human-readable name for reports.
+    pub fn name(&self) -> String {
+        match self {
+            QueryWorkload::UniformPeers => "uniform-peers".into(),
+            QueryWorkload::UniformKeys => "uniform-keys".into(),
+            QueryWorkload::ZipfPeers { exponent } => format!("zipf-peers(s={exponent})"),
+        }
+    }
+}
+
+/// Continuous approximation to a Zipf rank draw (for large `n`).
+///
+/// Uses inverse-transform on the continuous density `x^-s` over `[1, n+1)`.
+fn continuous_zipf_rank(n: usize, s: f64, rng: &mut dyn RngCore) -> usize {
+    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let nf = (n + 1) as f64;
+    let rank_f = if (s - 1.0).abs() < 1e-9 {
+        // integral of 1/x is ln; invert u = ln(x)/ln(n+1)
+        nf.powf(u)
+    } else {
+        let a = 1.0 - s;
+        // u = (x^a - 1) / ((n+1)^a - 1)
+        ((u * (nf.powf(a) - 1.0)) + 1.0).powf(1.0 / a)
+    };
+    (rank_f.floor() as usize).clamp(1, n) - 1
+}
+
+/// Deterministic rank scatter: multiply by an odd constant mod n.
+///
+/// Bijective for odd multiplier when n is a power of two; for general n we
+/// use a simple affine map and fix collisions by linear probing — cheap and
+/// adequate (the goal is decorrelation, not cryptography).
+fn scatter_rank(rank: usize, n: usize) -> usize {
+    if n <= 1 {
+        return 0;
+    }
+    (rank.wrapping_mul(0x9E37_79B1) ^ (rank >> 3)) % n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oscar_types::SeedTree;
+
+    #[test]
+    fn uniform_peers_in_range() {
+        let w = QueryWorkload::UniformPeers;
+        let mut rng = SeedTree::new(1).rng();
+        for _ in 0..1000 {
+            match w.draw(37, &mut rng) {
+                QueryTarget::PeerRank(r) => assert!(r < 37),
+                _ => panic!("expected a peer rank"),
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_keys_yields_keys() {
+        let w = QueryWorkload::UniformKeys;
+        let mut rng = SeedTree::new(2).rng();
+        assert!(matches!(w.draw(5, &mut rng), QueryTarget::Key(_)));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty network")]
+    fn empty_network_panics() {
+        let mut rng = SeedTree::new(3).rng();
+        QueryWorkload::UniformPeers.draw(0, &mut rng);
+    }
+
+    #[test]
+    fn zipf_peers_concentrates_access() {
+        let w = QueryWorkload::ZipfPeers { exponent: 1.1 };
+        let mut rng = SeedTree::new(4).rng();
+        let n = 500;
+        let mut counts = vec![0usize; n];
+        for _ in 0..20_000 {
+            if let QueryTarget::PeerRank(r) = w.draw(n, &mut rng) {
+                counts[r] += 1;
+            }
+        }
+        counts.sort_unstable_by(|a, b| b.cmp(a));
+        let top10: usize = counts.iter().take(10).sum();
+        // Under Zipf(1.1) over 500 ranks the top-10 ranks carry ≳35% of mass.
+        assert!(top10 > 5_000, "top-10 peers got only {top10}/20000 queries");
+    }
+
+    #[test]
+    fn zipf_large_n_uses_continuous_path() {
+        let w = QueryWorkload::ZipfPeers { exponent: 1.0 };
+        let mut rng = SeedTree::new(5).rng();
+        for _ in 0..1000 {
+            match w.draw(10_000, &mut rng) {
+                QueryTarget::PeerRank(r) => assert!(r < 10_000),
+                _ => panic!("expected a peer rank"),
+            }
+        }
+    }
+
+    #[test]
+    fn continuous_zipf_rank_skews_low_ranks() {
+        let mut rng = SeedTree::new(6).rng();
+        let hits_low = (0..10_000)
+            .filter(|_| continuous_zipf_rank(100_000, 1.0, &mut rng) < 100)
+            .count();
+        // For s=1 over 1e5 ranks, P(rank<100) = ln(100)/ln(1e5) ≈ 0.40.
+        assert!(hits_low > 3_000, "low ranks hit {hits_low}");
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(QueryWorkload::UniformPeers.name(), "uniform-peers");
+        assert_eq!(QueryWorkload::UniformKeys.name(), "uniform-keys");
+        assert_eq!(
+            QueryWorkload::ZipfPeers { exponent: 0.8 }.name(),
+            "zipf-peers(s=0.8)"
+        );
+    }
+}

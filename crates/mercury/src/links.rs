@@ -1,0 +1,276 @@
+//! Mercury link placement: sampled CDF + harmonic rank distances.
+
+use crate::config::MercuryConfig;
+use oscar_keydist::EmpiricalCdf;
+use oscar_sim::{
+    route_to_owner, sample_peers, LinkError, MsgKind, Network, PeerIdx, RoutePolicy,
+};
+use oscar_types::{Id, Result};
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// Builds Mercury's density estimate for peer `p`: an empirical CDF over
+/// `cdf_sample_size` (near-)uniform node-id samples, plus `p`'s own id.
+pub fn estimate_cdf(
+    net: &mut Network,
+    p: PeerIdx,
+    cfg: &MercuryConfig,
+    rng: &mut SmallRng,
+) -> Result<EmpiricalCdf> {
+    let samples = sample_peers(net, cfg.walk, p, None, cfg.cdf_sample_size, rng)?;
+    let mut ids: Vec<Id> = samples.iter().map(|&s| net.peer(s).id).collect();
+    ids.push(net.peer(p).id);
+    Ok(EmpiricalCdf::new(ids))
+}
+
+/// Draws a harmonic rank distance `r ∈ [1, n-1]`: `P(r) ∝ 1/r`.
+///
+/// Inverse transform on the continuous harmonic density, the standard
+/// small-world long-link distance law Mercury adopts.
+pub fn harmonic_rank<R: Rng + ?Sized>(n_live: usize, rng: &mut R) -> f64 {
+    let max = (n_live.saturating_sub(1)).max(1) as f64;
+    let u: f64 = rng.gen();
+    max.powf(u).clamp(1.0, max)
+}
+
+/// One harmonic link-target draw: a *key* estimated to sit `r` node ranks
+/// clockwise of `p`, per the sampled CDF.
+pub fn draw_target_key(
+    cdf: &EmpiricalCdf,
+    own_id: Id,
+    n_live: usize,
+    rng: &mut SmallRng,
+) -> Id {
+    let r = harmonic_rank(n_live, rng);
+    // The CDF was built from `len()` samples representing `n_live` peers:
+    // convert the rank distance into sample-rank units.
+    let sample_ranks = r * cdf.len() as f64 / n_live.max(1) as f64;
+    cdf.advance_by_ranks(own_id, sample_ranks)
+}
+
+/// Outcome of one Mercury link-building pass.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct MercuryLinkStats {
+    /// Links successfully established.
+    pub established: u32,
+    /// Slots left unfilled after exhausting retries.
+    pub unfilled: u32,
+    /// Routing hops spent locating link targets.
+    pub routing_hops: u64,
+}
+
+/// Fills `p`'s out-link budget with harmonic-distance links.
+///
+/// Each slot draws a target key, routes to its owner (hops are counted as
+/// construction traffic — Mercury pays real messages for link discovery),
+/// and requests the link; refusals retry with a fresh draw.
+pub fn acquire_links(
+    net: &mut Network,
+    p: PeerIdx,
+    cdf: &EmpiricalCdf,
+    cfg: &MercuryConfig,
+    rng: &mut SmallRng,
+) -> Result<MercuryLinkStats> {
+    let mut stats = MercuryLinkStats::default();
+    let own_id = net.peer(p).id;
+    let n_live = net.live_count();
+    if n_live <= 1 {
+        return Ok(stats);
+    }
+    let budget = {
+        let peer = net.peer(p);
+        peer.caps.rho_out.saturating_sub(peer.out_degree())
+    };
+    let policy = RoutePolicy::default();
+    'slots: for _ in 0..budget {
+        for _attempt in 0..=cfg.link_retries {
+            let candidates = if cfg.use_power_of_two { 2 } else { 1 };
+            let mut best: Option<(u32, PeerIdx)> = None;
+            for _ in 0..candidates {
+                let key = draw_target_key(cdf, own_id, n_live, rng);
+                let outcome = route_to_owner(net, p, key, &policy);
+                stats.routing_hops += outcome.cost() as u64;
+                net.metrics
+                    .add(MsgKind::ConstructionHop, outcome.cost() as u64);
+                let Some(owner) = outcome.dest else {
+                    continue;
+                };
+                if owner == p || net.peer(p).long_out.contains(&owner) {
+                    continue;
+                }
+                net.metrics.inc(MsgKind::Probe);
+                let load = net.peer(owner).in_degree();
+                if best.is_none_or(|(b, _)| load < b) {
+                    best = Some((load, owner));
+                }
+            }
+            let Some((_, target)) = best else {
+                continue;
+            };
+            match net.try_link(p, target) {
+                Ok(()) => {
+                    stats.established += 1;
+                    continue 'slots;
+                }
+                Err(LinkError::TargetFull) => continue,
+                Err(LinkError::Duplicate) | Err(LinkError::SelfLink) | Err(LinkError::Dead) => {
+                    continue
+                }
+                Err(LinkError::SourceFull) => break 'slots,
+            }
+        }
+        stats.unfilled += 1;
+    }
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oscar_degree::DegreeCaps;
+    use oscar_sim::FaultModel;
+    use oscar_types::SeedTree;
+
+    fn test_net(n: u64, caps: DegreeCaps, seed: u64) -> Network {
+        let mut net = Network::new(FaultModel::StabilizedRing);
+        let step = u64::MAX / n;
+        let idxs: Vec<PeerIdx> = (0..n)
+            .map(|i| net.add_peer(Id::new(i * step + 5), caps).unwrap())
+            .collect();
+        let mut rng = SeedTree::new(seed).rng();
+        for &i in &idxs {
+            for _ in 0..4 {
+                let j = idxs[rng.gen_range(0..idxs.len())];
+                let _ = net.try_link(i, j);
+            }
+        }
+        net
+    }
+
+    #[test]
+    fn harmonic_rank_is_heavy_on_short_distances() {
+        let mut rng = SeedTree::new(1).rng();
+        let n = 10_000;
+        let short = (0..20_000)
+            .filter(|_| harmonic_rank(n, &mut rng) < 100.0)
+            .count();
+        // P(r < 100) = ln(100)/ln(9999) ≈ 0.50
+        let frac = short as f64 / 20_000.0;
+        assert!((frac - 0.5).abs() < 0.05, "short-distance mass {frac}");
+    }
+
+    #[test]
+    fn harmonic_rank_bounds() {
+        let mut rng = SeedTree::new(2).rng();
+        for _ in 0..1000 {
+            let r = harmonic_rank(500, &mut rng);
+            assert!((1.0..=499.0).contains(&r));
+        }
+        // degenerate sizes
+        assert_eq!(harmonic_rank(1, &mut rng), 1.0);
+        assert_eq!(harmonic_rank(0, &mut rng), 1.0);
+    }
+
+    #[test]
+    fn cdf_estimate_covers_the_ring() {
+        let mut net = test_net(256, DegreeCaps::symmetric(64), 3);
+        let p = net.live_peer_by_rank(0);
+        let mut rng = SeedTree::new(4).rng();
+        let cdf = estimate_cdf(&mut net, p, &MercuryConfig::default(), &mut rng).unwrap();
+        assert_eq!(cdf.len(), 25, "24 samples + own id");
+        // Quantiles should span a decent portion of the (uniform) ring.
+        let spread = cdf.quantile(0.95).to_unit() - cdf.quantile(0.05).to_unit();
+        assert!(spread > 0.5, "sampled CDF too narrow: {spread}");
+    }
+
+    #[test]
+    fn acquire_links_fills_budget_with_capacity() {
+        let mut net = test_net(256, DegreeCaps::symmetric(64), 5);
+        let p = net.live_peer_by_rank(0);
+        let cfg = MercuryConfig::default();
+        let mut rng = SeedTree::new(6).rng();
+        let cdf = estimate_cdf(&mut net, p, &cfg, &mut rng).unwrap();
+        let before = net.peer(p).out_degree();
+        let stats = acquire_links(&mut net, p, &cdf, &cfg, &mut rng).unwrap();
+        let budget = 64 - before;
+        // Nearly the whole budget fills; a handful of slots may exhaust
+        // retries on duplicate draws (64 links on 256 peers means the
+        // harmonic short-distance mass keeps re-drawing the same owners).
+        assert!(
+            stats.established >= budget - 8,
+            "only {}/{budget} established",
+            stats.established
+        );
+        assert_eq!(stats.established + stats.unfilled, budget);
+        assert!(stats.routing_hops > 0, "link discovery routes messages");
+        assert_eq!(
+            net.metrics.get(MsgKind::ConstructionHop),
+            stats.routing_hops
+        );
+    }
+
+    #[test]
+    fn link_distances_skew_short() {
+        // Mercury's harmonic law: many short links, few long ones. A
+        // modest out-budget keeps duplicate re-draws (which flatten the
+        // distance distribution) rare, and pooling several peers averages
+        // out CDF sampling luck (a bad 24-point sample can leave large
+        // holes — that sensitivity is Mercury's documented weakness).
+        let mut net = test_net(512, DegreeCaps { rho_in: 64, rho_out: 12 }, 7);
+        let cfg = MercuryConfig::default();
+        let n = net.live_count();
+        let mut rank_dists: Vec<usize> = Vec::new();
+        for (i, rank) in [0usize, 100, 200, 300, 400].into_iter().enumerate() {
+            let p = net.live_peer_by_rank(rank);
+            let own = net.peer(p).id;
+            let mut rng = SeedTree::new(21 + i as u64).rng();
+            let cdf = estimate_cdf(&mut net, p, &cfg, &mut rng).unwrap();
+            net.unlink_long_out(p);
+            acquire_links(&mut net, p, &cdf, &cfg, &mut rng).unwrap();
+            let r_own = net.ring_live().rank_of(own).unwrap();
+            rank_dists.extend(net.peer(p).long_out.iter().map(|&t| {
+                let tid = net.peer(t).id;
+                let r_t = net.ring_live().rank_of(tid).unwrap();
+                (r_t + n - r_own) % n
+            }));
+        }
+        rank_dists.sort_unstable();
+        let median = rank_dists[rank_dists.len() / 2];
+        // True harmonic median over [1,511] is √511 ≈ 23; leave generous
+        // room for CDF estimation noise while excluding the uniform
+        // alternative (median ≈ n/2 = 256).
+        assert!(
+            median < n / 3,
+            "harmonic links should be mostly short: median rank distance {median} of {n}"
+        );
+    }
+
+    #[test]
+    fn budgets_respected_under_pressure() {
+        let mut net = test_net(64, DegreeCaps { rho_in: 4, rho_out: 16 }, 9);
+        let cfg = MercuryConfig::default();
+        let peers: Vec<PeerIdx> = net.live_peers().collect();
+        for (i, &p) in peers.iter().enumerate() {
+            let mut rng = SeedTree::new(100 + i as u64).rng();
+            let cdf = estimate_cdf(&mut net, p, &cfg, &mut rng).unwrap();
+            let _ = acquire_links(&mut net, p, &cdf, &cfg, &mut rng).unwrap();
+        }
+        for &p in &peers {
+            assert!(net.peer(p).in_degree() <= net.peer(p).caps.rho_in);
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let run = || {
+            let mut net = test_net(128, DegreeCaps::symmetric(16), 11);
+            let p = net.live_peer_by_rank(3);
+            let cfg = MercuryConfig::default();
+            let mut rng = SeedTree::new(12).rng();
+            let cdf = estimate_cdf(&mut net, p, &cfg, &mut rng).unwrap();
+            acquire_links(&mut net, p, &cdf, &cfg, &mut rng).unwrap();
+            net.peer(p).long_out.clone()
+        };
+        assert_eq!(run(), run());
+    }
+}

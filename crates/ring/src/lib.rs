@@ -1,0 +1,25 @@
+//! # oscar-ring — the sorted identifier ring
+//!
+//! Every overlay in this workspace (Oscar, Mercury) sits on the same
+//! substrate the paper assumes: a ring of peers ordered by identifier with
+//! Chord-style successor/predecessor maintenance. This crate is that
+//! substrate: an ordered set of [`Id`]s with
+//!
+//! * successor / predecessor / owner-of-key queries (wrap-around),
+//! * rank / select (needed to resolve "query the k-th live peer" workloads
+//!   and to compute exact medians as test oracles),
+//! * arc population counts and exact arc medians (the oracles against which
+//!   sampling-based estimation is validated),
+//! * a stabilisation helper that re-stitches the ring after crashes.
+//!
+//! The representation is a sorted `Vec<Id>`: at the paper's scale (10⁴
+//! peers) binary search + memmove beats any tree in both time and clarity.
+//! Insert/remove are O(n); the simulation performs ~10⁴ of each per run,
+//! which is microseconds of memmove. (An order-statistics tree would be the
+//! swap-in replacement at 10⁷+ peers.)
+
+pub mod ring;
+pub mod stabilize;
+
+pub use ring::Ring;
+pub use stabilize::stitch_live_ring;

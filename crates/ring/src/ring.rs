@@ -1,0 +1,382 @@
+//! The ordered ring of peer identifiers.
+
+use oscar_types::{Arc, Id};
+
+/// An ordered set of peer identifiers on the ring.
+///
+/// Invariants (enforced by construction, checked by `debug_assert`s and
+/// property tests):
+/// * `ids` is strictly ascending (no duplicates);
+/// * all queries treat the vector as circular.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Ring {
+    ids: Vec<Id>,
+}
+
+impl Ring {
+    /// Empty ring.
+    pub fn new() -> Self {
+        Ring { ids: Vec::new() }
+    }
+
+    /// Ring pre-populated from arbitrary (unsorted, possibly duplicate) ids.
+    pub fn from_ids(mut ids: Vec<Id>) -> Self {
+        ids.sort_unstable();
+        ids.dedup();
+        Ring { ids }
+    }
+
+    /// Number of peers.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// True iff no peers.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// The sorted identifier slice.
+    #[inline]
+    pub fn ids(&self) -> &[Id] {
+        &self.ids
+    }
+
+    /// Membership test.
+    pub fn contains(&self, id: Id) -> bool {
+        self.ids.binary_search(&id).is_ok()
+    }
+
+    /// Inserts a peer; returns `false` if the identifier was present.
+    pub fn insert(&mut self, id: Id) -> bool {
+        match self.ids.binary_search(&id) {
+            Ok(_) => false,
+            Err(pos) => {
+                self.ids.insert(pos, id);
+                true
+            }
+        }
+    }
+
+    /// Removes a peer; returns `false` if absent.
+    pub fn remove(&mut self, id: Id) -> bool {
+        match self.ids.binary_search(&id) {
+            Ok(pos) => {
+                self.ids.remove(pos);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Rank of `id` in ascending identifier order, if present.
+    pub fn rank_of(&self, id: Id) -> Option<usize> {
+        self.ids.binary_search(&id).ok()
+    }
+
+    /// The peer with the given ascending rank.
+    ///
+    /// # Panics
+    /// If `rank >= len`.
+    pub fn select(&self, rank: usize) -> Id {
+        self.ids[rank]
+    }
+
+    /// The **owner** of `key`: the first peer at-or-after `key` clockwise
+    /// (Chord successor convention — a peer owns the arc
+    /// `(predecessor, self]`). `None` on an empty ring.
+    pub fn owner_of(&self, key: Id) -> Option<Id> {
+        if self.ids.is_empty() {
+            return None;
+        }
+        let pos = self.ids.partition_point(|&p| p < key);
+        Some(if pos == self.ids.len() {
+            self.ids[0] // wrap
+        } else {
+            self.ids[pos]
+        })
+    }
+
+    /// The first peer **strictly after** `id` clockwise (wraps; returns
+    /// `id` itself only when it is the sole peer). `None` on empty ring.
+    pub fn successor_of(&self, id: Id) -> Option<Id> {
+        if self.ids.is_empty() {
+            return None;
+        }
+        let pos = self.ids.partition_point(|&p| p <= id);
+        Some(if pos == self.ids.len() {
+            self.ids[0]
+        } else {
+            self.ids[pos]
+        })
+    }
+
+    /// The first peer **strictly before** `id` clockwise (wraps; returns
+    /// `id` itself only when it is the sole peer). `None` on empty ring.
+    pub fn predecessor_of(&self, id: Id) -> Option<Id> {
+        if self.ids.is_empty() {
+            return None;
+        }
+        let pos = self.ids.partition_point(|&p| p < id);
+        Some(if pos == 0 {
+            self.ids[self.ids.len() - 1]
+        } else {
+            self.ids[pos - 1]
+        })
+    }
+
+    /// The peer `k` clockwise steps after `id` (which must be present).
+    pub fn nth_clockwise_of(&self, id: Id, k: usize) -> Option<Id> {
+        let rank = self.rank_of(id)?;
+        let n = self.ids.len();
+        Some(self.ids[(rank + k) % n])
+    }
+
+    /// Number of peers whose identifiers lie in `arc`.
+    pub fn count_in_arc(&self, arc: &Arc) -> usize {
+        if arc.is_empty() || self.ids.is_empty() {
+            return 0;
+        }
+        if arc.is_full() {
+            return self.ids.len();
+        }
+        let start = arc.start();
+        let end = arc.end(); // exclusive
+        if start < end {
+            // non-wrapping: [start, end)
+            self.ids.partition_point(|&p| p < end) - self.ids.partition_point(|&p| p < start)
+        } else {
+            // wrapping: [start, MAX] ∪ [0, end)
+            (self.ids.len() - self.ids.partition_point(|&p| p < start))
+                + self.ids.partition_point(|&p| p < end)
+        }
+    }
+
+    /// The identifiers inside `arc`, in clockwise order starting at
+    /// `arc.start()`.
+    pub fn ids_in_arc(&self, arc: &Arc) -> Vec<Id> {
+        if arc.is_empty() || self.ids.is_empty() {
+            return Vec::new();
+        }
+        let start_pos = self.ids.partition_point(|&p| p < arc.start());
+        let n = self.ids.len();
+        let count = self.count_in_arc(arc);
+        (0..count)
+            .map(|i| self.ids[(start_pos + i) % n])
+            .collect()
+    }
+
+    /// Exact median of the peers in `arc`, measured by clockwise distance
+    /// from `arc.start()` — the oracle for Oscar's sampled medians.
+    ///
+    /// With `m` peers the median is the peer at clockwise rank
+    /// `⌈m/2⌉ - 1` within the arc (lower median). `None` if the arc holds
+    /// no peer.
+    pub fn median_in_arc(&self, arc: &Arc) -> Option<Id> {
+        let members = self.count_in_arc(arc);
+        if members == 0 {
+            return None;
+        }
+        let start_pos = self.ids.partition_point(|&p| p < arc.start());
+        let n = self.ids.len();
+        let median_offset = members.div_ceil(2) - 1;
+        Some(self.ids[(start_pos + median_offset) % n])
+    }
+
+    /// Iterates peers clockwise starting from the owner of `from`
+    /// (inclusive), visiting every peer exactly once.
+    pub fn iter_clockwise_from(&self, from: Id) -> impl Iterator<Item = Id> + '_ {
+        let n = self.ids.len();
+        let start = if n == 0 {
+            0
+        } else {
+            self.ids.partition_point(|&p| p < from) % n
+        };
+        (0..n).map(move |i| self.ids[(start + i) % n])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn ring(ids: &[u64]) -> Ring {
+        Ring::from_ids(ids.iter().map(|&x| Id::new(x)).collect())
+    }
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut r = Ring::new();
+        assert!(r.insert(Id::new(5)));
+        assert!(!r.insert(Id::new(5)), "duplicate refused");
+        assert!(r.contains(Id::new(5)));
+        assert!(r.remove(Id::new(5)));
+        assert!(!r.remove(Id::new(5)));
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn from_ids_sorts_and_dedups() {
+        let r = ring(&[30, 10, 20, 10]);
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.ids(), &[Id::new(10), Id::new(20), Id::new(30)]);
+    }
+
+    #[test]
+    fn owner_is_chord_successor() {
+        let r = ring(&[10, 20, 30]);
+        assert_eq!(r.owner_of(Id::new(5)), Some(Id::new(10)));
+        assert_eq!(r.owner_of(Id::new(10)), Some(Id::new(10)), "exact hit owns");
+        assert_eq!(r.owner_of(Id::new(11)), Some(Id::new(20)));
+        assert_eq!(r.owner_of(Id::new(31)), Some(Id::new(10)), "wraps");
+    }
+
+    #[test]
+    fn successor_predecessor_wrap() {
+        let r = ring(&[10, 20, 30]);
+        assert_eq!(r.successor_of(Id::new(10)), Some(Id::new(20)));
+        assert_eq!(r.successor_of(Id::new(30)), Some(Id::new(10)));
+        assert_eq!(r.predecessor_of(Id::new(10)), Some(Id::new(30)));
+        assert_eq!(r.predecessor_of(Id::new(25)), Some(Id::new(20)));
+        // non-member queries are fine too
+        assert_eq!(r.successor_of(Id::new(15)), Some(Id::new(20)));
+    }
+
+    #[test]
+    fn single_peer_is_its_own_neighbourhood() {
+        let r = ring(&[42]);
+        assert_eq!(r.successor_of(Id::new(42)), Some(Id::new(42)));
+        assert_eq!(r.predecessor_of(Id::new(42)), Some(Id::new(42)));
+        assert_eq!(r.owner_of(Id::new(7)), Some(Id::new(42)));
+    }
+
+    #[test]
+    fn empty_ring_has_no_answers() {
+        let r = Ring::new();
+        assert_eq!(r.owner_of(Id::new(1)), None);
+        assert_eq!(r.successor_of(Id::new(1)), None);
+        assert_eq!(r.predecessor_of(Id::new(1)), None);
+    }
+
+    #[test]
+    fn rank_and_select_roundtrip() {
+        let r = ring(&[10, 20, 30, 40]);
+        for (expect_rank, id) in [(0usize, 10u64), (1, 20), (2, 30), (3, 40)] {
+            assert_eq!(r.rank_of(Id::new(id)), Some(expect_rank));
+            assert_eq!(r.select(expect_rank), Id::new(id));
+        }
+        assert_eq!(r.rank_of(Id::new(15)), None);
+    }
+
+    #[test]
+    fn nth_clockwise_wraps() {
+        let r = ring(&[10, 20, 30]);
+        assert_eq!(r.nth_clockwise_of(Id::new(20), 1), Some(Id::new(30)));
+        assert_eq!(r.nth_clockwise_of(Id::new(20), 2), Some(Id::new(10)));
+        assert_eq!(r.nth_clockwise_of(Id::new(20), 3), Some(Id::new(20)));
+        assert_eq!(r.nth_clockwise_of(Id::new(15), 1), None, "non-member");
+    }
+
+    #[test]
+    fn count_in_arc_plain_and_wrapping() {
+        let r = ring(&[10, 20, 30, 40]);
+        assert_eq!(r.count_in_arc(&Arc::between(Id::new(10), Id::new(30))), 2); // 10, 20
+        assert_eq!(r.count_in_arc(&Arc::between(Id::new(35), Id::new(15))), 2); // 40, 10
+        assert_eq!(r.count_in_arc(&Arc::FULL), 4);
+        assert_eq!(r.count_in_arc(&Arc::EMPTY), 0);
+    }
+
+    #[test]
+    fn ids_in_arc_clockwise_order() {
+        let r = ring(&[10, 20, 30, 40]);
+        let arc = Arc::between(Id::new(35), Id::new(25));
+        assert_eq!(r.ids_in_arc(&arc), vec![Id::new(40), Id::new(10), Id::new(20)]);
+    }
+
+    #[test]
+    fn median_in_arc_oracle() {
+        let r = ring(&[10, 20, 30, 40, 50]);
+        // arc [5, 55) holds all five; lower median is the 3rd (rank 2): 30
+        let arc = Arc::between(Id::new(5), Id::new(55));
+        assert_eq!(r.median_in_arc(&arc), Some(Id::new(30)));
+        // arc with four members [10,50): 10,20,30,40 -> lower median 20
+        let arc4 = Arc::between(Id::new(10), Id::new(50));
+        assert_eq!(r.median_in_arc(&arc4), Some(Id::new(20)));
+        // empty arc
+        assert_eq!(r.median_in_arc(&Arc::between(Id::new(11), Id::new(19))), None);
+    }
+
+    #[test]
+    fn median_in_wrapping_arc() {
+        let r = ring(&[10, 20, 900, 950]);
+        // arc starting at 895 wrapping to 25: members 900, 950, 10, 20 -> lower median 950
+        let arc = Arc::between(Id::new(895), Id::new(25));
+        assert_eq!(r.median_in_arc(&arc), Some(Id::new(950)));
+    }
+
+    #[test]
+    fn iter_clockwise_visits_all_once() {
+        let r = ring(&[10, 20, 30]);
+        let seen: Vec<Id> = r.iter_clockwise_from(Id::new(25)).collect();
+        assert_eq!(seen, vec![Id::new(30), Id::new(10), Id::new(20)]);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_sorted_unique(ids in prop::collection::vec(any::<u64>(), 0..200)) {
+            let r = Ring::from_ids(ids.into_iter().map(Id::new).collect());
+            let s = r.ids();
+            for w in s.windows(2) {
+                prop_assert!(w[0] < w[1]);
+            }
+        }
+
+        #[test]
+        fn prop_owner_owns_its_arc(ids in prop::collection::vec(any::<u64>(), 1..100), key: u64) {
+            let r = Ring::from_ids(ids.into_iter().map(Id::new).collect());
+            let key = Id::new(key);
+            let owner = r.owner_of(key).unwrap();
+            let pred = r.predecessor_of(owner).unwrap();
+            // key ∈ (pred, owner]  (full ring when pred == owner)
+            prop_assert!(key.in_cw_open_closed(pred, owner));
+        }
+
+        #[test]
+        fn prop_successor_cycle_covers_ring(ids in prop::collection::vec(any::<u64>(), 1..50)) {
+            let r = Ring::from_ids(ids.into_iter().map(Id::new).collect());
+            let n = r.len();
+            let start = r.select(0);
+            let mut cur = start;
+            for _ in 0..n {
+                cur = r.successor_of(cur).unwrap();
+            }
+            prop_assert_eq!(cur, start, "n successor hops return to start");
+        }
+
+        #[test]
+        fn prop_count_in_complementary_arcs(ids in prop::collection::vec(any::<u64>(), 0..100), a: u64, b: u64) {
+            prop_assume!(a != b);
+            let r = Ring::from_ids(ids.into_iter().map(Id::new).collect());
+            let x = Arc::between(Id::new(a), Id::new(b));
+            let y = Arc::between(Id::new(b), Id::new(a));
+            prop_assert_eq!(r.count_in_arc(&x) + r.count_in_arc(&y), r.len());
+        }
+
+        #[test]
+        fn prop_median_is_member_and_halves(ids in prop::collection::hash_set(any::<u64>(), 1..80)) {
+            let ids: Vec<Id> = ids.into_iter().map(Id::new).collect();
+            let r = Ring::from_ids(ids);
+            let arc = Arc::FULL;
+            let m = r.median_in_arc(&arc).unwrap();
+            prop_assert!(r.contains(m));
+            // Count members at-or-before the median (clockwise from arc
+            // start): must be ⌈n/2⌉ by the lower-median convention.
+            let upto = Arc::between(arc.start(), m);
+            let at_or_before = r.count_in_arc(&upto) + 1; // +1 for m itself
+            prop_assert_eq!(at_or_before, r.len().div_ceil(2));
+        }
+    }
+}

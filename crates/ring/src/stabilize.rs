@@ -1,0 +1,75 @@
+//! Ring stabilisation after crashes.
+//!
+//! The paper assumes "the ring structure was preserved by the devised
+//! self-stabilizing techniques (e.g. Chord ring maintenance algorithms)".
+//! We model the *outcome* of those protocols rather than their message
+//! exchange: after a crash wave, the live peers' successor/predecessor
+//! pointers are re-stitched as if Chord stabilisation had converged —
+//! i.e. the live ring is simply the sub-ring induced by live peers.
+//!
+//! The message-level cost of stabilisation is orthogonal to the paper's
+//! metric (search cost), which is why modelling the converged state is the
+//! faithful choice; the unstabilised fault model in `oscar-sim::churn`
+//! exists to quantify what the assumption is worth.
+
+use crate::Ring;
+use oscar_types::Id;
+
+/// Builds the stabilised (live-only) ring from a full ring and a liveness
+/// predicate. The result is exactly the sub-ring of live peers.
+pub fn stitch_live_ring<F>(full: &Ring, mut is_alive: F) -> Ring
+where
+    F: FnMut(Id) -> bool,
+{
+    Ring::from_ids(full.ids().iter().copied().filter(|&id| is_alive(id)).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oscar_types::SeedTree;
+    use rand::Rng;
+
+    fn ring(ids: &[u64]) -> Ring {
+        Ring::from_ids(ids.iter().map(|&x| Id::new(x)).collect())
+    }
+
+    #[test]
+    fn stitching_removes_dead_only() {
+        let full = ring(&[10, 20, 30, 40, 50]);
+        let live = stitch_live_ring(&full, |id| id.raw() != 20 && id.raw() != 40);
+        assert_eq!(live.ids(), &[Id::new(10), Id::new(30), Id::new(50)]);
+        // successor chain skips the dead
+        assert_eq!(live.successor_of(Id::new(10)), Some(Id::new(30)));
+    }
+
+    #[test]
+    fn all_alive_is_identity() {
+        let full = ring(&[1, 2, 3]);
+        let live = stitch_live_ring(&full, |_| true);
+        assert_eq!(live, full);
+    }
+
+    #[test]
+    fn all_dead_is_empty() {
+        let full = ring(&[1, 2, 3]);
+        let live = stitch_live_ring(&full, |_| false);
+        assert!(live.is_empty());
+    }
+
+    #[test]
+    fn stitched_ring_preserves_order_under_random_kill() {
+        let mut rng = SeedTree::new(5).rng();
+        let ids: Vec<Id> = (0..1000).map(|_| Id::new(rng.gen())).collect();
+        let full = Ring::from_ids(ids);
+        let live = stitch_live_ring(&full, |_| rng.gen::<f64>() > 0.33);
+        // order preserved, strictly ascending
+        for w in live.ids().windows(2) {
+            assert!(w[0] < w[1]);
+        }
+        // every live id was in the full ring
+        for &id in live.ids() {
+            assert!(full.contains(id));
+        }
+    }
+}

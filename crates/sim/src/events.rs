@@ -1,0 +1,181 @@
+//! A minimal discrete-event engine with virtual time.
+//!
+//! The growth driver's checkpointed loop covers the paper's experiments,
+//! but continuous-churn scenarios (peers joining and crashing concurrently,
+//! extension experiment A6 and the `churn_resilience` example) need events
+//! interleaved on a virtual clock. This queue is deliberately tiny:
+//! monotonically increasing virtual time, FIFO tie-breaking, no cancellation.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Virtual simulation time (opaque ticks).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub struct VirtualTime(pub u64);
+
+impl VirtualTime {
+    /// Time advanced by `ticks`.
+    pub fn after(self, ticks: u64) -> VirtualTime {
+        VirtualTime(self.0 + ticks)
+    }
+}
+
+/// A scheduled event.
+#[derive(Clone, Debug)]
+pub struct Event<E> {
+    /// When the event fires.
+    pub at: VirtualTime,
+    seq: u64,
+    /// The payload.
+    pub payload: E,
+}
+
+impl<E> PartialEq for Event<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Event<E> {}
+impl<E> PartialOrd for Event<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Event<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert for earliest-first.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// Earliest-first event queue with FIFO tie-breaking.
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Event<E>>,
+    next_seq: u64,
+    now: VirtualTime,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Empty queue at time zero.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            now: VirtualTime(0),
+        }
+    }
+
+    /// Current virtual time (time of the last popped event).
+    pub fn now(&self) -> VirtualTime {
+        self.now
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True iff nothing is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedules `payload` at absolute time `at`.
+    ///
+    /// # Panics
+    /// If `at` is in the past (before the last popped event) — the
+    /// simulation would no longer be causal.
+    pub fn schedule(&mut self, at: VirtualTime, payload: E) {
+        assert!(at >= self.now, "scheduling into the past breaks causality");
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Event { at, seq, payload });
+    }
+
+    /// Schedules `payload` `delay` ticks from now.
+    pub fn schedule_in(&mut self, delay: u64, payload: E) {
+        self.schedule(self.now.after(delay), payload);
+    }
+
+    /// Pops the earliest event and advances the clock to it.
+    pub fn pop(&mut self) -> Option<(VirtualTime, E)> {
+        let ev = self.heap.pop()?;
+        self.now = ev.at;
+        Some((ev.at, ev.payload))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(VirtualTime(30), "c");
+        q.schedule(VirtualTime(10), "a");
+        q.schedule(VirtualTime(20), "b");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, p)| p)).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn ties_are_fifo() {
+        let mut q = EventQueue::new();
+        for label in ["first", "second", "third"] {
+            q.schedule(VirtualTime(5), label);
+        }
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, p)| p)).collect();
+        assert_eq!(order, vec!["first", "second", "third"]);
+    }
+
+    #[test]
+    fn clock_advances_with_pops() {
+        let mut q = EventQueue::new();
+        q.schedule(VirtualTime(7), ());
+        assert_eq!(q.now(), VirtualTime(0));
+        q.pop();
+        assert_eq!(q.now(), VirtualTime(7));
+    }
+
+    #[test]
+    fn schedule_in_is_relative() {
+        let mut q = EventQueue::new();
+        q.schedule(VirtualTime(10), 1);
+        q.pop();
+        q.schedule_in(5, 2);
+        let (t, _) = q.pop().unwrap();
+        assert_eq!(t, VirtualTime(15));
+    }
+
+    #[test]
+    #[should_panic(expected = "causality")]
+    fn scheduling_into_the_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(VirtualTime(10), ());
+        q.pop();
+        q.schedule(VirtualTime(5), ());
+    }
+
+    #[test]
+    fn interleaved_schedule_pop() {
+        // An event handler scheduling follow-ups — the DES core loop.
+        let mut q = EventQueue::new();
+        q.schedule(VirtualTime(1), 0u32);
+        let mut fired = Vec::new();
+        while let Some((t, gen)) = q.pop() {
+            fired.push((t.0, gen));
+            if gen < 3 {
+                q.schedule_in(2, gen + 1);
+            }
+        }
+        assert_eq!(fired, vec![(1, 0), (3, 1), (5, 2), (7, 3)]);
+    }
+}

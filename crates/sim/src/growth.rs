@@ -1,0 +1,400 @@
+//! Bootstrap-and-grow driver.
+//!
+//! The paper's experiments "simulate the bootstrap of the Oscar network
+//! starting from scratch and simulating the network growth until it reaches
+//! 10000 peers", periodically rewiring all long-range links and measuring
+//! at checkpoints. This driver implements that protocol generically over an
+//! [`OverlayBuilder`], so Oscar and Mercury run under *identical* growth,
+//! rewiring and measurement schedules.
+
+use crate::network::Network;
+use crate::peer::PeerIdx;
+use oscar_degree::DegreeDistribution;
+use oscar_keydist::KeyDistribution;
+use oscar_types::{Error, Result, SeedTree};
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// Strategy that (re)builds a peer's long-range links.
+///
+/// Implemented by `oscar-core` (partition sampling + power-of-two) and
+/// `oscar-mercury` (sampled CDF + harmonic distances).
+pub trait OverlayBuilder {
+    /// Overlay name for reports ("oscar", "mercury").
+    fn name(&self) -> &str;
+
+    /// Builds long-range links for `p` (which has none yet from this
+    /// builder's perspective). Must tolerate tiny networks (n = 1, 2, …)
+    /// and exhausted in-degree budgets — partial success is success.
+    fn build_links(&self, net: &mut Network, p: PeerIdx, rng: &mut SmallRng) -> Result<()>;
+
+    /// Rewires `p`: tears its outgoing links down and rebuilds them.
+    fn rewire(&self, net: &mut Network, p: PeerIdx, rng: &mut SmallRng) -> Result<()> {
+        net.unlink_long_out(p);
+        self.build_links(net, p, rng)
+    }
+}
+
+/// Growth schedule.
+#[derive(Clone, Debug)]
+pub struct GrowthConfig {
+    /// Final network size.
+    pub target_size: usize,
+    /// Initial cohort added before any links are built (they are each
+    /// other's only possible targets; 8 matches a realistic seeded
+    /// deployment and makes early sampling walks meaningful).
+    pub seed_size: usize,
+    /// Network sizes at which to (optionally rewire and) invoke the
+    /// measurement callback. Must be ascending.
+    pub checkpoints: Vec<usize>,
+    /// Rewire every live peer's long-range links at each checkpoint (the
+    /// paper's protocol).
+    pub rewire_at_checkpoints: bool,
+}
+
+impl GrowthConfig {
+    /// The paper's schedule: grow to `target`, checkpoints every 1000
+    /// peers starting at 1000.
+    pub fn paper(target: usize) -> Self {
+        GrowthConfig {
+            target_size: target,
+            seed_size: 8,
+            checkpoints: (1..=target / 1000).map(|k| k * 1000).collect(),
+            rewire_at_checkpoints: true,
+        }
+    }
+
+    fn validate(&self) -> Result<()> {
+        if self.seed_size < 2 {
+            return Err(Error::InvalidConfig("seed_size must be >= 2".into()));
+        }
+        if self.target_size < self.seed_size {
+            return Err(Error::InvalidConfig(
+                "target_size must be >= seed_size".into(),
+            ));
+        }
+        if self.checkpoints.windows(2).any(|w| w[0] >= w[1]) {
+            return Err(Error::InvalidConfig(
+                "checkpoints must be strictly ascending".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Identifies a checkpoint in the callback.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct Checkpoint {
+    /// 0-based index into `GrowthConfig::checkpoints`.
+    pub index: usize,
+    /// Network size at this checkpoint.
+    pub size: usize,
+}
+
+/// Seed-tree labels for the driver's RNG streams.
+const LBL_IDS: u64 = 1;
+const LBL_JOIN: u64 = 2;
+const LBL_REWIRE: u64 = 3;
+const LBL_SHUFFLE: u64 = 4;
+
+/// Runs the growth protocol.
+pub struct GrowthDriver {
+    /// The schedule.
+    pub config: GrowthConfig,
+}
+
+impl GrowthDriver {
+    /// Driver with the given schedule.
+    pub fn new(config: GrowthConfig) -> Self {
+        GrowthDriver { config }
+    }
+
+    /// Grows `net` to `target_size`, invoking `on_checkpoint` at each
+    /// configured size (after the optional rewire-all pass).
+    ///
+    /// Determinism: all randomness derives from `seed`; identical inputs
+    /// give bit-identical networks and metrics.
+    pub fn run<B, F>(
+        &self,
+        net: &mut Network,
+        builder: &B,
+        keys: &dyn KeyDistribution,
+        degrees: &dyn DegreeDistribution,
+        seed: SeedTree,
+        mut on_checkpoint: F,
+    ) -> Result<()>
+    where
+        B: OverlayBuilder + ?Sized,
+        F: FnMut(&mut Network, Checkpoint) -> Result<()>,
+    {
+        self.config.validate()?;
+        let mut id_rng = seed.child(LBL_IDS).rng();
+        let mut next_checkpoint = 0usize;
+
+        // Bootstrap cohort: ids and caps only; links follow once all the
+        // seeds exist (they need each other as targets).
+        while net.len() < self.config.seed_size {
+            self.join_one(net, keys, degrees, &mut id_rng)?;
+        }
+        for (i, p) in net.all_peers().enumerate().collect::<Vec<_>>() {
+            let mut rng = seed.child2(LBL_JOIN, i as u64).rng();
+            builder.build_links(net, p, &mut rng)?;
+        }
+        self.fire_checkpoints(net, builder, &seed, &mut next_checkpoint, &mut on_checkpoint)?;
+
+        // Incremental growth.
+        while net.len() < self.config.target_size {
+            let p = self.join_one(net, keys, degrees, &mut id_rng)?;
+            let mut rng = seed.child2(LBL_JOIN, p.as_usize() as u64).rng();
+            builder.build_links(net, p, &mut rng)?;
+            self.fire_checkpoints(net, builder, &seed, &mut next_checkpoint, &mut on_checkpoint)?;
+        }
+        Ok(())
+    }
+
+    /// Adds one peer with a fresh identifier (resampling collisions —
+    /// key distributions are allowed to produce duplicates).
+    fn join_one(
+        &self,
+        net: &mut Network,
+        keys: &dyn KeyDistribution,
+        degrees: &dyn DegreeDistribution,
+        id_rng: &mut SmallRng,
+    ) -> Result<PeerIdx> {
+        let caps = degrees.sample(id_rng);
+        for _ in 0..1000 {
+            let id = keys.sample(id_rng);
+            if net.idx_of(id).is_none() {
+                return net.add_peer(id, caps);
+            }
+        }
+        Err(Error::InvalidConfig(
+            "key distribution too degenerate: 1000 consecutive id collisions".into(),
+        ))
+    }
+
+    fn fire_checkpoints<B, F>(
+        &self,
+        net: &mut Network,
+        builder: &B,
+        seed: &SeedTree,
+        next_checkpoint: &mut usize,
+        on_checkpoint: &mut F,
+    ) -> Result<()>
+    where
+        B: OverlayBuilder + ?Sized,
+        F: FnMut(&mut Network, Checkpoint) -> Result<()>,
+    {
+        while *next_checkpoint < self.config.checkpoints.len()
+            && net.len() >= self.config.checkpoints[*next_checkpoint]
+        {
+            let cp = Checkpoint {
+                index: *next_checkpoint,
+                size: self.config.checkpoints[*next_checkpoint],
+            };
+            if self.config.rewire_at_checkpoints {
+                self.rewire_all(net, builder, seed.child2(LBL_REWIRE, cp.index as u64))?;
+            }
+            on_checkpoint(net, cp)?;
+            *next_checkpoint += 1;
+        }
+        Ok(())
+    }
+
+    /// Rewires every live peer once, in a deterministically shuffled order
+    /// (rewiring order matters: early peers grab in-degree budget first, so
+    /// a fixed order would bias utilisation).
+    pub fn rewire_all<B>(&self, net: &mut Network, builder: &B, seed: SeedTree) -> Result<()>
+    where
+        B: OverlayBuilder + ?Sized,
+    {
+        let mut order: Vec<PeerIdx> = net.live_peers().collect();
+        let mut shuffle_rng = seed.child(LBL_SHUFFLE).rng();
+        for i in (1..order.len()).rev() {
+            let j = shuffle_rng.gen_range(0..=i);
+            order.swap(i, j);
+        }
+        for p in order {
+            let mut rng = seed.child2(LBL_REWIRE, p.as_usize() as u64).rng();
+            builder.rewire(net, p, &mut rng)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::churn::FaultModel;
+    use crate::peer::LinkError;
+    use oscar_degree::ConstantDegrees;
+    use oscar_keydist::UniformKeys;
+
+    /// Toy builder: links to up to 3 random live peers.
+    struct RandomBuilder;
+
+    impl OverlayBuilder for RandomBuilder {
+        fn name(&self) -> &str {
+            "random"
+        }
+
+        fn build_links(&self, net: &mut Network, p: PeerIdx, rng: &mut SmallRng) -> Result<()> {
+            for _ in 0..12 {
+                if net.peer(p).out_degree() >= 3 {
+                    break;
+                }
+                let Some(t) = net.random_live_peer(rng) else {
+                    break;
+                };
+                match net.try_link(p, t) {
+                    Ok(()) | Err(LinkError::SelfLink) | Err(LinkError::Duplicate) => {}
+                    Err(LinkError::TargetFull) => {}
+                    Err(e) => panic!("unexpected link error {e:?}"),
+                }
+            }
+            Ok(())
+        }
+    }
+
+    fn run_growth(target: usize, checkpoints: Vec<usize>, seed: u64) -> (Network, Vec<usize>) {
+        let mut net = Network::new(FaultModel::StabilizedRing);
+        let driver = GrowthDriver::new(GrowthConfig {
+            target_size: target,
+            seed_size: 4,
+            checkpoints,
+            rewire_at_checkpoints: true,
+        });
+        let mut fired = Vec::new();
+        driver
+            .run(
+                &mut net,
+                &RandomBuilder,
+                &UniformKeys,
+                &ConstantDegrees::new(8),
+                SeedTree::new(seed),
+                |net, cp| {
+                    assert!(net.len() >= cp.size);
+                    fired.push(cp.size);
+                    Ok(())
+                },
+            )
+            .unwrap();
+        (net, fired)
+    }
+
+    #[test]
+    fn grows_to_target_and_fires_checkpoints() {
+        let (net, fired) = run_growth(200, vec![50, 100, 200], 1);
+        assert_eq!(net.len(), 200);
+        assert_eq!(net.live_count(), 200);
+        assert_eq!(fired, vec![50, 100, 200]);
+    }
+
+    #[test]
+    fn all_peers_get_links() {
+        let (net, _) = run_growth(100, vec![100], 2);
+        let linked = net
+            .all_peers()
+            .filter(|&p| net.peer(p).out_degree() > 0)
+            .count();
+        assert!(linked >= 99, "{linked}/100 peers have out-links");
+    }
+
+    #[test]
+    fn caps_respected_after_rewiring() {
+        let (net, _) = run_growth(150, vec![50, 100, 150], 3);
+        for p in net.all_peers() {
+            let peer = net.peer(p);
+            assert!(peer.in_degree() <= peer.caps.rho_in);
+            assert!(peer.out_degree() <= peer.caps.rho_out);
+        }
+    }
+
+    #[test]
+    fn adjacency_is_symmetric() {
+        let (net, _) = run_growth(80, vec![80], 4);
+        for p in net.all_peers() {
+            for &t in &net.peer(p).long_out {
+                assert!(
+                    net.peer(t).long_in.contains(&p),
+                    "out-link {p:?}->{t:?} missing reverse entry"
+                );
+            }
+            for &s in &net.peer(p).long_in {
+                assert!(net.peer(s).long_out.contains(&p));
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let (a, _) = run_growth(120, vec![60, 120], 42);
+        let (b, _) = run_growth(120, vec![60, 120], 42);
+        assert_eq!(a.metrics, b.metrics);
+        for p in a.all_peers() {
+            assert_eq!(a.peer(p).id, b.peer(p).id);
+            assert_eq!(a.peer(p).long_out, b.peer(p).long_out);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let (a, _) = run_growth(120, vec![120], 1);
+        let (b, _) = run_growth(120, vec![120], 2);
+        let same = a
+            .all_peers()
+            .take(50)
+            .filter(|&p| a.peer(p).id == b.peer(p).id)
+            .count();
+        assert!(same < 50, "seeds produced identical id streams");
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let mut net = Network::new(FaultModel::StabilizedRing);
+        let bad = GrowthDriver::new(GrowthConfig {
+            target_size: 10,
+            seed_size: 1,
+            checkpoints: vec![],
+            rewire_at_checkpoints: false,
+        });
+        assert!(bad
+            .run(
+                &mut net,
+                &RandomBuilder,
+                &UniformKeys,
+                &ConstantDegrees::new(4),
+                SeedTree::new(1),
+                |_, _| Ok(()),
+            )
+            .is_err());
+
+        let bad2 = GrowthDriver::new(GrowthConfig {
+            target_size: 10,
+            seed_size: 4,
+            checkpoints: vec![8, 8],
+            rewire_at_checkpoints: false,
+        });
+        let mut net2 = Network::new(FaultModel::StabilizedRing);
+        assert!(bad2
+            .run(
+                &mut net2,
+                &RandomBuilder,
+                &UniformKeys,
+                &ConstantDegrees::new(4),
+                SeedTree::new(1),
+                |_, _| Ok(()),
+            )
+            .is_err());
+    }
+
+    #[test]
+    fn paper_schedule_shape() {
+        let cfg = GrowthConfig::paper(10_000);
+        assert_eq!(cfg.target_size, 10_000);
+        assert_eq!(cfg.checkpoints.first(), Some(&1000));
+        assert_eq!(cfg.checkpoints.last(), Some(&10_000));
+        assert_eq!(cfg.checkpoints.len(), 10);
+        assert!(cfg.rewire_at_checkpoints);
+    }
+}

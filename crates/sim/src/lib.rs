@@ -1,0 +1,48 @@
+//! # oscar-sim — deterministic P2P network simulator
+//!
+//! The substrate on which the Oscar and Mercury overlays are built and
+//! measured. The authors used a custom simulator; we rebuild one with the
+//! same observables (message counts, degrees, search cost) and strict
+//! determinism (every stochastic step draws from an explicitly seeded RNG).
+//!
+//! Layering:
+//!
+//! * [`network::Network`] — peer table, liveness, degree budgets,
+//!   long-range adjacency, and the two ring views (stabilised = live-only,
+//!   unstabilised = including crashed peers).
+//! * [`walker`] — Metropolis–Hastings random-walk sampling, optionally
+//!   restricted to an identifier arc: the Mercury sampling technique plus
+//!   Oscar's sub-population restriction.
+//! * [`routing`] — greedy clockwise routing with dead-link probing and
+//!   backtracking; returns hop/wasted-traffic accounting.
+//! * [`churn`] — crash injection and fault models.
+//! * [`growth`] — bootstrap-and-grow driver, generic over an
+//!   [`OverlayBuilder`] (Oscar and Mercury implement it), with checkpoint
+//!   callbacks for rewiring and measurement.
+//! * [`events`] — a small discrete-event queue with virtual time, used by
+//!   the growth driver.
+//! * [`metrics`] — message accounting by category.
+//!
+//! Everything is single-threaded and allocation-conscious: a full
+//! paper-scale run (10⁴ peers, nine rewiring checkpoints) performs on the
+//! order of 10⁸ walk steps.
+
+pub mod churn;
+pub mod events;
+pub mod growth;
+pub mod metrics;
+pub mod network;
+pub mod overlay;
+pub mod peer;
+pub mod routing;
+pub mod walker;
+
+pub use churn::{kill_fraction, FaultModel};
+pub use events::{Event, EventQueue, VirtualTime};
+pub use growth::{Checkpoint, GrowthConfig, GrowthDriver, OverlayBuilder};
+pub use metrics::{Metrics, MsgKind};
+pub use network::Network;
+pub use overlay::Overlay;
+pub use peer::{LinkError, Peer, PeerIdx};
+pub use routing::{route_to_owner, run_query_batch, QueryBatchStats, RouteOutcome, RoutePolicy};
+pub use walker::{sample_peers, WalkConfig, Walker};

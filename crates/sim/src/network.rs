@@ -1,0 +1,709 @@
+//! The simulated network: peers, liveness, rings, long-range adjacency.
+
+use crate::churn::FaultModel;
+use crate::metrics::{Metrics, MsgKind};
+use crate::peer::{LinkError, Peer, PeerIdx};
+use oscar_degree::DegreeCaps;
+use oscar_ring::Ring;
+use oscar_types::{Error, Id, Result};
+use rand::Rng;
+use std::collections::HashMap;
+
+/// The whole simulated network.
+///
+/// Two ring views coexist:
+/// * `ring_all` — every peer ever added, dead or alive. This is the
+///   *unstabilised* view: a peer's successor pointer may dangle onto a
+///   crashed peer.
+/// * `ring_live` — live peers only, i.e. the state Chord-style
+///   stabilisation converges to. The paper's churn experiments assume this
+///   view for ring links.
+///
+/// Long-range links are directed; crashing a peer leaves the links pointing
+/// *at* it dangling in the owners' adjacency (probing them is the "wasted
+/// traffic" of the paper), while its own outgoing links are torn down.
+///
+/// `Network` is `Clone`, deliberately: churn experiments snapshot the grown
+/// network, crash the clone, and measure it, so one growth run feeds many
+/// failure scenarios.
+#[derive(Clone)]
+pub struct Network {
+    peers: Vec<Peer>,
+    by_id: HashMap<u64, PeerIdx>,
+    ring_all: Ring,
+    ring_live: Ring,
+    // O(1) ring-neighbour pointers (the construction/measurement hot path
+    // walks these hundreds of millions of times per figure; binary
+    // searches here would dominate the whole simulation).
+    //
+    // The "all" list is spliced at insert only — crashed peers stay in
+    // their neighbours' pointers, which is exactly the unstabilised-ring
+    // semantics. The "live" list is additionally spliced at kill, giving
+    // the stabilised (converged Chord maintenance) semantics.
+    next_all: Vec<PeerIdx>,
+    prev_all: Vec<PeerIdx>,
+    next_live: Vec<PeerIdx>,
+    prev_live: Vec<PeerIdx>,
+    fault_model: FaultModel,
+    succ_list_len: usize,
+    /// Message accounting for the whole simulation.
+    pub metrics: Metrics,
+}
+
+impl Network {
+    /// Empty network under the given fault model.
+    pub fn new(fault_model: FaultModel) -> Self {
+        Network {
+            peers: Vec::new(),
+            by_id: HashMap::new(),
+            ring_all: Ring::new(),
+            ring_live: Ring::new(),
+            next_all: Vec::new(),
+            prev_all: Vec::new(),
+            next_live: Vec::new(),
+            prev_live: Vec::new(),
+            fault_model,
+            succ_list_len: 8,
+            metrics: Metrics::new(),
+        }
+    }
+
+    /// Length of the Chord-style successor list peers maintain. Only the
+    /// unstabilised view consults entries beyond the first: with a single
+    /// successor pointer a crash wave partitions the ring, which is why
+    /// Chord prescribes `O(log N)` successors. Default 8.
+    pub fn succ_list_len(&self) -> usize {
+        self.succ_list_len
+    }
+
+    /// Sets the successor-list length (ablation A4 uses 1 to show how much
+    /// backtracking the list prevents).
+    pub fn set_succ_list_len(&mut self, len: usize) {
+        assert!(len >= 1, "peers always know at least their successor");
+        self.succ_list_len = len;
+    }
+
+    /// The configured fault model.
+    pub fn fault_model(&self) -> FaultModel {
+        self.fault_model
+    }
+
+    /// Changes the fault model (used by ablations; cheap — the views are
+    /// both maintained continuously).
+    pub fn set_fault_model(&mut self, fm: FaultModel) {
+        self.fault_model = fm;
+    }
+
+    /// Total peers ever added (live + dead).
+    pub fn len(&self) -> usize {
+        self.peers.len()
+    }
+
+    /// True iff no peer was ever added.
+    pub fn is_empty(&self) -> bool {
+        self.peers.is_empty()
+    }
+
+    /// Number of live peers.
+    pub fn live_count(&self) -> usize {
+        self.ring_live.len()
+    }
+
+    /// Adds a live peer; errors on duplicate identifier.
+    pub fn add_peer(&mut self, id: Id, caps: DegreeCaps) -> Result<PeerIdx> {
+        if self.by_id.contains_key(&id.raw()) {
+            return Err(Error::InvalidConfig(format!(
+                "duplicate peer identifier {id}"
+            )));
+        }
+        let idx = PeerIdx(self.peers.len() as u32);
+        // Splice into the "all" ring list: between the current owner's
+        // predecessor and the owner (i.e. at the sorted position).
+        let (next_a, prev_a) = match self.ring_all.successor_of(id) {
+            Some(succ_id) if succ_id != id => {
+                let succ = self.by_id[&succ_id.raw()];
+                (succ, self.prev_all[succ.as_usize()])
+            }
+            _ => (idx, idx), // first peer: self-loop
+        };
+        let (next_l, prev_l) = match self.ring_live.successor_of(id) {
+            Some(succ_id) if succ_id != id => {
+                let succ = self.by_id[&succ_id.raw()];
+                (succ, self.prev_live[succ.as_usize()])
+            }
+            _ => (idx, idx),
+        };
+        self.peers.push(Peer::new(id, caps));
+        self.next_all.push(next_a);
+        self.prev_all.push(prev_a);
+        self.next_live.push(next_l);
+        self.prev_live.push(prev_l);
+        self.next_all[prev_a.as_usize()] = idx;
+        self.prev_all[next_a.as_usize()] = idx;
+        self.next_live[prev_l.as_usize()] = idx;
+        self.prev_live[next_l.as_usize()] = idx;
+        self.by_id.insert(id.raw(), idx);
+        self.ring_all.insert(id);
+        self.ring_live.insert(id);
+        Ok(idx)
+    }
+
+    /// Peer state by index.
+    ///
+    /// # Panics
+    /// On out-of-range index (indices come from this network, so a bad one
+    /// is a programming error, not a simulation condition).
+    pub fn peer(&self, idx: PeerIdx) -> &Peer {
+        &self.peers[idx.as_usize()]
+    }
+
+    /// Index of the peer with identifier `id`.
+    pub fn idx_of(&self, id: Id) -> Option<PeerIdx> {
+        self.by_id.get(&id.raw()).copied()
+    }
+
+    /// Liveness of a peer.
+    #[inline]
+    pub fn is_alive(&self, idx: PeerIdx) -> bool {
+        self.peers[idx.as_usize()].alive
+    }
+
+    /// The full ring (live + dead) — the unstabilised view.
+    pub fn ring_all(&self) -> &Ring {
+        &self.ring_all
+    }
+
+    /// The live ring — the stabilised view.
+    pub fn ring_live(&self) -> &Ring {
+        &self.ring_live
+    }
+
+    /// The ring view a peer uses for its ring links, per the fault model.
+    pub fn ring_view(&self) -> &Ring {
+        match self.fault_model {
+            FaultModel::StabilizedRing => &self.ring_live,
+            FaultModel::UnstabilizedRing => &self.ring_all,
+        }
+    }
+
+    /// The live peer owning `key` (ground truth for query success).
+    pub fn live_owner_of(&self, key: Id) -> Option<PeerIdx> {
+        self.ring_live.owner_of(key).and_then(|id| self.idx_of(id))
+    }
+
+    /// The live peer with the given ring rank (for workload resolution).
+    ///
+    /// # Panics
+    /// If `rank >= live_count()`.
+    pub fn live_peer_by_rank(&self, rank: usize) -> PeerIdx {
+        let id = self.ring_live.select(rank);
+        self.idx_of(id).expect("live ring ids are registered")
+    }
+
+    /// A uniformly random live peer (experimenter's view; used to pick
+    /// query sources, matching the paper's "N random queries").
+    pub fn random_live_peer<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<PeerIdx> {
+        if self.ring_live.is_empty() {
+            return None;
+        }
+        Some(self.live_peer_by_rank(rng.gen_range(0..self.ring_live.len())))
+    }
+
+    /// Ring successor of peer `idx` under the current fault-model view
+    /// (O(1) pointer read). Returns `idx` itself in a singleton network,
+    /// mirroring `Ring::successor_of`.
+    pub fn ring_successor(&self, idx: PeerIdx) -> Option<PeerIdx> {
+        if self.peers.is_empty() {
+            return None;
+        }
+        Some(match self.fault_model {
+            FaultModel::StabilizedRing => self.next_live[idx.as_usize()],
+            FaultModel::UnstabilizedRing => self.next_all[idx.as_usize()],
+        })
+    }
+
+    /// Ring predecessor of peer `idx` under the current fault-model view
+    /// (O(1) pointer read).
+    pub fn ring_predecessor(&self, idx: PeerIdx) -> Option<PeerIdx> {
+        if self.peers.is_empty() {
+            return None;
+        }
+        Some(match self.fault_model {
+            FaultModel::StabilizedRing => self.prev_live[idx.as_usize()],
+            FaultModel::UnstabilizedRing => self.prev_all[idx.as_usize()],
+        })
+    }
+
+    /// Attempts to establish the directed long-range link `from -> to`,
+    /// enforcing both degree budgets. Refusals due to the target's
+    /// `ρ_in_max` are the paper's heterogeneity mechanism and are counted
+    /// in the metrics; other rejections are caller bugs or races and are
+    /// not.
+    pub fn try_link(&mut self, from: PeerIdx, to: PeerIdx) -> std::result::Result<(), LinkError> {
+        if from == to {
+            return Err(LinkError::SelfLink);
+        }
+        let (fi, ti) = (from.as_usize(), to.as_usize());
+        if !self.peers[fi].alive || !self.peers[ti].alive {
+            return Err(LinkError::Dead);
+        }
+        if self.peers[fi].long_out.contains(&to) {
+            return Err(LinkError::Duplicate);
+        }
+        if !self.peers[fi].can_open_out() {
+            return Err(LinkError::SourceFull);
+        }
+        self.metrics.inc(MsgKind::LinkRequest);
+        if !self.peers[ti].accepts_in() {
+            self.metrics.inc(MsgKind::LinkRefuse);
+            return Err(LinkError::TargetFull);
+        }
+        self.metrics.inc(MsgKind::LinkAccept);
+        self.peers[fi].long_out.push(to);
+        self.peers[ti].long_in.push(from);
+        Ok(())
+    }
+
+    /// Tears down all outgoing long-range links of `from` (rewiring step),
+    /// releasing the corresponding in-degree budget at the targets.
+    pub fn unlink_long_out(&mut self, from: PeerIdx) {
+        let targets = std::mem::take(&mut self.peers[from.as_usize()].long_out);
+        for t in targets {
+            let tp = &mut self.peers[t.as_usize()];
+            if let Some(pos) = tp.long_in.iter().position(|&s| s == from) {
+                tp.long_in.swap_remove(pos);
+            }
+        }
+    }
+
+    /// Graceful departure: the peer announces it is leaving, so *all* of
+    /// its links (in and out) are torn down cleanly — no dangling
+    /// references, unlike [`Network::kill`]. The ring re-stitches in both
+    /// views (a leaving peer hands over to its neighbours before going).
+    pub fn depart(&mut self, idx: PeerIdx) -> Result<()> {
+        let i = idx.as_usize();
+        if i >= self.peers.len() {
+            return Err(Error::UnknownPeer(i));
+        }
+        if !self.peers[i].alive {
+            return Err(Error::PeerDead(i));
+        }
+        // Notify in-link sources: they drop their links to us.
+        let sources = std::mem::take(&mut self.peers[i].long_in);
+        for s in sources {
+            let sp = &mut self.peers[s.as_usize()];
+            if let Some(pos) = sp.long_out.iter().position(|&t| t == idx) {
+                sp.long_out.swap_remove(pos);
+            }
+        }
+        // Tear down our own out-links (releases budget at targets).
+        self.unlink_long_out(idx);
+        self.peers[i].alive = false;
+        let id = self.peers[i].id;
+        self.ring_live.remove(id);
+        self.ring_all.remove(id);
+        // Splice out of both ring lists: a graceful leave repairs pointers.
+        let (ln, lp) = (self.next_live[i], self.prev_live[i]);
+        self.next_live[lp.as_usize()] = ln;
+        self.prev_live[ln.as_usize()] = lp;
+        let (an, ap) = (self.next_all[i], self.prev_all[i]);
+        self.next_all[ap.as_usize()] = an;
+        self.prev_all[an.as_usize()] = ap;
+        self.by_id.remove(&id.raw());
+        Ok(())
+    }
+
+    /// Crashes a peer: removes it from the live ring, tears down its
+    /// outgoing links (releasing budget at targets), and clears its
+    /// incoming bookkeeping — while the *sources* of those incoming links
+    /// keep dangling references to it (the wasted-traffic source).
+    pub fn kill(&mut self, idx: PeerIdx) -> Result<()> {
+        let i = idx.as_usize();
+        if i >= self.peers.len() {
+            return Err(Error::UnknownPeer(i));
+        }
+        if !self.peers[i].alive {
+            return Err(Error::PeerDead(i));
+        }
+        self.peers[i].alive = false;
+        let id = self.peers[i].id;
+        self.ring_live.remove(id);
+        // Splice out of the live ring list (stabilisation); the "all" list
+        // keeps pointing at the corpse (unstabilised semantics). The dead
+        // peer's own live pointers go stale, which is fine: nothing reads
+        // a dead peer's ring neighbours in the stabilised view.
+        let (ln, lp) = (self.next_live[i], self.prev_live[i]);
+        self.next_live[lp.as_usize()] = ln;
+        self.prev_live[ln.as_usize()] = lp;
+        // Outgoing links vanish with the peer.
+        let targets = std::mem::take(&mut self.peers[i].long_out);
+        for t in targets {
+            let tp = &mut self.peers[t.as_usize()];
+            if let Some(pos) = tp.long_in.iter().position(|&s| s == idx) {
+                tp.long_in.swap_remove(pos);
+            }
+        }
+        // Incoming bookkeeping is cleared; the sources keep dangling
+        // `long_out` entries pointing here until they rewire.
+        self.peers[i].long_in.clear();
+        Ok(())
+    }
+
+    /// Collects the **routing** neighbours of `idx` into `buf` (cleared
+    /// first): the successor list and predecessor under the fault-model
+    /// view plus all outgoing long-range links (possibly dangling).
+    ///
+    /// Both views expose the same-length successor list (peers maintain it
+    /// regardless of fault state); they differ in *which ring* it is read
+    /// from — the stabilised list contains live peers only, the
+    /// unstabilised one may contain corpses.
+    ///
+    /// `buf` is a caller-owned workhorse buffer to keep the routing hot
+    /// path allocation-free.
+    pub fn routing_neighbors_into(&self, idx: PeerIdx, buf: &mut Vec<PeerIdx>) {
+        buf.clear();
+        // Successor list: follow the view's next pointers. Duplicates with
+        // long links are tolerated (routing treats candidates in order and
+        // skips repeats for free), which keeps this hot path scan-free.
+        let next: &[PeerIdx] = match self.fault_model {
+            FaultModel::StabilizedRing => &self.next_live,
+            FaultModel::UnstabilizedRing => &self.next_all,
+        };
+        let mut cur = idx;
+        for _ in 0..self.succ_list_len {
+            cur = next[cur.as_usize()];
+            if cur == idx {
+                break; // wrapped all the way around
+            }
+            buf.push(cur);
+        }
+        if let Some(p) = self.ring_predecessor(idx) {
+            if p != idx {
+                buf.push(p);
+            }
+        }
+        buf.extend_from_slice(&self.peers[idx.as_usize()].long_out);
+    }
+
+    /// Collects the **walk** neighbours of `idx` into `buf` (cleared
+    /// first): the undirected view — one ring successor and predecessor
+    /// plus outgoing and incoming long-range links. Random walks mix much
+    /// faster on the undirected graph, and a link is a TCP connection both
+    /// endpoints can send on, so this is also the realistic choice.
+    ///
+    /// The collection is multiset semantics (duplicates possible between
+    /// ring and long links): a Metropolis–Hastings walk over a multigraph
+    /// with multiset degrees still converges to the uniform distribution,
+    /// and skipping deduplication keeps the hottest loop in the simulator
+    /// linear in the degree.
+    pub fn walk_neighbors_into(&self, idx: PeerIdx, buf: &mut Vec<PeerIdx>) {
+        buf.clear();
+        if let Some(s) = self.ring_successor(idx) {
+            if s != idx {
+                buf.push(s);
+            }
+        }
+        if let Some(p) = self.ring_predecessor(idx) {
+            if p != idx {
+                buf.push(p);
+            }
+        }
+        let peer = &self.peers[idx.as_usize()];
+        buf.extend_from_slice(&peer.long_out);
+        buf.extend_from_slice(&peer.long_in);
+    }
+
+    /// Snapshot of `(in_degree, ρ_in_max)` for every **live** peer — the
+    /// raw data of Figure 1(b).
+    pub fn degree_load_snapshot(&self) -> Vec<(u32, u32)> {
+        self.peers
+            .iter()
+            .filter(|p| p.alive)
+            .map(|p| (p.in_degree(), p.caps.rho_in))
+            .collect()
+    }
+
+    /// Iterates all peer indices (live and dead).
+    pub fn all_peers(&self) -> impl Iterator<Item = PeerIdx> {
+        (0..self.peers.len() as u32).map(PeerIdx)
+    }
+
+    /// Iterates live peer indices.
+    pub fn live_peers(&self) -> impl Iterator<Item = PeerIdx> + '_ {
+        self.all_peers().filter(|&i| self.is_alive(i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn caps(n: u32) -> DegreeCaps {
+        DegreeCaps::symmetric(n)
+    }
+
+    fn net_with(ids: &[u64]) -> (Network, Vec<PeerIdx>) {
+        let mut net = Network::new(FaultModel::StabilizedRing);
+        let idxs = ids
+            .iter()
+            .map(|&id| net.add_peer(Id::new(id), caps(4)).unwrap())
+            .collect();
+        (net, idxs)
+    }
+
+    #[test]
+    fn add_and_lookup() {
+        let (net, idxs) = net_with(&[10, 20, 30]);
+        assert_eq!(net.len(), 3);
+        assert_eq!(net.live_count(), 3);
+        assert_eq!(net.idx_of(Id::new(20)), Some(idxs[1]));
+        assert_eq!(net.peer(idxs[0]).id, Id::new(10));
+    }
+
+    #[test]
+    fn duplicate_id_rejected() {
+        let mut net = Network::new(FaultModel::StabilizedRing);
+        net.add_peer(Id::new(5), caps(2)).unwrap();
+        assert!(net.add_peer(Id::new(5), caps(2)).is_err());
+    }
+
+    #[test]
+    fn link_budgets_enforced() {
+        let (mut net, idxs) = net_with(&[10, 20, 30]);
+        // shrink 20's in budget to 1
+        let mut small = Network::new(FaultModel::StabilizedRing);
+        let a = small.add_peer(Id::new(1), caps(5)).unwrap();
+        let b = small
+            .add_peer(Id::new(2), DegreeCaps { rho_in: 1, rho_out: 5 })
+            .unwrap();
+        let c = small.add_peer(Id::new(3), caps(5)).unwrap();
+        assert_eq!(small.try_link(a, b), Ok(()));
+        assert_eq!(small.try_link(c, b), Err(LinkError::TargetFull));
+        assert_eq!(small.metrics.get(MsgKind::LinkRefuse), 1);
+        assert_eq!(small.metrics.get(MsgKind::LinkAccept), 1);
+
+        // self / duplicate / source-full on the other network
+        assert_eq!(net.try_link(idxs[0], idxs[0]), Err(LinkError::SelfLink));
+        net.try_link(idxs[0], idxs[1]).unwrap();
+        assert_eq!(net.try_link(idxs[0], idxs[1]), Err(LinkError::Duplicate));
+    }
+
+    #[test]
+    fn source_budget_enforced() {
+        let mut net = Network::new(FaultModel::StabilizedRing);
+        let a = net
+            .add_peer(Id::new(1), DegreeCaps { rho_in: 9, rho_out: 1 })
+            .unwrap();
+        let b = net.add_peer(Id::new(2), caps(9)).unwrap();
+        let c = net.add_peer(Id::new(3), caps(9)).unwrap();
+        net.try_link(a, b).unwrap();
+        assert_eq!(net.try_link(a, c), Err(LinkError::SourceFull));
+    }
+
+    #[test]
+    fn unlink_releases_budget() {
+        let mut net = Network::new(FaultModel::StabilizedRing);
+        let a = net.add_peer(Id::new(1), caps(3)).unwrap();
+        let b = net
+            .add_peer(Id::new(2), DegreeCaps { rho_in: 1, rho_out: 3 })
+            .unwrap();
+        let c = net.add_peer(Id::new(3), caps(3)).unwrap();
+        net.try_link(a, b).unwrap();
+        assert_eq!(net.try_link(c, b), Err(LinkError::TargetFull));
+        net.unlink_long_out(a);
+        assert_eq!(net.peer(b).in_degree(), 0);
+        assert_eq!(net.try_link(c, b), Ok(()));
+    }
+
+    #[test]
+    fn kill_updates_views_and_budgets() {
+        let (mut net, idxs) = net_with(&[10, 20, 30, 40]);
+        net.try_link(idxs[0], idxs[2]).unwrap(); // 10 -> 30
+        net.try_link(idxs[2], idxs[3]).unwrap(); // 30 -> 40
+        net.kill(idxs[2]).unwrap(); // kill 30
+        assert!(!net.is_alive(idxs[2]));
+        assert_eq!(net.live_count(), 3);
+        assert!(net.ring_all().contains(Id::new(30)), "full ring keeps dead");
+        assert!(!net.ring_live().contains(Id::new(30)));
+        // 30's outgoing link to 40 released 40's in budget
+        assert_eq!(net.peer(idxs[3]).in_degree(), 0);
+        // 10 keeps a dangling long_out to 30
+        assert!(net.peer(idxs[0]).long_out.contains(&idxs[2]));
+        // double-kill errors
+        assert!(net.kill(idxs[2]).is_err());
+    }
+
+    #[test]
+    fn ring_neighbors_follow_fault_model() {
+        let (mut net, idxs) = net_with(&[10, 20, 30]);
+        net.kill(idxs[1]).unwrap(); // kill 20
+        // stabilised: successor of 10 skips the dead 20
+        assert_eq!(net.ring_successor(idxs[0]), Some(idxs[2]));
+        net.set_fault_model(FaultModel::UnstabilizedRing);
+        // unstabilised: successor pointer still aims at dead 20
+        assert_eq!(net.ring_successor(idxs[0]), Some(idxs[1]));
+    }
+
+    #[test]
+    fn owner_lookup_uses_live_ring() {
+        let (mut net, idxs) = net_with(&[10, 20, 30]);
+        assert_eq!(net.live_owner_of(Id::new(15)), Some(idxs[1]));
+        net.kill(idxs[1]).unwrap();
+        assert_eq!(net.live_owner_of(Id::new(15)), Some(idxs[2]));
+    }
+
+    #[test]
+    fn routing_neighbors_exclude_self() {
+        let (mut net, idxs) = net_with(&[10, 20]);
+        net.try_link(idxs[0], idxs[1]).unwrap();
+        let mut buf = Vec::new();
+        net.routing_neighbors_into(idxs[0], &mut buf);
+        // successor == predecessor == long target == peer 1; multiset
+        // semantics allow repeats, but never the peer itself.
+        assert!(!buf.is_empty());
+        assert!(buf.iter().all(|&c| c == idxs[1]));
+    }
+
+    #[test]
+    fn walk_neighbors_include_in_links() {
+        // Network must be larger than the successor list (8), otherwise
+        // every peer is a ring neighbour of every other.
+        // Peer 10's successor list reaches 11..=18 and its predecessor is
+        // 9, so peer 0 can only appear via the long-range in-link.
+        let ids: Vec<u64> = (1..=20).map(|i| i * 100).collect();
+        let (mut net, idxs) = net_with(&ids);
+        net.try_link(idxs[0], idxs[10]).unwrap();
+        let mut buf = Vec::new();
+        net.walk_neighbors_into(idxs[10], &mut buf);
+        assert!(buf.contains(&idxs[0]), "in-link usable for walks");
+        net.routing_neighbors_into(idxs[10], &mut buf);
+        assert!(!buf.contains(&idxs[0]), "in-link NOT usable for routing");
+    }
+
+    #[test]
+    fn single_peer_network_has_no_neighbors() {
+        let (net, idxs) = net_with(&[10]);
+        let mut buf = vec![PeerIdx(99)];
+        net.routing_neighbors_into(idxs[0], &mut buf);
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn degree_load_snapshot_counts_live_only() {
+        let (mut net, idxs) = net_with(&[10, 20, 30]);
+        net.try_link(idxs[0], idxs[1]).unwrap();
+        net.kill(idxs[0]).unwrap();
+        let snap = net.degree_load_snapshot();
+        assert_eq!(snap.len(), 2);
+        // peer 20 lost its in-link when 10 died
+        assert!(snap.iter().all(|&(ind, cap)| ind == 0 && cap == 4));
+    }
+
+    #[test]
+    fn random_live_peer_is_live() {
+        let (mut net, idxs) = net_with(&[10, 20, 30, 40, 50]);
+        net.kill(idxs[1]).unwrap();
+        net.kill(idxs[3]).unwrap();
+        let mut rng = oscar_types::SeedTree::new(1).rng();
+        for _ in 0..100 {
+            let p = net.random_live_peer(&mut rng).unwrap();
+            assert!(net.is_alive(p));
+        }
+    }
+
+    #[test]
+    fn depart_leaves_no_dangling_links() {
+        let (mut net, idxs) = net_with(&[10, 20, 30, 40]);
+        net.try_link(idxs[0], idxs[2]).unwrap(); // 10 -> 30
+        net.try_link(idxs[2], idxs[3]).unwrap(); // 30 -> 40
+        net.depart(idxs[2]).unwrap();
+        // source dropped its link (vs kill, which leaves it dangling)
+        assert!(!net.peer(idxs[0]).long_out.contains(&idxs[2]));
+        // target's budget released
+        assert_eq!(net.peer(idxs[3]).in_degree(), 0);
+        // gone from both ring views
+        assert!(!net.ring_all().contains(Id::new(30)));
+        assert!(!net.ring_live().contains(Id::new(30)));
+        net.set_fault_model(FaultModel::UnstabilizedRing);
+        assert_eq!(net.ring_successor(idxs[1]), Some(idxs[3]), "all-list re-stitched");
+        // departing twice errors
+        assert!(net.depart(idxs[2]).is_err());
+    }
+
+    #[test]
+    fn departed_identifier_can_rejoin() {
+        let (mut net, idxs) = net_with(&[10, 20, 30]);
+        net.depart(idxs[1]).unwrap();
+        let again = net.add_peer(Id::new(20), caps(4)).unwrap();
+        assert_ne!(again, idxs[1], "rejoin gets a fresh index");
+        assert_eq!(net.live_owner_of(Id::new(20)), Some(again));
+    }
+
+    mod linked_ring_props {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// Oracle check: the O(1) ring pointers must always agree with the
+        /// authoritative sorted rings, for every live peer, in both views.
+        fn check_pointers(net: &mut Network) -> std::result::Result<(), TestCaseError> {
+            let live: Vec<PeerIdx> = net.live_peers().collect();
+            for &p in &live {
+                let id = net.peer(p).id;
+                net.set_fault_model(FaultModel::StabilizedRing);
+                let s = net.ring_successor(p).unwrap();
+                prop_assert_eq!(
+                    net.peer(s).id,
+                    net.ring_live().successor_of(id).unwrap(),
+                    "live successor pointer diverged"
+                );
+                let q = net.ring_predecessor(p).unwrap();
+                prop_assert_eq!(
+                    net.peer(q).id,
+                    net.ring_live().predecessor_of(id).unwrap(),
+                    "live predecessor pointer diverged"
+                );
+                net.set_fault_model(FaultModel::UnstabilizedRing);
+                let s = net.ring_successor(p).unwrap();
+                prop_assert_eq!(
+                    net.peer(s).id,
+                    net.ring_all().successor_of(id).unwrap(),
+                    "all successor pointer diverged"
+                );
+            }
+            net.set_fault_model(FaultModel::StabilizedRing);
+            Ok(())
+        }
+
+        proptest! {
+            #[test]
+            fn pointers_match_rings_under_random_ops(
+                ops in prop::collection::vec((any::<u64>(), 0u8..4), 1..120),
+            ) {
+                let mut net = Network::new(FaultModel::StabilizedRing);
+                let mut added: Vec<PeerIdx> = Vec::new();
+                for (x, op) in ops {
+                    match op {
+                        // add (dedup happens naturally via error)
+                        0 | 1 => {
+                            if let Ok(p) = net.add_peer(Id::new(x), DegreeCaps::symmetric(4)) {
+                                added.push(p);
+                            }
+                        }
+                        // crash some existing peer
+                        2 if !added.is_empty() => {
+                            let v = added[(x % added.len() as u64) as usize];
+                            let _ = net.kill(v);
+                        }
+                        // graceful departure
+                        _ if !added.is_empty() => {
+                            let v = added[(x % added.len() as u64) as usize];
+                            let _ = net.depart(v);
+                        }
+                        _ => {}
+                    }
+                }
+                check_pointers(&mut net)?;
+            }
+        }
+    }
+}

@@ -1,0 +1,234 @@
+//! High-level overlay facade.
+//!
+//! [`Overlay`] bundles a [`Network`], an [`OverlayBuilder`] strategy and a
+//! deterministic seed into the object users actually interact with:
+//! grow it, rewire it, crash it, query it. Oscar and Mercury are the same
+//! facade with different builders, which guarantees the comparison
+//! benchmarks treat both identically.
+
+use crate::churn::{kill_fraction, FaultModel};
+use crate::growth::{Checkpoint, GrowthConfig, GrowthDriver, OverlayBuilder};
+use crate::network::Network;
+use crate::peer::PeerIdx;
+use crate::routing::{run_query_batch, QueryBatchStats, RoutePolicy};
+use oscar_degree::DegreeDistribution;
+use oscar_keydist::{KeyDistribution, QueryWorkload};
+use oscar_types::{Result, SeedTree};
+
+/// Seed-tree labels for facade activities.
+const LBL_GROW: u64 = 10;
+const LBL_REWIRE: u64 = 11;
+const LBL_QUERY: u64 = 12;
+const LBL_CHURN: u64 = 13;
+
+/// A running overlay: network + link-building strategy + seed.
+pub struct Overlay<B: OverlayBuilder> {
+    net: Network,
+    builder: B,
+    seed: SeedTree,
+    rewire_rounds: u64,
+    query_batches: u64,
+}
+
+impl<B: OverlayBuilder> Overlay<B> {
+    /// New empty overlay.
+    pub fn new(builder: B, fault_model: FaultModel, seed: u64) -> Self {
+        Overlay {
+            net: Network::new(fault_model),
+            builder,
+            seed: SeedTree::new(seed),
+            rewire_rounds: 0,
+            query_batches: 0,
+        }
+    }
+
+    /// The underlying network (read access).
+    pub fn network(&self) -> &Network {
+        &self.net
+    }
+
+    /// The underlying network (mutable access, for custom experiments).
+    pub fn network_mut(&mut self) -> &mut Network {
+        &mut self.net
+    }
+
+    /// The link-building strategy.
+    pub fn builder(&self) -> &B {
+        &self.builder
+    }
+
+    /// Grows the overlay under `config`, invoking `on_checkpoint` at each
+    /// configured size (after the rewire-all pass, if enabled).
+    pub fn grow<F>(
+        &mut self,
+        keys: &dyn KeyDistribution,
+        degrees: &dyn DegreeDistribution,
+        config: GrowthConfig,
+        on_checkpoint: F,
+    ) -> Result<()>
+    where
+        F: FnMut(&mut Network, Checkpoint) -> Result<()>,
+    {
+        let driver = GrowthDriver::new(config);
+        driver.run(
+            &mut self.net,
+            &self.builder,
+            keys,
+            degrees,
+            self.seed.child(LBL_GROW),
+            on_checkpoint,
+        )
+    }
+
+    /// Convenience: grow straight to `n` peers (no intermediate
+    /// checkpoints), then rewire everyone once so every peer's links
+    /// reflect the final population.
+    pub fn grow_to(
+        &mut self,
+        n: usize,
+        keys: &dyn KeyDistribution,
+        degrees: &dyn DegreeDistribution,
+    ) -> Result<()> {
+        self.grow(
+            keys,
+            degrees,
+            GrowthConfig {
+                target_size: n,
+                seed_size: 8.min(n.max(2)),
+                checkpoints: vec![],
+                rewire_at_checkpoints: false,
+            },
+            |_, _| Ok(()),
+        )?;
+        self.rewire_all()
+    }
+
+    /// Rewires every live peer's long-range links once.
+    pub fn rewire_all(&mut self) -> Result<()> {
+        self.rewire_rounds += 1;
+        let seed = self.seed.child2(LBL_REWIRE, self.rewire_rounds);
+        let driver = GrowthDriver::new(GrowthConfig {
+            target_size: self.net.len().max(2),
+            seed_size: 2,
+            checkpoints: vec![],
+            rewire_at_checkpoints: false,
+        });
+        driver.rewire_all(&mut self.net, &self.builder, seed)
+    }
+
+    /// Issues `n` queries and aggregates the costs. Each call uses a fresh
+    /// derived RNG stream, so repeated batches are independent but the
+    /// whole experiment stays reproducible.
+    pub fn run_queries(&mut self, workload: &QueryWorkload, n: usize) -> QueryBatchStats {
+        self.query_batches += 1;
+        let mut rng = self.seed.child2(LBL_QUERY, self.query_batches).rng();
+        run_query_batch(&mut self.net, workload, n, &RoutePolicy::default(), &mut rng)
+    }
+
+    /// Crashes a uniform fraction of live peers.
+    pub fn kill_fraction(&mut self, fraction: f64) -> Result<Vec<PeerIdx>> {
+        let mut rng = self.seed.child(LBL_CHURN).rng();
+        kill_fraction(&mut self.net, fraction, &mut rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::peer::LinkError;
+    use oscar_degree::ConstantDegrees;
+    use oscar_keydist::UniformKeys;
+    use rand::rngs::SmallRng;
+
+    struct RandomBuilder;
+
+    impl OverlayBuilder for RandomBuilder {
+        fn name(&self) -> &str {
+            "random"
+        }
+        fn build_links(&self, net: &mut Network, p: PeerIdx, rng: &mut SmallRng) -> Result<()> {
+            for _ in 0..20 {
+                if net.peer(p).out_degree() >= 5 {
+                    break;
+                }
+                if let Some(t) = net.random_live_peer(rng) {
+                    match net.try_link(p, t) {
+                        Ok(())
+                        | Err(LinkError::SelfLink)
+                        | Err(LinkError::Duplicate)
+                        | Err(LinkError::TargetFull) => {}
+                        Err(e) => panic!("unexpected {e:?}"),
+                    }
+                }
+            }
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn grow_query_churn_cycle() {
+        let mut ov = Overlay::new(RandomBuilder, FaultModel::StabilizedRing, 7);
+        ov.grow_to(200, &UniformKeys, &ConstantDegrees::new(8)).unwrap();
+        assert_eq!(ov.network().live_count(), 200);
+
+        let stats = ov.run_queries(&QueryWorkload::UniformPeers, 100);
+        assert_eq!(stats.success_rate, 1.0);
+        assert!(stats.mean_cost > 0.0);
+
+        let killed = ov.kill_fraction(0.10).unwrap();
+        assert_eq!(killed.len(), 20);
+        let stats2 = ov.run_queries(&QueryWorkload::UniformPeers, 100);
+        assert_eq!(stats2.success_rate, 1.0, "stabilised ring still delivers");
+    }
+
+    #[test]
+    fn query_batches_are_independent_but_reproducible() {
+        let run = || {
+            let mut ov = Overlay::new(RandomBuilder, FaultModel::StabilizedRing, 9);
+            ov.grow_to(100, &UniformKeys, &ConstantDegrees::new(6)).unwrap();
+            let a = ov.run_queries(&QueryWorkload::UniformPeers, 50);
+            let b = ov.run_queries(&QueryWorkload::UniformPeers, 50);
+            (a.mean_cost, b.mean_cost)
+        };
+        let (a1, b1) = run();
+        let (a2, b2) = run();
+        assert_eq!(a1, a2, "same seed, same first batch");
+        assert_eq!(b1, b2, "same seed, same second batch");
+        assert_ne!(a1, b1, "different batches draw different queries");
+    }
+
+    #[test]
+    fn rewire_all_preserves_caps() {
+        let mut ov = Overlay::new(RandomBuilder, FaultModel::StabilizedRing, 11);
+        ov.grow_to(150, &UniformKeys, &ConstantDegrees::new(6)).unwrap();
+        ov.rewire_all().unwrap();
+        ov.rewire_all().unwrap();
+        for p in ov.network().all_peers() {
+            let peer = ov.network().peer(p);
+            assert!(peer.in_degree() <= peer.caps.rho_in);
+            assert!(peer.out_degree() <= peer.caps.rho_out);
+        }
+    }
+
+    #[test]
+    fn grow_with_checkpoints_reports_sizes() {
+        let mut ov = Overlay::new(RandomBuilder, FaultModel::StabilizedRing, 13);
+        let mut sizes = Vec::new();
+        ov.grow(
+            &UniformKeys,
+            &ConstantDegrees::new(6),
+            GrowthConfig {
+                target_size: 120,
+                seed_size: 4,
+                checkpoints: vec![40, 80, 120],
+                rewire_at_checkpoints: true,
+            },
+            |net, cp| {
+                sizes.push((cp.size, net.live_count()));
+                Ok(())
+            },
+        )
+        .unwrap();
+        assert_eq!(sizes, vec![(40, 40), (80, 80), (120, 120)]);
+    }
+}

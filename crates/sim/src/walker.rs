@@ -1,0 +1,364 @@
+//! Random-walk peer sampling (the Mercury technique, plus Oscar's
+//! sub-population restriction).
+//!
+//! Oscar's median estimation needs (near-)uniform samples from arbitrary
+//! sub-populations of peers without any global knowledge. The mechanism is
+//! a random walk over the overlay graph:
+//!
+//! * walks traverse the **undirected** link graph (ring + long-range links
+//!   in either direction) — a link is a connection both endpoints can use;
+//! * a **Metropolis–Hastings** correction (move `u → v` accepted with
+//!   probability `min(1, deg(u)/deg(v))`) makes the stationary distribution
+//!   uniform over peers despite degree heterogeneity — without it, spiky
+//!   degree distributions would bias every estimate toward hubs;
+//! * for sub-population sampling, the walk simply refuses to leave the
+//!   identifier arc ("random walkers which do not visit nodes with
+//!   identifiers that do not belong to the current population", §2 of the
+//!   paper). The induced subgraph always contains the arc's ring path, so
+//!   it is connected and the restricted walk converges on the arc.
+//!
+//! Every step is a simulated message ([`MsgKind::WalkStep`]); rejected MH
+//! moves and forced stays still consume a step, because the probe that
+//! discovered the rejection travelled the wire.
+
+use crate::metrics::MsgKind;
+use crate::network::Network;
+use crate::peer::PeerIdx;
+use oscar_types::{Arc, Error, Result};
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// Random-walk parameters.
+#[derive(Copy, Clone, Debug)]
+pub struct WalkConfig {
+    /// Steps walked before emitting a sample. The graph is an expander
+    /// once long links exist, so a few dozen steps suffice; this is the
+    /// `O(log N)`-ish walk length Mercury uses.
+    pub burn_in: u32,
+    /// Apply the Metropolis–Hastings degree correction (on by default;
+    /// turning it off is ablation material — hubs get oversampled).
+    pub metropolis_hastings: bool,
+}
+
+impl Default for WalkConfig {
+    fn default() -> Self {
+        WalkConfig {
+            burn_in: 24,
+            metropolis_hastings: true,
+        }
+    }
+}
+
+/// A reusable sampler bound to a network snapshot.
+///
+/// Holds workhorse buffers so repeated sampling does not allocate.
+pub struct Walker<'a> {
+    net: &'a Network,
+    cfg: WalkConfig,
+    buf_cur: Vec<PeerIdx>,
+    buf_deg: Vec<PeerIdx>,
+    /// Walk steps consumed since the last [`Walker::take_steps`] call.
+    steps: u64,
+}
+
+impl<'a> Walker<'a> {
+    /// New sampler over `net`.
+    pub fn new(net: &'a Network, cfg: WalkConfig) -> Self {
+        Walker {
+            net,
+            cfg,
+            buf_cur: Vec::with_capacity(64),
+            buf_deg: Vec::with_capacity(64),
+            steps: 0,
+        }
+    }
+
+    /// Steps consumed since last drained; the caller credits them to
+    /// [`MsgKind::WalkStep`] (the walker holds `&Network`, so it cannot
+    /// write metrics itself).
+    pub fn take_steps(&mut self) -> u64 {
+        std::mem::take(&mut self.steps)
+    }
+
+    /// Collects the live walk-neighbours of `p` that satisfy the arc
+    /// restriction into `buf`, returning the restricted degree.
+    fn restricted_neighbors(
+        net: &Network,
+        p: PeerIdx,
+        arc: Option<&Arc>,
+        buf: &mut Vec<PeerIdx>,
+    ) -> usize {
+        net.walk_neighbors_into(p, buf);
+        buf.retain(|&c| {
+            net.is_alive(c)
+                && match arc {
+                    Some(a) => a.contains(net.peer(c).id),
+                    None => true,
+                }
+        });
+        buf.len()
+    }
+
+    /// One (near-)uniform sample from the peers of `arc` (or the whole
+    /// live network when `arc` is `None`), starting the walk at `start`.
+    ///
+    /// `start` must be live and inside the arc — callers reach an entry
+    /// point by ring routing first (counted separately).
+    pub fn sample(
+        &mut self,
+        start: PeerIdx,
+        arc: Option<&Arc>,
+        rng: &mut SmallRng,
+    ) -> Result<PeerIdx> {
+        if !self.net.is_alive(start) {
+            return Err(Error::PeerDead(start.as_usize()));
+        }
+        if let Some(a) = arc {
+            if !a.contains(self.net.peer(start).id) {
+                return Err(Error::SamplingFailed {
+                    reason: "walk start outside the restricted arc",
+                });
+            }
+        }
+        let mut current = start;
+        let mut cur_deg = Self::restricted_neighbors(self.net, current, arc, &mut self.buf_cur);
+        for _ in 0..self.cfg.burn_in {
+            self.steps += 1;
+            if cur_deg == 0 {
+                // Isolated within the restriction (single-member arc):
+                // the walk stays put; the sample is `current` itself.
+                continue;
+            }
+            let cand = self.buf_cur[rng.gen_range(0..cur_deg)];
+            let cand_deg = Self::restricted_neighbors(self.net, cand, arc, &mut self.buf_deg);
+            let accept = if self.cfg.metropolis_hastings {
+                // min(1, deg(u)/deg(v)) — uniform stationary distribution.
+                cand_deg == 0 || rng.gen::<f64>() < cur_deg as f64 / cand_deg as f64
+            } else {
+                true
+            };
+            if accept && cand_deg > 0 {
+                current = cand;
+                cur_deg = cand_deg;
+                std::mem::swap(&mut self.buf_cur, &mut self.buf_deg);
+            }
+        }
+        Ok(current)
+    }
+
+    /// `count` independent samples (each a fresh walk from `start`).
+    pub fn sample_many(
+        &mut self,
+        start: PeerIdx,
+        arc: Option<&Arc>,
+        count: usize,
+        rng: &mut SmallRng,
+    ) -> Result<Vec<PeerIdx>> {
+        let mut out = Vec::with_capacity(count);
+        for _ in 0..count {
+            out.push(self.sample(start, arc, rng)?);
+        }
+        Ok(out)
+    }
+}
+
+/// Convenience wrapper that samples and credits the walk steps to the
+/// network's metrics in one call (for callers holding `&mut Network`).
+pub fn sample_peers(
+    net: &mut Network,
+    cfg: WalkConfig,
+    start: PeerIdx,
+    arc: Option<&Arc>,
+    count: usize,
+    rng: &mut SmallRng,
+) -> Result<Vec<PeerIdx>> {
+    let (result, steps) = {
+        let mut walker = Walker::new(net, cfg);
+        let r = walker.sample_many(start, arc, count, rng);
+        let s = walker.take_steps();
+        (r, s)
+    };
+    net.metrics.add(MsgKind::WalkStep, steps);
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::churn::FaultModel;
+    use oscar_degree::DegreeCaps;
+    use oscar_types::{Id, SeedTree};
+
+    /// Ring of n evenly spaced peers with `extra` random long links each.
+    fn test_net(n: u64, extra: usize, seed: u64) -> Network {
+        let mut net = Network::new(FaultModel::StabilizedRing);
+        let step = u64::MAX / n;
+        let idxs: Vec<PeerIdx> = (0..n)
+            .map(|i| {
+                net.add_peer(Id::new(i * step), DegreeCaps::symmetric(64))
+                    .unwrap()
+            })
+            .collect();
+        let mut rng = SeedTree::new(seed).rng();
+        for &i in &idxs {
+            for _ in 0..extra {
+                let j = idxs[rng.gen_range(0..idxs.len())];
+                let _ = net.try_link(i, j);
+            }
+        }
+        net
+    }
+
+    #[test]
+    fn unrestricted_sampling_is_roughly_uniform() {
+        let net = test_net(64, 4, 1);
+        let mut walker = Walker::new(&net, WalkConfig { burn_in: 48, metropolis_hastings: true });
+        let mut rng = SeedTree::new(2).rng();
+        let mut counts = vec![0u32; 64];
+        let trials = 6400;
+        for _ in 0..trials {
+            let s = walker.sample(PeerIdx(0), None, &mut rng).unwrap();
+            counts[s.as_usize()] += 1;
+        }
+        // Expect 100 per peer; demand every peer sampled and no peer > 4x.
+        for (i, &c) in counts.iter().enumerate() {
+            assert!(c > 20, "peer {i} sampled {c} times (starved)");
+            assert!(c < 400, "peer {i} sampled {c} times (hub bias)");
+        }
+    }
+
+    #[test]
+    fn mh_correction_reduces_hub_bias() {
+        // Build a star-ish topology: peer 0 is a hub with many in-links.
+        let mut net = test_net(32, 0, 3);
+        let hub = PeerIdx(0);
+        for i in 1..32u32 {
+            let _ = net.try_link(PeerIdx(i), hub);
+        }
+        let trials = 4000;
+        let count_hub = |mh: bool| {
+            let mut walker = Walker::new(
+                &net,
+                WalkConfig {
+                    burn_in: 16,
+                    metropolis_hastings: mh,
+                },
+            );
+            let mut rng = SeedTree::new(4).rng();
+            (0..trials)
+                .filter(|_| walker.sample(PeerIdx(7), None, &mut rng).unwrap() == hub)
+                .count()
+        };
+        let with_mh = count_hub(true);
+        let without_mh = count_hub(false);
+        assert!(
+            with_mh * 2 < without_mh,
+            "MH should at least halve hub visits: with={with_mh}, without={without_mh}"
+        );
+    }
+
+    #[test]
+    fn restricted_walk_never_leaves_arc() {
+        let net = test_net(64, 4, 5);
+        // Arc covering roughly a quarter of the ring.
+        let arc = Arc::between(Id::new(0), Id::new(u64::MAX / 4));
+        let start = net.idx_of(Id::new(0)).unwrap();
+        let mut walker = Walker::new(&net, WalkConfig::default());
+        let mut rng = SeedTree::new(6).rng();
+        for _ in 0..500 {
+            let s = walker.sample(start, Some(&arc), &mut rng).unwrap();
+            assert!(arc.contains(net.peer(s).id), "escaped the arc");
+        }
+    }
+
+    #[test]
+    fn restricted_walk_covers_arc_members() {
+        let net = test_net(64, 4, 7);
+        let arc = Arc::between(Id::new(0), Id::new(u64::MAX / 2));
+        let start = net.idx_of(Id::new(0)).unwrap();
+        let mut walker = Walker::new(&net, WalkConfig { burn_in: 48, metropolis_hastings: true });
+        let mut rng = SeedTree::new(8).rng();
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..2000 {
+            seen.insert(walker.sample(start, Some(&arc), &mut rng).unwrap());
+        }
+        // 32 members in the arc; a healthy walk reaches nearly all.
+        assert!(seen.len() >= 28, "only {} members reached", seen.len());
+    }
+
+    #[test]
+    fn single_member_arc_returns_start() {
+        let net = test_net(16, 2, 9);
+        let start = net.idx_of(Id::new(0)).unwrap();
+        let tiny = Arc::between(Id::new(0), Id::new(1)); // only peer 0
+        let mut walker = Walker::new(&net, WalkConfig::default());
+        let mut rng = SeedTree::new(10).rng();
+        assert_eq!(walker.sample(start, Some(&tiny), &mut rng).unwrap(), start);
+    }
+
+    #[test]
+    fn start_outside_arc_errors() {
+        let net = test_net(16, 2, 11);
+        let start = net.idx_of(Id::new(0)).unwrap();
+        let far = Arc::between(Id::new(u64::MAX / 2), Id::new(u64::MAX / 2 + 1000));
+        let mut walker = Walker::new(&net, WalkConfig::default());
+        let mut rng = SeedTree::new(12).rng();
+        assert!(matches!(
+            walker.sample(start, Some(&far), &mut rng),
+            Err(Error::SamplingFailed { .. })
+        ));
+    }
+
+    #[test]
+    fn dead_start_errors() {
+        let mut net = test_net(16, 2, 13);
+        let start = net.idx_of(Id::new(0)).unwrap();
+        net.kill(start).unwrap();
+        let mut walker = Walker::new(&net, WalkConfig::default());
+        let mut rng = SeedTree::new(14).rng();
+        assert!(matches!(
+            walker.sample(start, None, &mut rng),
+            Err(Error::PeerDead(_))
+        ));
+    }
+
+    #[test]
+    fn walks_avoid_dead_peers() {
+        let mut net = test_net(32, 4, 15);
+        // Kill a third of the network.
+        let victims: Vec<PeerIdx> = (0..32).step_by(3).map(PeerIdx).collect();
+        for v in &victims {
+            if v.as_usize() != 1 {
+                let _ = net.kill(*v);
+            }
+        }
+        let start = PeerIdx(1);
+        let mut walker = Walker::new(&net, WalkConfig::default());
+        let mut rng = SeedTree::new(16).rng();
+        for _ in 0..300 {
+            let s = walker.sample(start, None, &mut rng).unwrap();
+            assert!(net.is_alive(s));
+        }
+    }
+
+    #[test]
+    fn steps_are_accounted() {
+        let net = test_net(16, 2, 17);
+        let mut walker = Walker::new(&net, WalkConfig { burn_in: 10, metropolis_hastings: true });
+        let mut rng = SeedTree::new(18).rng();
+        walker.sample_many(PeerIdx(0), None, 5, &mut rng).unwrap();
+        assert_eq!(walker.take_steps(), 50, "5 walks x 10 steps");
+        assert_eq!(walker.take_steps(), 0, "drained");
+    }
+
+    #[test]
+    fn sample_peers_wrapper_credits_metrics() {
+        let mut net = test_net(16, 2, 19);
+        let mut rng = SeedTree::new(20).rng();
+        sample_peers(&mut net, WalkConfig::default(), PeerIdx(0), None, 3, &mut rng).unwrap();
+        assert_eq!(
+            net.metrics.get(MsgKind::WalkStep),
+            3 * WalkConfig::default().burn_in as u64
+        );
+    }
+}

@@ -1,0 +1,256 @@
+//! Data items and per-peer storage load.
+
+use oscar_keydist::KeyDistribution;
+use oscar_sim::{Network, PeerIdx};
+use oscar_types::Id;
+use rand::RngCore;
+
+/// A corpus of data items, identified by their (order-preserved) keys.
+///
+/// Items are *not* stored inside peers: ownership is a pure function of
+/// the live ring (owner = first live peer at-or-after the key), so the
+/// store recomputes placement after any membership change — the same
+/// simplification real systems implement with key re-transfer on join,
+/// whose traffic the paper does not measure.
+#[derive(Clone, Debug)]
+pub struct ItemStore {
+    /// Sorted item keys (duplicates allowed: several files can share an
+    /// 8-byte prefix).
+    items: Vec<Id>,
+}
+
+/// Storage balance summary over live peers.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LoadBalance {
+    /// Live peers counted.
+    pub peers: usize,
+    /// Total items placed.
+    pub items: usize,
+    /// Heaviest per-peer load.
+    pub max: usize,
+    /// Mean per-peer load.
+    pub mean: f64,
+    /// `max / mean` — the imbalance headline (1.0 is perfect).
+    pub max_over_mean: f64,
+    /// Fraction of peers storing nothing.
+    pub empty_fraction: f64,
+    /// Gini coefficient of the load distribution (0 = equal).
+    pub gini: f64,
+}
+
+impl ItemStore {
+    /// Builds a store from explicit keys.
+    pub fn from_keys(mut items: Vec<Id>) -> Self {
+        items.sort_unstable();
+        ItemStore { items }
+    }
+
+    /// Samples `n` items from a key distribution.
+    pub fn generate(dist: &dyn KeyDistribution, n: usize, rng: &mut dyn RngCore) -> Self {
+        let mut items = Vec::with_capacity(n);
+        for _ in 0..n {
+            items.push(dist.sample(rng));
+        }
+        Self::from_keys(items)
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True iff the corpus is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// The sorted keys.
+    pub fn keys(&self) -> &[Id] {
+        &self.items
+    }
+
+    /// Number of items the live owner of each arc `(pred, peer]` stores:
+    /// merge-counts the sorted items against the sorted live ring in
+    /// O(items + peers) after an O(log) start.
+    pub fn load_per_peer(&self, net: &Network) -> Vec<(PeerIdx, usize)> {
+        let ring = net.ring_live();
+        if ring.is_empty() {
+            return Vec::new();
+        }
+        let peers = ring.ids();
+        let mut loads: Vec<(PeerIdx, usize)> = peers
+            .iter()
+            .map(|&id| (net.idx_of(id).expect("live ring ids registered"), 0usize))
+            .collect();
+        for &item in &self.items {
+            // owner index in the sorted peer array (wrap to 0)
+            let pos = peers.partition_point(|&p| p < item);
+            let pos = if pos == peers.len() { 0 } else { pos };
+            loads[pos].1 += 1;
+        }
+        loads
+    }
+
+    /// Items stored by one peer (count only).
+    pub fn load_of(&self, net: &Network, peer: PeerIdx) -> usize {
+        self.load_per_peer(net)
+            .into_iter()
+            .find(|&(p, _)| p == peer)
+            .map(|(_, l)| l)
+            .unwrap_or(0)
+    }
+
+    /// Balance statistics over live peers.
+    pub fn balance(&self, net: &Network) -> LoadBalance {
+        let loads = self.load_per_peer(net);
+        let n = loads.len();
+        if n == 0 {
+            return LoadBalance {
+                peers: 0,
+                items: self.items.len(),
+                max: 0,
+                mean: 0.0,
+                max_over_mean: 0.0,
+                empty_fraction: 0.0,
+                gini: 0.0,
+            };
+        }
+        let mut xs: Vec<usize> = loads.iter().map(|&(_, l)| l).collect();
+        xs.sort_unstable();
+        let total: usize = xs.iter().sum();
+        let mean = total as f64 / n as f64;
+        let max = *xs.last().expect("non-empty");
+        let empty = xs.iter().filter(|&&l| l == 0).count();
+        let gini = if total == 0 {
+            0.0
+        } else {
+            let weighted: f64 = xs
+                .iter()
+                .enumerate()
+                .map(|(i, &x)| (i as f64 + 1.0) * x as f64)
+                .sum();
+            (2.0 * weighted) / (n as f64 * total as f64) - (n as f64 + 1.0) / n as f64
+        };
+        LoadBalance {
+            peers: n,
+            items: self.items.len(),
+            max,
+            mean,
+            max_over_mean: if mean > 0.0 { max as f64 / mean } else { 0.0 },
+            empty_fraction: empty as f64 / n as f64,
+            gini,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oscar_degree::DegreeCaps;
+    use oscar_keydist::{ClusteredKeys, UniformKeys};
+    use oscar_sim::FaultModel;
+    use oscar_types::SeedTree;
+
+    fn net_with(ids: &[u64]) -> Network {
+        let mut net = Network::new(FaultModel::StabilizedRing);
+        for &id in ids {
+            net.add_peer(Id::new(id), DegreeCaps::symmetric(4)).unwrap();
+        }
+        net
+    }
+
+    #[test]
+    fn items_go_to_chord_owners() {
+        let net = net_with(&[100, 200, 300]);
+        let store = ItemStore::from_keys(vec![
+            Id::new(150), // -> 200
+            Id::new(200), // -> 200 (exact hit)
+            Id::new(250), // -> 300
+            Id::new(999), // wraps -> 100
+            Id::new(50),  // -> 100
+        ]);
+        let loads = store.load_per_peer(&net);
+        let by_id: std::collections::HashMap<u64, usize> = loads
+            .iter()
+            .map(|&(p, l)| (net.peer(p).id.raw(), l))
+            .collect();
+        assert_eq!(by_id[&100], 2);
+        assert_eq!(by_id[&200], 2);
+        assert_eq!(by_id[&300], 1);
+    }
+
+    #[test]
+    fn loads_sum_to_items() {
+        let net = net_with(&[10, 20, 30, 40]);
+        let mut rng = SeedTree::new(1).rng();
+        let store = ItemStore::generate(&UniformKeys, 1000, &mut rng);
+        let total: usize = store.load_per_peer(&net).iter().map(|&(_, l)| l).sum();
+        assert_eq!(total, 1000);
+    }
+
+    #[test]
+    fn dead_peers_hold_nothing() {
+        let mut net = net_with(&[100, 200, 300]);
+        let victim = net.idx_of(Id::new(200)).unwrap();
+        net.kill(victim).unwrap();
+        let store = ItemStore::from_keys(vec![Id::new(150), Id::new(199)]);
+        let loads = store.load_per_peer(&net);
+        assert_eq!(loads.len(), 2, "only live peers appear");
+        // 200's items fall to its live successor, 300
+        let l300 = loads
+            .iter()
+            .find(|&&(p, _)| net.peer(p).id == Id::new(300))
+            .unwrap()
+            .1;
+        assert_eq!(l300, 2);
+    }
+
+    #[test]
+    fn balance_statistics_are_consistent() {
+        let net = net_with(&[10, 20, 30, 40]);
+        // all items on one peer: maximal imbalance
+        let store = ItemStore::from_keys(vec![Id::new(15); 100]);
+        let b = store.balance(&net);
+        assert_eq!(b.max, 100);
+        assert_eq!(b.mean, 25.0);
+        assert_eq!(b.max_over_mean, 4.0);
+        assert_eq!(b.empty_fraction, 0.75);
+        assert!(b.gini > 0.7, "gini {must_be_high}", must_be_high = b.gini);
+    }
+
+    #[test]
+    fn uniform_items_on_uniform_peers_balance_well() {
+        let ids: Vec<u64> = (0..200).map(|i| i * (u64::MAX / 200) + 7).collect();
+        let net = net_with(&ids);
+        let mut rng = SeedTree::new(2).rng();
+        let store = ItemStore::generate(&UniformKeys, 20_000, &mut rng);
+        let b = store.balance(&net);
+        assert!(b.max_over_mean < 3.0, "max/mean {}", b.max_over_mean);
+        assert!(b.gini < 0.4, "gini {}", b.gini);
+    }
+
+    #[test]
+    fn skewed_items_on_uniform_peers_are_catastrophic() {
+        let ids: Vec<u64> = (0..200).map(|i| i * (u64::MAX / 200) + 7).collect();
+        let net = net_with(&ids);
+        let mut rng = SeedTree::new(3).rng();
+        let items = ClusteredKeys::new(6, 1e-4, 1.0, 9);
+        let store = ItemStore::generate(&items, 20_000, &mut rng);
+        let b = store.balance(&net);
+        assert!(
+            b.max_over_mean > 10.0,
+            "spiky data must crush uniform-id peers: max/mean {}",
+            b.max_over_mean
+        );
+        assert!(b.empty_fraction > 0.5);
+    }
+
+    #[test]
+    fn empty_corpus_and_empty_network() {
+        let store = ItemStore::from_keys(vec![]);
+        assert!(store.is_empty());
+        let net = Network::new(FaultModel::StabilizedRing);
+        let b = store.balance(&net);
+        assert_eq!(b.peers, 0);
+    }
+}

@@ -1,0 +1,27 @@
+//! # oscar-store — data items and storage-aware identifier choice
+//!
+//! The paper's introduction claims more than routing: "peers are free to
+//! choose the key-space to be responsible for based on their storage
+//! capacity and bandwidth constraint". This crate exercises that claim:
+//!
+//! * [`ItemStore`] — a corpus of data items (keys) placed at their ring
+//!   owners, with per-peer load accounting and balance statistics;
+//! * [`JoinPolicy`] — how a joining peer picks its identifier:
+//!   * `UniformId` — ignore the data (what a hash-based DHT does):
+//!     under skewed items a few peers drown in data;
+//!   * `FromData` — sample the identifier from the *data* distribution
+//!     (the paper's implicit default: peer density tracks data density);
+//!   * `StorageAware` — probe a few peers, find the most overloaded
+//!     *relative to its capacity*, and join so as to split its load —
+//!     the explicit capacity-aware choice the paper describes.
+//!
+//! The storage-balance experiment (tests + `examples/storage_balance.rs`)
+//! shows the ordering the paper predicts: UniformId ≪ FromData ≲
+//! StorageAware on balance, with StorageAware additionally respecting
+//! heterogeneous capacities.
+
+pub mod items;
+pub mod policy;
+
+pub use items::{ItemStore, LoadBalance};
+pub use policy::{choose_join_id, JoinPolicy};

@@ -1,0 +1,255 @@
+//! Identifier-choice policies for joining peers.
+//!
+//! Where a peer places itself on the ring decides what key range — and
+//! therefore how much data — it is responsible for. The paper's position
+//! is that this is a *local, capacity-aware decision*; this module
+//! provides the three policies the storage experiment compares.
+
+use crate::items::ItemStore;
+use oscar_sim::Network;
+use oscar_types::Id;
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// How a joining peer chooses its identifier.
+#[derive(Clone, Debug)]
+pub enum JoinPolicy {
+    /// Uniformly random identifier (hash-DHT style; data-oblivious).
+    UniformId,
+    /// Sample the identifier from the data distribution itself — peer
+    /// density tracks data density (the data-oriented default).
+    FromData,
+    /// Probe `probes` random live peers, pick the one with the highest
+    /// load *relative to its remaining capacity*, and join at the median
+    /// of its stored items, taking over half of its load. The explicit
+    /// capacity-aware choice of the paper's introduction.
+    StorageAware {
+        /// How many candidate peers to probe (the sampling budget).
+        probes: usize,
+    },
+}
+
+impl JoinPolicy {
+    /// Name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            JoinPolicy::UniformId => "uniform-id",
+            JoinPolicy::FromData => "from-data",
+            JoinPolicy::StorageAware { .. } => "storage-aware",
+        }
+    }
+}
+
+/// Chooses an identifier for a joining peer under `policy`.
+///
+/// `capacity` is the joining peer's storage capacity (items it is willing
+/// to hold); only `StorageAware` consults it. The data distribution used
+/// by `FromData` is approximated by resampling the existing corpus.
+///
+/// Returns an unused identifier (resamples collisions).
+pub fn choose_join_id(
+    net: &Network,
+    store: &ItemStore,
+    policy: &JoinPolicy,
+    capacity: usize,
+    rng: &mut SmallRng,
+) -> Id {
+    let fresh = |candidate: Id, net: &Network, rng: &mut SmallRng| -> Id {
+        let mut id = candidate;
+        while net.idx_of(id).is_some() {
+            id = id.add(rng.gen_range(1..1_000_000));
+        }
+        id
+    };
+    match policy {
+        JoinPolicy::UniformId => fresh(Id::new(rng.gen()), net, rng),
+        JoinPolicy::FromData => {
+            if store.is_empty() {
+                return fresh(Id::new(rng.gen()), net, rng);
+            }
+            // Resample an item key and perturb slightly: ids track data.
+            let item = store.keys()[rng.gen_range(0..store.len())];
+            fresh(item.add(rng.gen_range(1..1_000_000)), net, rng)
+        }
+        JoinPolicy::StorageAware { probes } => {
+            if net.live_count() == 0 || store.is_empty() {
+                return fresh(Id::new(rng.gen()), net, rng);
+            }
+            let loads = store.load_per_peer(net);
+            // Probe `probes` *distinct* random peers (partial Fisher-Yates)
+            // and pick the most loaded one among them.
+            let mut order: Vec<usize> = (0..loads.len()).collect();
+            let probes = (*probes).clamp(1, loads.len());
+            let mut best_idx = 0usize;
+            let mut best_load = 0usize;
+            for k in 0..probes {
+                let j = rng.gen_range(k..order.len());
+                order.swap(k, j);
+                let i = order[k];
+                if loads[i].1 >= best_load {
+                    best_load = loads[i].1;
+                    best_idx = i;
+                }
+            }
+            let (victim, victim_load) = loads[best_idx];
+            if victim_load == 0 {
+                return fresh(Id::new(rng.gen()), net, rng);
+            }
+            // Join at the key that splits the victim's items so that we
+            // take over min(half, capacity) of them: our id becomes the
+            // upper end of the lower share (we own (pred, us]).
+            let victim_id = net.peer(victim).id;
+            let pred_id = net
+                .ring_live()
+                .predecessor_of(victim_id)
+                .expect("non-empty ring");
+            // victim's items: keys in (pred, victim]
+            let take = victim_load.div_ceil(2).min(capacity.max(1));
+            let keys = store.keys();
+            // walk the victim's arc collecting its items in order
+            let mut owned: Vec<Id> = keys
+                .iter()
+                .copied()
+                .filter(|&k| k.in_cw_open_closed(pred_id, victim_id))
+                .collect();
+            owned.sort_unstable_by_key(|&k| pred_id.cw_dist(k));
+            let split_key = owned[take - 1];
+            fresh(split_key, net, rng)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oscar_degree::DegreeCaps;
+    use oscar_keydist::ClusteredKeys;
+    use oscar_sim::FaultModel;
+    use oscar_types::SeedTree;
+
+    fn uniform_net(n: u64) -> Network {
+        let mut net = Network::new(FaultModel::StabilizedRing);
+        for i in 0..n {
+            net.add_peer(Id::new(i * (u64::MAX / n) + 7), DegreeCaps::symmetric(4))
+                .unwrap();
+        }
+        net
+    }
+
+    fn spiky_store(n: usize, seed: u64) -> ItemStore {
+        let mut rng = SeedTree::new(seed).rng();
+        ItemStore::generate(&ClusteredKeys::new(6, 1e-4, 1.0, 9), n, &mut rng)
+    }
+
+    #[test]
+    fn chosen_ids_are_fresh() {
+        let net = uniform_net(50);
+        let store = spiky_store(1000, 1);
+        let mut rng = SeedTree::new(2).rng();
+        for policy in [
+            JoinPolicy::UniformId,
+            JoinPolicy::FromData,
+            JoinPolicy::StorageAware { probes: 8 },
+        ] {
+            for _ in 0..20 {
+                let id = choose_join_id(&net, &store, &policy, 100, &mut rng);
+                assert!(net.idx_of(id).is_none(), "{}: id collision", policy.name());
+            }
+        }
+    }
+
+    #[test]
+    fn storage_aware_split_halves_the_victim() {
+        let mut net = uniform_net(40);
+        let store = spiky_store(4000, 3);
+        // find the heaviest peer before the join
+        let before = store.load_per_peer(&net);
+        let (_, max_before) = *before.iter().max_by_key(|&&(_, l)| l).unwrap();
+
+        let mut rng = SeedTree::new(4).rng();
+        // many probes => the policy reliably finds a heavy victim
+        let id = choose_join_id(
+            &net,
+            &store,
+            &JoinPolicy::StorageAware { probes: 40 },
+            usize::MAX,
+            &mut rng,
+        );
+        let joined = net.add_peer(id, DegreeCaps::symmetric(4)).unwrap();
+        let after = store.load_per_peer(&net);
+        let new_load = after.iter().find(|&&(p, _)| p == joined).unwrap().1;
+        // The joiner takes over roughly half the heaviest load.
+        assert!(
+            new_load >= max_before / 4 && new_load <= max_before,
+            "joiner took {new_load} of {max_before}"
+        );
+        let new_max = after.iter().map(|&(_, l)| l).max().unwrap();
+        assert!(new_max <= max_before, "join must not worsen the maximum");
+    }
+
+    #[test]
+    fn capacity_caps_the_takeover() {
+        let net = uniform_net(40);
+        let store = spiky_store(4000, 5);
+        let mut rng = SeedTree::new(6).rng();
+        let id = choose_join_id(
+            &net,
+            &store,
+            &JoinPolicy::StorageAware { probes: 40 },
+            25, // tiny capacity
+            &mut rng,
+        );
+        let mut net2 = net.clone();
+        let joined = net2.add_peer(id, DegreeCaps::symmetric(4)).unwrap();
+        let load = store.load_of(&net2, joined);
+        assert!(load <= 25 + 5, "capacity-capped takeover, got {load}");
+    }
+
+    #[test]
+    fn repeated_storage_aware_joins_flatten_load() {
+        // The headline: 60 capacity-aware joins into a spiky corpus beat
+        // 60 uniform joins on every balance metric.
+        let store = spiky_store(20_000, 7);
+        let run = |policy: JoinPolicy, seed: u64| {
+            let mut net = uniform_net(100);
+            let mut rng = SeedTree::new(seed).rng();
+            for _ in 0..60 {
+                let id = choose_join_id(&net, &store, &policy, usize::MAX, &mut rng);
+                net.add_peer(id, DegreeCaps::symmetric(4)).unwrap();
+            }
+            store.balance(&net)
+        };
+        let uniform = run(JoinPolicy::UniformId, 10);
+        let aware = run(JoinPolicy::StorageAware { probes: 16 }, 10);
+        assert!(
+            aware.max_over_mean * 2.0 < uniform.max_over_mean,
+            "storage-aware joins should at least halve max/mean: {} vs {}",
+            aware.max_over_mean,
+            uniform.max_over_mean
+        );
+        assert!(aware.gini < uniform.gini);
+    }
+
+    #[test]
+    fn from_data_tracks_the_corpus() {
+        let store = spiky_store(20_000, 11);
+        let mut net = uniform_net(10);
+        let mut rng = SeedTree::new(12).rng();
+        for _ in 0..150 {
+            let id = choose_join_id(&net, &store, &JoinPolicy::FromData, usize::MAX, &mut rng);
+            net.add_peer(id, DegreeCaps::symmetric(4)).unwrap();
+        }
+        let b = store.balance(&net);
+        // data-tracking ids yield far better balance than the 10-peer
+        // uniform seed could ever reach
+        assert!(b.max_over_mean < 20.0, "max/mean {}", b.max_over_mean);
+        assert!(b.empty_fraction < 0.5);
+    }
+
+    #[test]
+    fn policies_have_stable_names() {
+        assert_eq!(JoinPolicy::UniformId.name(), "uniform-id");
+        assert_eq!(JoinPolicy::FromData.name(), "from-data");
+        assert_eq!(JoinPolicy::StorageAware { probes: 3 }.name(), "storage-aware");
+    }
+}

@@ -1,0 +1,100 @@
+//! Workspace-wide error type.
+//!
+//! The simulator and the overlay algorithms share one small error enum:
+//! almost all "errors" in a P2P simulation are *modelled* conditions (a
+//! refused link, a dead peer) rather than programming faults, so they are
+//! ordinary values that the drivers react to.
+
+use std::fmt;
+
+/// Result alias used across the workspace.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors produced by the simulator and overlay algorithms.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// Referenced a peer index that does not exist in the network.
+    UnknownPeer(usize),
+    /// Operation requires a live peer but the peer has crashed.
+    PeerDead(usize),
+    /// Operation requires a non-empty ring.
+    RingEmpty,
+    /// A peer refused a link because its in-degree budget is exhausted.
+    LinkRefused {
+        /// The refusing peer.
+        target: usize,
+    },
+    /// Greedy routing gave up (only possible in unstabilised fault models).
+    RoutingFailed {
+        /// Hops spent before giving up.
+        hops: u32,
+    },
+    /// A random-walk sampler could not produce a sample (e.g. the restricted
+    /// sub-population is empty or unreachable).
+    SamplingFailed {
+        /// Human-readable reason.
+        reason: &'static str,
+    },
+    /// Invalid experiment or overlay configuration.
+    InvalidConfig(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::UnknownPeer(idx) => write!(f, "unknown peer index {idx}"),
+            Error::PeerDead(idx) => write!(f, "peer {idx} is dead"),
+            Error::RingEmpty => write!(f, "the ring is empty"),
+            Error::LinkRefused { target } => {
+                write!(f, "peer {target} refused the link (in-degree budget exhausted)")
+            }
+            Error::RoutingFailed { hops } => {
+                write!(f, "routing failed after {hops} hops")
+            }
+            Error::SamplingFailed { reason } => {
+                write!(f, "sampling failed: {reason}")
+            }
+            Error::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let cases: Vec<(Error, &str)> = vec![
+            (Error::UnknownPeer(3), "unknown peer index 3"),
+            (Error::PeerDead(9), "peer 9 is dead"),
+            (Error::RingEmpty, "the ring is empty"),
+            (
+                Error::LinkRefused { target: 7 },
+                "peer 7 refused the link (in-degree budget exhausted)",
+            ),
+            (Error::RoutingFailed { hops: 12 }, "routing failed after 12 hops"),
+            (
+                Error::SamplingFailed { reason: "empty interval" },
+                "sampling failed: empty interval",
+            ),
+        ];
+        for (err, expected) in cases {
+            assert_eq!(err.to_string(), expected);
+        }
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_std_error(_: &dyn std::error::Error) {}
+        takes_std_error(&Error::RingEmpty);
+    }
+
+    #[test]
+    fn invalid_config_carries_message() {
+        let e = Error::InvalidConfig("sample size must be > 0".into());
+        assert!(e.to_string().contains("sample size"));
+    }
+}

@@ -1,0 +1,32 @@
+//! # oscar-types — identifier-space primitives
+//!
+//! Foundation crate for the Oscar overlay reproduction. It defines the
+//! one-dimensional circular identifier space all other crates operate on:
+//!
+//! * [`Id`] — a position on the ring `[0, 2^64)`, used both for peer
+//!   identifiers and data keys (Oscar is order-preserving: keys and peers
+//!   share the space, so a single type avoids pointless conversions).
+//! * [`Arc`] — a wrap-around, half-open arc `[start, start+len)` of the
+//!   ring, the unit in which Oscar's logarithmic partitions are expressed.
+//! * [`SeedTree`] — hierarchical deterministic seed derivation so that every
+//!   experiment, peer, and stochastic sub-activity gets an independent but
+//!   reproducible RNG stream.
+//! * [`Error`] — the shared error type of the workspace.
+//!
+//! Everything here is plain data with no I/O and no global state.
+
+pub mod arc;
+pub mod error;
+pub mod id;
+pub mod seed;
+
+pub use arc::Arc;
+pub use error::{Error, Result};
+pub use id::Id;
+pub use seed::SeedTree;
+
+/// Number of distinct positions on the identifier ring (`2^64`), as `u128`.
+///
+/// Arc lengths may span the full ring, which does not fit in `u64`; all arc
+/// arithmetic is therefore done in `u128` against this constant.
+pub const RING_SIZE: u128 = 1u128 << 64;

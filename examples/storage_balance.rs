@@ -1,0 +1,68 @@
+//! Storage balance: why identifier choice is a capacity decision.
+//!
+//! The paper's introduction claims peers should "choose the key-space to
+//! be responsible for based on their storage capacity". This example
+//! places a heavily clustered corpus (synthetic Gnutella filenames) on
+//! networks grown under three join policies and compares who ends up
+//! storing what:
+//!
+//! * `uniform-id`  — hash-DHT style, data-oblivious;
+//! * `from-data`   — identifiers sampled from the data distribution;
+//! * `storage-aware` — probe-and-split-the-most-loaded (capacity-aware).
+//!
+//! Run with:
+//! ```sh
+//! cargo run --release --example storage_balance
+//! ```
+
+use oscar::prelude::*;
+use oscar::store::{choose_join_id, ItemStore, JoinPolicy};
+
+fn main() -> Result<()> {
+    let corpus_keys = GnutellaKeys::default();
+    let mut rng = SeedTree::new(31).rng();
+    let store = ItemStore::generate(&corpus_keys, 50_000, &mut rng);
+    println!(
+        "placing {} items (clustered filename keys) on 500-peer networks:\n",
+        store.len()
+    );
+
+    for policy in [
+        JoinPolicy::UniformId,
+        JoinPolicy::FromData,
+        JoinPolicy::StorageAware { probes: 16 },
+    ] {
+        // Grow the membership under the policy (routing links are not the
+        // point here, so the network is membership-only).
+        let mut net = Network::new(FaultModel::StabilizedRing);
+        let mut rng = SeedTree::new(77).child(policy.name().len() as u64).rng();
+        // seed peers so probing has someone to ask
+        for i in 0..8u64 {
+            net.add_peer(Id::new(i * (u64::MAX / 8) + 5), DegreeCaps::symmetric(27))?;
+        }
+        for _ in 8..500 {
+            let id = choose_join_id(&net, &store, &policy, usize::MAX, &mut rng);
+            net.add_peer(id, DegreeCaps::symmetric(27))?;
+        }
+        let b = store.balance(&net);
+        println!(
+            "  {:<14} max/mean {:>7.2}   gini {:>5.3}   empty peers {:>5.1}%   heaviest peer {:>6} items",
+            policy.name(),
+            b.max_over_mean,
+            b.gini,
+            b.empty_fraction * 100.0,
+            b.max
+        );
+    }
+
+    println!(
+        "\nuniform ids drown a handful of peers in the clustered corpus. Ids that\n\
+         track the data (the paper's data-oriented premise) fix most of it; the\n\
+         probe-and-split policy gets comparable balance *without knowing the\n\
+         data distribution at all*. The residual imbalance is atomic hot keys:\n\
+         thousands of files share one 8-byte prefix, and no range partitioning\n\
+         can split a single key — that calls for replication, not placement.\n\
+         Oscar's routing stays O(log^2 N) under any of these id layouts."
+    );
+    Ok(())
+}

@@ -1,0 +1,75 @@
+//! # oscar — a data-oriented overlay for heterogeneous environments
+//!
+//! Reproduction of *Girdzijauskas, Datta, Aberer: "Oscar: A Data-Oriented
+//! Overlay For Heterogeneous Environments" (ICDE 2007)*: a range-queriable
+//! small-world P2P overlay that tolerates arbitrarily skewed key
+//! distributions and heterogeneous per-peer link budgets at the same time,
+//! together with the Mercury baseline and the deterministic simulator the
+//! evaluation runs on.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use oscar::prelude::*;
+//!
+//! // Skewed (Gnutella-filename-like) peer identifiers, heterogeneous
+//! // per-peer degree budgets, deterministic seed.
+//! let mut overlay = oscar::core::new_overlay(
+//!     OscarConfig::default(),
+//!     FaultModel::StabilizedRing,
+//!     42,
+//! );
+//! overlay
+//!     .grow_to(500, &GnutellaKeys::default(), &SpikyDegrees::paper())
+//!     .unwrap();
+//!
+//! let stats = overlay.run_queries(&QueryWorkload::UniformPeers, 500);
+//! assert_eq!(stats.success_rate, 1.0);
+//! assert!(stats.mean_cost < 12.0); // ≪ log₂²(500) ≈ 80
+//! ```
+//!
+//! ## Crate map
+//!
+//! | module | contents |
+//! |---|---|
+//! | [`types`] | ring identifiers, arcs, seeds, errors |
+//! | [`keydist`] | key distributions (uniform, Zipf, clustered, Gnutella) and query workloads |
+//! | [`degree`] | degree-cap distributions (constant / stepped / spiky-realistic) |
+//! | [`ring`] | the sorted identifier ring and stabilisation |
+//! | [`sim`] | the network simulator: walks, routing, churn, growth |
+//! | [`core`] | **the paper's contribution**: Oscar partition estimation + link acquisition |
+//! | [`mercury`] | the Mercury baseline |
+//! | [`chord`] | the Chord finger-table baseline (skew-oblivious control) |
+//! | [`store`] | data items, storage load, capacity-aware identifier choice |
+//! | [`analytics`] | statistics and figure rendering for the harness |
+
+pub use oscar_analytics as analytics;
+pub use oscar_core as core;
+pub use oscar_degree as degree;
+pub use oscar_keydist as keydist;
+pub use oscar_chord as chord;
+pub use oscar_mercury as mercury;
+pub use oscar_ring as ring;
+pub use oscar_sim as sim;
+pub use oscar_store as store;
+pub use oscar_types as types;
+
+/// The names most programs want in scope.
+pub mod prelude {
+    pub use oscar_analytics::{degree_load_curve, degree_volume_utilization, Series, Summary};
+    pub use oscar_core::{
+        range_scan, MedianSource, OscarBuilder, OscarConfig, OscarOverlay, RangeScanOutcome,
+    };
+    pub use oscar_degree::{
+        ConstantDegrees, DegreeCaps, DegreeDistribution, SpikyDegrees, SteppedDegrees,
+    };
+    pub use oscar_keydist::{
+        ClusteredKeys, GnutellaKeys, KeyDistribution, QueryWorkload, UniformKeys, ZipfKeys,
+    };
+    pub use oscar_chord::{ChordBuilder, ChordConfig, ChordOverlay};
+    pub use oscar_mercury::{MercuryBuilder, MercuryConfig, MercuryOverlay};
+    pub use oscar_sim::{
+        FaultModel, GrowthConfig, Network, Overlay, OverlayBuilder, QueryBatchStats, RoutePolicy,
+    };
+    pub use oscar_types::{Arc, Error, Id, Result, SeedTree};
+}

@@ -1,0 +1,138 @@
+//! Churn integration: the Figure 2 protocol at test scale, plus the
+//! unstabilised-ring ablation.
+
+use oscar::prelude::*;
+
+fn grown_overlay(seed: u64) -> OscarOverlay {
+    let mut ov = oscar::core::new_overlay(OscarConfig::default(), FaultModel::StabilizedRing, seed);
+    ov.grow_to(600, &GnutellaKeys::default(), &ConstantDegrees::paper())
+        .unwrap();
+    ov
+}
+
+#[test]
+fn search_cost_rises_monotonically_with_crash_fraction() {
+    // Figure 2's shape: no faults < 10% < 33%, all with full delivery.
+    let mut costs = Vec::new();
+    for (i, fraction) in [0.0, 0.10, 0.33].into_iter().enumerate() {
+        let mut ov = grown_overlay(100 + i as u64);
+        if fraction > 0.0 {
+            ov.kill_fraction(fraction).unwrap();
+        }
+        let stats = ov.run_queries(&QueryWorkload::UniformPeers, 600);
+        assert_eq!(
+            stats.success_rate, 1.0,
+            "stabilised ring delivers at {fraction}"
+        );
+        costs.push(stats.mean_cost);
+    }
+    assert!(
+        costs[0] < costs[1] && costs[1] < costs[2],
+        "costs should rise with crashes: {costs:?}"
+    );
+    // And stay "fairly low": far under the ring-walk O(N) regime.
+    assert!(costs[2] < 30.0, "33% crash cost blew up: {}", costs[2]);
+}
+
+#[test]
+fn wasted_traffic_tracks_crash_fraction() {
+    let mut wasted = Vec::new();
+    for fraction in [0.10, 0.33] {
+        let mut ov = grown_overlay(42);
+        ov.kill_fraction(fraction).unwrap();
+        let stats = ov.run_queries(&QueryWorkload::UniformPeers, 600);
+        wasted.push(stats.mean_wasted);
+    }
+    assert!(
+        wasted[1] > wasted[0] * 1.5,
+        "3.3x the corpses should waste clearly more traffic: {wasted:?}"
+    );
+}
+
+#[test]
+fn snapshot_clone_isolates_crash_waves() {
+    // The harness measures each crash fraction on a clone of one grown
+    // network; verify clones do not bleed state into each other.
+    let ov = grown_overlay(7);
+    let pristine_live = ov.network().live_count();
+
+    let mut clone_a = ov.network().clone();
+    let mut clone_b = ov.network().clone();
+    let mut rng_a = SeedTree::new(1).rng();
+    let mut rng_b = SeedTree::new(2).rng();
+    oscar::sim::kill_fraction(&mut clone_a, 0.33, &mut rng_a).unwrap();
+    oscar::sim::kill_fraction(&mut clone_b, 0.10, &mut rng_b).unwrap();
+
+    assert_eq!(ov.network().live_count(), pristine_live, "original untouched");
+    assert_eq!(clone_a.live_count(), pristine_live - (pristine_live as f64 * 0.33).round() as usize);
+    assert_eq!(clone_b.live_count(), pristine_live - (pristine_live as f64 * 0.10).round() as usize);
+}
+
+#[test]
+fn unstabilized_ring_is_strictly_worse() {
+    // Ablation A4: the same crashed network measured under both fault
+    // models. Stabilisation (the paper's assumption) must help.
+    let ov = grown_overlay(11);
+    let mut net = ov.network().clone();
+    let mut rng = SeedTree::new(3).rng();
+    oscar::sim::kill_fraction(&mut net, 0.33, &mut rng).unwrap();
+
+    let mut measure = |fm: FaultModel, seed: u64| {
+        net.set_fault_model(fm);
+        let mut qrng = SeedTree::new(seed).rng();
+        oscar::sim::run_query_batch(
+            &mut net,
+            &QueryWorkload::UniformPeers,
+            500,
+            &RoutePolicy::default(),
+            &mut qrng,
+        )
+    };
+    let stabilized = measure(FaultModel::StabilizedRing, 50);
+    let unstabilized = measure(FaultModel::UnstabilizedRing, 50);
+
+    assert_eq!(stabilized.success_rate, 1.0);
+    assert!(
+        unstabilized.mean_cost > stabilized.mean_cost,
+        "unstabilised {:.2} should cost more than stabilised {:.2}",
+        unstabilized.mean_cost,
+        stabilized.mean_cost
+    );
+}
+
+#[test]
+fn rewiring_after_churn_repairs_the_overlay() {
+    // Beyond the paper: dangling links are purged by a rewire-all pass,
+    // restoring near-fault-free cost.
+    let mut ov = grown_overlay(13);
+    let healthy = ov.run_queries(&QueryWorkload::UniformPeers, 500);
+    ov.kill_fraction(0.33).unwrap();
+    let wounded = ov.run_queries(&QueryWorkload::UniformPeers, 500);
+    ov.rewire_all().unwrap();
+    let repaired = ov.run_queries(&QueryWorkload::UniformPeers, 500);
+
+    assert!(wounded.mean_wasted > 0.2, "expected waste after crashes");
+    assert!(
+        repaired.mean_wasted < wounded.mean_wasted / 4.0,
+        "rewiring should purge dangling links: {} -> {}",
+        wounded.mean_wasted,
+        repaired.mean_wasted
+    );
+    assert!(
+        repaired.mean_cost < wounded.mean_cost,
+        "repair should reduce cost"
+    );
+    // Not necessarily as good as healthy (fewer peers now), but close.
+    assert!(repaired.mean_cost < healthy.mean_cost * 1.6);
+}
+
+#[test]
+fn deep_churn_degrades_gracefully() {
+    // Well beyond the paper's 33%: kill 60%; the stabilised ring still
+    // delivers everything, cost rises but stays polylogarithmic-ish.
+    let mut ov = grown_overlay(17);
+    ov.kill_fraction(0.60).unwrap();
+    let stats = ov.run_queries(&QueryWorkload::UniformPeers, 400);
+    assert_eq!(stats.success_rate, 1.0);
+    assert!(stats.mean_cost < 60.0, "cost {:.1}", stats.mean_cost);
+}
