@@ -17,7 +17,10 @@ pub fn plot(series: &[Series], width: usize, height: usize, title: &str) -> Stri
     let height = height.max(4);
     let mut out = String::new();
     let _ = writeln!(out, "{title}");
-    let pts: Vec<(f64, f64)> = series.iter().flat_map(|s| s.points.iter().copied()).collect();
+    let pts: Vec<(f64, f64)> = series
+        .iter()
+        .flat_map(|s| s.points.iter().copied())
+        .collect();
     if pts.is_empty() {
         out.push_str("(no data)\n");
         return out;
@@ -57,11 +60,7 @@ pub fn plot(series: &[Series], width: usize, height: usize, title: &str) -> Stri
         let line: String = row.iter().collect();
         let _ = writeln!(out, "{y_val:>8.1} |{line}");
     }
-    let _ = writeln!(
-        out,
-        "         +{}",
-        "-".repeat(width)
-    );
+    let _ = writeln!(out, "         +{}", "-".repeat(width));
     let _ = writeln!(out, "          x: {x_min:.0} .. {x_max:.0}");
     for (si, s) in series.iter().enumerate() {
         let _ = writeln!(out, "          {} = {}", GLYPHS[si % GLYPHS.len()], s.label);

@@ -51,8 +51,11 @@ mod tests {
     fn net_with_caps(caps: &[(u32, u32)]) -> Network {
         let mut net = Network::new(FaultModel::StabilizedRing);
         for (i, &(rho_in, rho_out)) in caps.iter().enumerate() {
-            net.add_peer(Id::new((i as u64 + 1) * 1000), DegreeCaps { rho_in, rho_out })
-                .unwrap();
+            net.add_peer(
+                Id::new((i as u64 + 1) * 1000),
+                DegreeCaps { rho_in, rho_out },
+            )
+            .unwrap();
         }
         net
     }

@@ -105,7 +105,10 @@ impl Histogram {
         let total = self.total.max(1) as f64;
         self.counts.iter().enumerate().map(move |(i, &c)| {
             let w = self.edges[i + 1] - self.edges[i];
-            ((self.edges[i] + self.edges[i + 1]) / 2.0, c as f64 / (total * w))
+            (
+                (self.edges[i] + self.edges[i + 1]) / 2.0,
+                c as f64 / (total * w),
+            )
         })
     }
 }
@@ -158,10 +161,7 @@ mod tests {
         for i in 0..1000 {
             h.add((i as f64 + 0.5) / 1000.0);
         }
-        let integral: f64 = h
-            .pdf()
-            .map(|(_, density)| density * (1.0 / 20.0))
-            .sum();
+        let integral: f64 = h.pdf().map(|(_, density)| density * (1.0 / 20.0)).sum();
         assert!((integral - 1.0).abs() < 1e-9, "integral {integral}");
     }
 

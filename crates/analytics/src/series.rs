@@ -34,7 +34,10 @@ impl Series {
 
     /// The y value at exactly `x`, if present.
     pub fn y_at(&self, x: f64) -> Option<f64> {
-        self.points.iter().find(|&&(px, _)| px == x).map(|&(_, y)| y)
+        self.points
+            .iter()
+            .find(|&&(px, _)| px == x)
+            .map(|&(_, y)| y)
     }
 }
 

@@ -9,7 +9,7 @@ use oscar_core::{estimate_partitions, OscarBuilder, OscarConfig};
 use oscar_degree::{ConstantDegrees, DegreeCaps};
 use oscar_keydist::GnutellaKeys;
 use oscar_mercury::{MercuryBuilder, MercuryConfig};
-use oscar_sim::{FaultModel, Network, OverlayBuilder, PeerIdx, Overlay};
+use oscar_sim::{FaultModel, Network, Overlay, OverlayBuilder, PeerIdx};
 use oscar_types::{Id, SeedTree};
 use rand::Rng;
 

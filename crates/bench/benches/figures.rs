@@ -76,5 +76,10 @@ fn bench_fig2_churn_run(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_fig1a, bench_fig1bc_growth_run, bench_fig2_churn_run);
+criterion_group!(
+    benches,
+    bench_fig1a,
+    bench_fig1bc_growth_run,
+    bench_fig2_churn_run
+);
 criterion_main!(benches);

@@ -18,9 +18,7 @@ use oscar_bench::{run_growth_experiment, Report, Scale};
 use oscar_core::{OscarBuilder, OscarConfig};
 use oscar_degree::ConstantDegrees;
 use oscar_keydist::{GnutellaKeys, QueryWorkload};
-use oscar_sim::{
-    kill_fraction, run_query_batch, FaultModel, Network, RoutePolicy,
-};
+use oscar_sim::{kill_fraction, run_query_batch, FaultModel, Network, RoutePolicy};
 use oscar_types::SeedTree;
 
 fn ablation_scale() -> Scale {
@@ -45,7 +43,10 @@ fn grow_with(config: OscarConfig, scale: &Scale, label: &str) -> oscar_bench::Gr
 }
 
 fn final_cost(r: &oscar_bench::GrowthRunResult) -> f64 {
-    r.cost_by_size.last().map(|(_, s)| s.mean_cost).unwrap_or(0.0)
+    r.cost_by_size
+        .last()
+        .map(|(_, s)| s.mean_cost)
+        .unwrap_or(0.0)
 }
 
 fn a1_power_of_two(scale: &Scale) -> std::io::Result<()> {
@@ -110,7 +111,10 @@ fn a3_oracle_medians(scale: &Scale) -> std::io::Result<()> {
         scale,
         "oracle",
     );
-    let mut report = Report::new("A3: sampled vs oracle medians", "variant (0 = sampled, 1 = oracle)");
+    let mut report = Report::new(
+        "A3: sampled vs oracle medians",
+        "variant (0 = sampled, 1 = oracle)",
+    );
     let mut cost = Series::new("final mean search cost");
     cost.push(0.0, final_cost(&sampled));
     cost.push(1.0, final_cost(&oracle));
@@ -183,8 +187,17 @@ fn a5_skewed_access(scale: &Scale) -> std::io::Result<()> {
         (1.0, QueryWorkload::ZipfPeers { exponent: 1.0 }),
         (1.2, QueryWorkload::ZipfPeers { exponent: 1.2 }),
     ] {
-        let mut qrng = SeedTree::new(scale.seed).child(0xA5).child((x * 10.0) as u64).rng();
-        let stats = run_query_batch(&mut net, &workload, 4000, &RoutePolicy::default(), &mut qrng);
+        let mut qrng = SeedTree::new(scale.seed)
+            .child(0xA5)
+            .child((x * 10.0) as u64)
+            .rng();
+        let stats = run_query_batch(
+            &mut net,
+            &workload,
+            4000,
+            &RoutePolicy::default(),
+            &mut qrng,
+        );
         cost.push(x, stats.mean_cost);
     }
     report.add_series(cost);

@@ -5,10 +5,10 @@ use crate::experiments::{run_churn_experiment, run_growth_experiment, GrowthRunR
 use crate::report::Report;
 use crate::scale::Scale;
 use oscar_analytics::{Series, Summary};
+use oscar_chord::{ChordBuilder, ChordConfig};
 use oscar_core::{OscarBuilder, OscarConfig};
 use oscar_degree::{ConstantDegrees, DegreeDistribution, SpikyDegrees, SteppedDegrees};
 use oscar_keydist::GnutellaKeys;
-use oscar_chord::{ChordBuilder, ChordConfig};
 use oscar_mercury::{MercuryBuilder, MercuryConfig};
 use oscar_types::{Result, SeedTree};
 
@@ -211,7 +211,12 @@ pub fn mercury_compare_report(suite: &Fig1Suite, scale: &Scale) -> Report {
         }
         report.add_series(s);
     }
-    let last = |r: &GrowthRunResult| r.cost_by_size.last().map(|(_, s)| s.mean_cost).unwrap_or(0.0);
+    let last = |r: &GrowthRunResult| {
+        r.cost_by_size
+            .last()
+            .map(|(_, s)| s.mean_cost)
+            .unwrap_or(0.0)
+    };
     report.add_note(format!(
         "final size: oscar {:.2} vs mercury {:.2} (paper [8]: Oscar significantly outperforms Mercury)",
         last(oscar_constant),
@@ -234,7 +239,10 @@ pub fn fig2_report(
 ) -> Result<Report> {
     let keys = GnutellaKeys::default();
     let builder = OscarBuilder::new(OscarConfig::default());
-    eprintln!("[fig2/{degree_label}] growing to {} with churn clones...", scale.target);
+    eprintln!(
+        "[fig2/{degree_label}] growing to {} with churn clones...",
+        scale.target
+    );
     let results = run_churn_experiment(&builder, &keys, degrees, scale, &[0.0, 0.10, 0.33])?;
     let mut report = Report::new(
         format!(

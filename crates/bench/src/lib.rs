@@ -11,8 +11,6 @@ pub mod figures;
 pub mod report;
 pub mod scale;
 
-pub use experiments::{
-    run_churn_experiment, run_growth_experiment, ChurnResult, GrowthRunResult,
-};
+pub use experiments::{run_churn_experiment, run_growth_experiment, ChurnResult, GrowthRunResult};
 pub use report::Report;
 pub use scale::Scale;

@@ -1,6 +1,8 @@
 //! Chord finger construction.
 
-use oscar_sim::{route_to_owner, LinkError, MsgKind, Network, OverlayBuilder, PeerIdx, RoutePolicy};
+use oscar_sim::{
+    route_to_owner, LinkError, MsgKind, Network, OverlayBuilder, PeerIdx, RoutePolicy,
+};
 use oscar_types::Result;
 use rand::rngs::SmallRng;
 
@@ -128,10 +130,15 @@ mod tests {
         // Home turf: uniform keys make key-space spans proportional to
         // population spans, so fingers work as designed.
         let mut ov = new_overlay(ChordConfig::default(), FaultModel::StabilizedRing, 1);
-        ov.grow_to(500, &UniformKeys, &ConstantDegrees::paper()).unwrap();
+        ov.grow_to(500, &UniformKeys, &ConstantDegrees::paper())
+            .unwrap();
         let stats = ov.run_queries(&QueryWorkload::UniformPeers, 500);
         assert_eq!(stats.success_rate, 1.0);
-        assert!(stats.mean_cost < 8.0, "uniform-key chord cost {}", stats.mean_cost);
+        assert!(
+            stats.mean_cost < 8.0,
+            "uniform-key chord cost {}",
+            stats.mean_cost
+        );
     }
 
     #[test]

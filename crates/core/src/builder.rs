@@ -37,10 +37,7 @@ impl OscarBuilder {
 
     /// Direct wiring for bootstrap-scale networks.
     fn wire_directly(&self, net: &mut Network, p: PeerIdx) {
-        let targets: Vec<PeerIdx> = net
-            .live_peers()
-            .filter(|&t| t != p)
-            .collect();
+        let targets: Vec<PeerIdx> = net.live_peers().filter(|&t| t != p).collect();
         for t in targets {
             if !net.peer(p).can_open_out() {
                 break;
@@ -99,7 +96,8 @@ mod tests {
     #[test]
     fn tiny_networks_are_wired_directly() {
         let mut ov = new_overlay(OscarConfig::default(), FaultModel::StabilizedRing, 1);
-        ov.grow_to(4, &UniformKeys, &ConstantDegrees::new(8)).unwrap();
+        ov.grow_to(4, &UniformKeys, &ConstantDegrees::new(8))
+            .unwrap();
         // each of the 4 peers links to the 3 others
         for p in ov.network().all_peers() {
             assert_eq!(ov.network().peer(p).out_degree(), 3);
@@ -109,7 +107,8 @@ mod tests {
     #[test]
     fn oscar_overlay_routes_efficiently_uniform() {
         let mut ov = new_overlay(OscarConfig::default(), FaultModel::StabilizedRing, 2);
-        ov.grow_to(500, &UniformKeys, &ConstantDegrees::paper()).unwrap();
+        ov.grow_to(500, &UniformKeys, &ConstantDegrees::paper())
+            .unwrap();
         let stats = ov.run_queries(&QueryWorkload::UniformPeers, 500);
         assert_eq!(stats.success_rate, 1.0);
         // log2(500)^2 ≈ 80; Oscar with 27 links/peer lands way below.
@@ -138,7 +137,10 @@ mod tests {
         for p in ov.network().all_peers() {
             let peer = ov.network().peer(p);
             assert!(peer.in_degree() <= peer.caps.rho_in, "in budget violated");
-            assert!(peer.out_degree() <= peer.caps.rho_out, "out budget violated");
+            assert!(
+                peer.out_degree() <= peer.caps.rho_out,
+                "out budget violated"
+            );
         }
         let stats = ov.run_queries(&QueryWorkload::UniformPeers, 400);
         assert_eq!(stats.success_rate, 1.0);

@@ -128,12 +128,7 @@ mod tests {
         net
     }
 
-    fn parts_for(
-        net: &mut Network,
-        u: PeerIdx,
-        cfg: &OscarConfig,
-        seed: u64,
-    ) -> Partitions {
+    fn parts_for(net: &mut Network, u: PeerIdx, cfg: &OscarConfig, seed: u64) -> Partitions {
         let mut rng = SeedTree::new(seed).rng();
         estimate_partitions(net, u, cfg, &mut rng).unwrap()
     }
@@ -189,7 +184,14 @@ mod tests {
     #[test]
     fn respects_target_budgets_strictly() {
         // Tight in-budgets: nobody may exceed ρ_in no matter the pressure.
-        let mut net = test_net(64, DegreeCaps { rho_in: 6, rho_out: 24 }, 7);
+        let mut net = test_net(
+            64,
+            DegreeCaps {
+                rho_in: 6,
+                rho_out: 24,
+            },
+            7,
+        );
         let cfg = OscarConfig::default();
         for rank in 0..64 {
             let u = net.live_peer_by_rank(rank);
@@ -211,7 +213,14 @@ mod tests {
         // candidates. Power-of-two should shrink the spread (variance).
         let spread = |candidates: usize, seed: u64| -> f64 {
             // Generous in-budget (uncapped regime), 8 out-links demanded.
-            let mut net = test_net(256, DegreeCaps { rho_in: 200, rho_out: 12 }, seed);
+            let mut net = test_net(
+                256,
+                DegreeCaps {
+                    rho_in: 200,
+                    rho_out: 12,
+                },
+                seed,
+            );
             // Remove bootstrap links so only Oscar links count.
             let peers: Vec<PeerIdx> = net.live_peers().collect();
             let cfg = OscarConfig {
@@ -250,7 +259,14 @@ mod tests {
     #[test]
     fn refusals_leave_slots_unfilled_not_overfilled() {
         // Tiny in-budgets force refusals; total in-links == total capacity.
-        let mut net = test_net(32, DegreeCaps { rho_in: 2, rho_out: 16 }, 13);
+        let mut net = test_net(
+            32,
+            DegreeCaps {
+                rho_in: 2,
+                rho_out: 16,
+            },
+            13,
+        );
         let peers: Vec<PeerIdx> = net.live_peers().collect();
         for &p in &peers {
             net.unlink_long_out(p);
@@ -265,7 +281,10 @@ mod tests {
         }
         let total_in: u32 = peers.iter().map(|&p| net.peer(p).in_degree()).sum();
         assert!(total_in <= 32 * 2, "capacity violated");
-        assert!(total_unfilled > 0, "demand (16/peer) far exceeds supply (2/peer)");
+        assert!(
+            total_unfilled > 0,
+            "demand (16/peer) far exceeds supply (2/peer)"
+        );
     }
 
     #[test]

@@ -303,9 +303,7 @@ mod tests {
         );
         // And the innermost partitions must hold *few* peers even though
         // the key space near a cluster is dense.
-        let last = net
-            .ring_live()
-            .count_in_arc(&p.get(p.len() - 1).0);
+        let last = net.ring_live().count_in_arc(&p.get(p.len() - 1).0);
         assert!(last <= n / 4, "innermost partition holds {last}/{n}");
     }
 
@@ -332,7 +330,9 @@ mod tests {
             let u = net.live_peer_by_rank(5);
             let mut rng = SeedTree::new(22).rng();
             let p = estimate_partitions(&mut net, u, &OscarConfig::default(), &mut rng).unwrap();
-            p.arcs().map(|a| (a.start().raw(), a.len())).collect::<Vec<_>>()
+            p.arcs()
+                .map(|a| (a.start().raw(), a.len()))
+                .collect::<Vec<_>>()
         };
         assert_eq!(build(), build());
     }

@@ -63,10 +63,7 @@ pub fn range_scan(
     // a peer owns (pred, self], so successor `s` of `cursor` intersects
     // the range iff its *predecessor side* boundary (cursor) is before hi,
     // i.e. iff s's owned arc starts inside the range.
-    loop {
-        let Some(next) = net.ring_successor(cursor) else {
-            break;
-        };
+    while let Some(next) = net.ring_successor(cursor) {
         if next == cursor || next == first {
             break; // wrapped: the whole ring is covered
         }
@@ -97,7 +94,8 @@ mod tests {
 
     fn grown(n: usize, seed: u64) -> crate::OscarOverlay {
         let mut ov = new_overlay(OscarConfig::default(), FaultModel::StabilizedRing, seed);
-        ov.grow_to(n, &UniformKeys, &ConstantDegrees::paper()).unwrap();
+        ov.grow_to(n, &UniformKeys, &ConstantDegrees::paper())
+            .unwrap();
         ov
     }
 
@@ -143,7 +141,11 @@ mod tests {
             &RoutePolicy::default(),
         );
         for w in out.owners.windows(2) {
-            assert_eq!(net.ring_successor(w[0]), Some(w[1]), "scan must follow the ring");
+            assert_eq!(
+                net.ring_successor(w[0]),
+                Some(w[1]),
+                "scan must follow the ring"
+            );
         }
     }
 

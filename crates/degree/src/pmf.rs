@@ -47,7 +47,11 @@ impl DiscretePmf {
             cdf.push(cum);
         }
         *cdf.last_mut().expect("non-empty") = 1.0;
-        DiscretePmf { support, probs, cdf }
+        DiscretePmf {
+            support,
+            probs,
+            cdf,
+        }
     }
 
     /// Exact mean of the pmf.
@@ -79,7 +83,10 @@ impl DiscretePmf {
     /// Draws a degree by inverse-CDF.
     pub fn sample(&self, rng: &mut dyn RngCore) -> u32 {
         let u: f64 = rng.gen();
-        let idx = match self.cdf.binary_search_by(|c| c.partial_cmp(&u).expect("no NaN")) {
+        let idx = match self
+            .cdf
+            .binary_search_by(|c| c.partial_cmp(&u).expect("no NaN"))
+        {
             Ok(i) => i,
             Err(i) => i.min(self.support.len() - 1),
         };

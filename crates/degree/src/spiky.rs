@@ -156,7 +156,10 @@ mod tests {
         let d = SpikyDegrees::paper();
         let mut rng = SeedTree::new(1).rng();
         let n = 100_000;
-        let mean: f64 = (0..n).map(|_| d.sample(&mut rng).rho_in as f64).sum::<f64>() / n as f64;
+        let mean: f64 = (0..n)
+            .map(|_| d.sample(&mut rng).rho_in as f64)
+            .sum::<f64>()
+            / n as f64;
         assert!((mean - 27.0).abs() < 0.3, "empirical mean {mean}");
     }
 

@@ -185,7 +185,10 @@ mod tests {
         let c = EmpiricalCdf::new(ids(&[0, 10, 20, 30, 40, 50, 60, 70, 80, 90]));
         let moved = c.advance_by_ranks(Id::new(10), 3.0);
         // 3 ranks from rank 2/10 → quantile 0.5 = interpolated midpoint
-        assert!(moved >= Id::new(40) && moved <= Id::new(50), "moved to {moved:?}");
+        assert!(
+            moved >= Id::new(40) && moved <= Id::new(50),
+            "moved to {moved:?}"
+        );
     }
 
     #[test]
@@ -225,6 +228,9 @@ mod tests {
             let d = (a - b).abs();
             max_dev = max_dev.max(d.min(1.0 - d));
         }
-        assert!(max_dev > 0.01, "coarse CDF suspiciously accurate: {max_dev}");
+        assert!(
+            max_dev > 0.01,
+            "coarse CDF suspiciously accurate: {max_dev}"
+        );
     }
 }

@@ -194,7 +194,9 @@ mod tests {
             let f = g.sample_filename(&mut rng);
             assert!(f.contains('.'), "no extension in {f}");
             assert!(f.len() >= 4, "too short: {f}");
-            assert!(f.bytes().all(|b| b.is_ascii_lowercase() || b == b'_' || b == b'.' || b.is_ascii_digit()));
+            assert!(f
+                .bytes()
+                .all(|b| b.is_ascii_lowercase() || b == b'_' || b == b'.' || b.is_ascii_digit()));
         }
     }
 

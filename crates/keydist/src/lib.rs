@@ -64,11 +64,7 @@ impl<T: KeyDistribution + ?Sized> KeyDistribution for Box<T> {
 }
 
 /// Draws `n` keys into a vector (test/bench convenience).
-pub fn sample_n<D: KeyDistribution + ?Sized>(
-    dist: &D,
-    n: usize,
-    rng: &mut dyn RngCore,
-) -> Vec<Id> {
+pub fn sample_n<D: KeyDistribution + ?Sized>(dist: &D, n: usize, rng: &mut dyn RngCore) -> Vec<Id> {
     let mut out = Vec::with_capacity(n);
     for _ in 0..n {
         out.push(dist.sample(rng));

@@ -194,7 +194,10 @@ mod tests {
         ];
         let m = MixtureKeys::new(comps, &[0.9, 0.1]);
         let keys = sample_n(&m, 5_000, &mut SeedTree::new(3).rng());
-        let near_heavy = keys.iter().filter(|k| (k.to_unit() - 0.25).abs() < 0.01).count();
+        let near_heavy = keys
+            .iter()
+            .filter(|k| (k.to_unit() - 0.25).abs() < 0.01)
+            .count();
         let frac = near_heavy as f64 / 5_000.0;
         assert!((frac - 0.9).abs() < 0.03, "heavy component fraction {frac}");
     }
@@ -217,7 +220,10 @@ mod tests {
         let d = ClusteredKeys::new(12, 5e-4, 1.0, 99);
         let keys = sample_n(&d, 20_000, &mut SeedTree::new(4).rng());
         let m = mass_in_top_bins(&keys, 1000, 0.02);
-        assert!(m > 0.8, "top 2% of fine bins should hold most mass, got {m}");
+        assert!(
+            m > 0.8,
+            "top 2% of fine bins should hold most mass, got {m}"
+        );
     }
 
     #[test]

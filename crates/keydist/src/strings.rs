@@ -56,7 +56,10 @@ mod tests {
 
     #[test]
     fn filename_encoding_is_case_insensitive() {
-        assert_eq!(encode_filename_key("MyFile.MP3"), encode_filename_key("myfile.mp3"));
+        assert_eq!(
+            encode_filename_key("MyFile.MP3"),
+            encode_filename_key("myfile.mp3")
+        );
     }
 
     #[test]

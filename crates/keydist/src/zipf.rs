@@ -88,7 +88,10 @@ impl KeyDistribution for ZipfKeys {
     fn sample(&self, rng: &mut dyn RngCore) -> Id {
         let u: f64 = rng.gen();
         // First rank whose cumulative mass covers u.
-        let rank = match self.cdf.binary_search_by(|c| c.partial_cmp(&u).expect("no NaN")) {
+        let rank = match self
+            .cdf
+            .binary_search_by(|c| c.partial_cmp(&u).expect("no NaN"))
+        {
             Ok(i) => i,
             Err(i) => i.min(self.cdf.len() - 1),
         };
@@ -157,7 +160,10 @@ mod tests {
         let d2 = ZipfKeys::new(64, 1.0, 10);
         let d3 = ZipfKeys::new(64, 1.0, 11);
         assert_eq!(d1.rank_to_bin, d2.rank_to_bin);
-        assert_ne!(d1.rank_to_bin, d3.rank_to_bin, "different seeds scatter differently");
+        assert_ne!(
+            d1.rank_to_bin, d3.rank_to_bin,
+            "different seeds scatter differently"
+        );
         // The heaviest bin should not always be bin 0 (scatter works).
         // The heaviest rank should rarely land on bin 0 for both seeds.
         assert!(d1.rank_to_bin[0] != 0 || d3.rank_to_bin[0] != 0);

@@ -94,7 +94,8 @@ mod tests {
     #[test]
     fn mercury_routes_fine_on_uniform_keys() {
         let mut ov = new_overlay(MercuryConfig::default(), FaultModel::StabilizedRing, 1);
-        ov.grow_to(500, &UniformKeys, &ConstantDegrees::paper()).unwrap();
+        ov.grow_to(500, &UniformKeys, &ConstantDegrees::paper())
+            .unwrap();
         let stats = ov.run_queries(&QueryWorkload::UniformPeers, 500);
         assert_eq!(stats.success_rate, 1.0);
         assert!(

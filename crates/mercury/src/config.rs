@@ -61,7 +61,10 @@ mod tests {
     fn default_is_valid_and_faithful() {
         let c = MercuryConfig::default();
         c.validate().unwrap();
-        assert!(!c.use_power_of_two, "published Mercury has no po2 balancing");
+        assert!(
+            !c.use_power_of_two,
+            "published Mercury has no po2 balancing"
+        );
     }
 
     #[test]
@@ -78,6 +81,10 @@ mod tests {
 
     #[test]
     fn po2_toggle() {
-        assert!(MercuryConfig::default().with_power_of_two().use_power_of_two);
+        assert!(
+            MercuryConfig::default()
+                .with_power_of_two()
+                .use_power_of_two
+        );
     }
 }

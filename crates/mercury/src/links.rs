@@ -2,9 +2,7 @@
 
 use crate::config::MercuryConfig;
 use oscar_keydist::EmpiricalCdf;
-use oscar_sim::{
-    route_to_owner, sample_peers, LinkError, MsgKind, Network, PeerIdx, RoutePolicy,
-};
+use oscar_sim::{route_to_owner, sample_peers, LinkError, MsgKind, Network, PeerIdx, RoutePolicy};
 use oscar_types::{Id, Result};
 use rand::rngs::SmallRng;
 use rand::Rng;
@@ -35,12 +33,7 @@ pub fn harmonic_rank<R: Rng + ?Sized>(n_live: usize, rng: &mut R) -> f64 {
 
 /// One harmonic link-target draw: a *key* estimated to sit `r` node ranks
 /// clockwise of `p`, per the sampled CDF.
-pub fn draw_target_key(
-    cdf: &EmpiricalCdf,
-    own_id: Id,
-    n_live: usize,
-    rng: &mut SmallRng,
-) -> Id {
+pub fn draw_target_key(cdf: &EmpiricalCdf, own_id: Id, n_live: usize, rng: &mut SmallRng) -> Id {
     let r = harmonic_rank(n_live, rng);
     // The CDF was built from `len()` samples representing `n_live` peers:
     // convert the rank distance into sample-rank units.
@@ -216,7 +209,14 @@ mod tests {
         // distance distribution) rare, and pooling several peers averages
         // out CDF sampling luck (a bad 24-point sample can leave large
         // holes — that sensitivity is Mercury's documented weakness).
-        let mut net = test_net(512, DegreeCaps { rho_in: 64, rho_out: 12 }, 7);
+        let mut net = test_net(
+            512,
+            DegreeCaps {
+                rho_in: 64,
+                rho_out: 12,
+            },
+            7,
+        );
         let cfg = MercuryConfig::default();
         let n = net.live_count();
         let mut rank_dists: Vec<usize> = Vec::new();
@@ -247,7 +247,14 @@ mod tests {
 
     #[test]
     fn budgets_respected_under_pressure() {
-        let mut net = test_net(64, DegreeCaps { rho_in: 4, rho_out: 16 }, 9);
+        let mut net = test_net(
+            64,
+            DegreeCaps {
+                rho_in: 4,
+                rho_out: 16,
+            },
+            9,
+        );
         let cfg = MercuryConfig::default();
         let peers: Vec<PeerIdx> = net.live_peers().collect();
         for (i, &p) in peers.iter().enumerate() {

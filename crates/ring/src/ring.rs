@@ -163,9 +163,7 @@ impl Ring {
         let start_pos = self.ids.partition_point(|&p| p < arc.start());
         let n = self.ids.len();
         let count = self.count_in_arc(arc);
-        (0..count)
-            .map(|i| self.ids[(start_pos + i) % n])
-            .collect()
+        (0..count).map(|i| self.ids[(start_pos + i) % n]).collect()
     }
 
     /// Exact median of the peers in `arc`, measured by clockwise distance
@@ -293,7 +291,10 @@ mod tests {
     fn ids_in_arc_clockwise_order() {
         let r = ring(&[10, 20, 30, 40]);
         let arc = Arc::between(Id::new(35), Id::new(25));
-        assert_eq!(r.ids_in_arc(&arc), vec![Id::new(40), Id::new(10), Id::new(20)]);
+        assert_eq!(
+            r.ids_in_arc(&arc),
+            vec![Id::new(40), Id::new(10), Id::new(20)]
+        );
     }
 
     #[test]
@@ -306,7 +307,10 @@ mod tests {
         let arc4 = Arc::between(Id::new(10), Id::new(50));
         assert_eq!(r.median_in_arc(&arc4), Some(Id::new(20)));
         // empty arc
-        assert_eq!(r.median_in_arc(&Arc::between(Id::new(11), Id::new(19))), None);
+        assert_eq!(
+            r.median_in_arc(&Arc::between(Id::new(11), Id::new(19))),
+            None
+        );
     }
 
     #[test]

@@ -21,7 +21,13 @@ pub fn stitch_live_ring<F>(full: &Ring, mut is_alive: F) -> Ring
 where
     F: FnMut(Id) -> bool,
 {
-    Ring::from_ids(full.ids().iter().copied().filter(|&id| is_alive(id)).collect())
+    Ring::from_ids(
+        full.ids()
+            .iter()
+            .copied()
+            .filter(|&id| is_alive(id))
+            .collect(),
+    )
 }
 
 #[cfg(test)]

@@ -140,14 +140,26 @@ impl GrowthDriver {
             let mut rng = seed.child2(LBL_JOIN, i as u64).rng();
             builder.build_links(net, p, &mut rng)?;
         }
-        self.fire_checkpoints(net, builder, &seed, &mut next_checkpoint, &mut on_checkpoint)?;
+        self.fire_checkpoints(
+            net,
+            builder,
+            &seed,
+            &mut next_checkpoint,
+            &mut on_checkpoint,
+        )?;
 
         // Incremental growth.
         while net.len() < self.config.target_size {
             let p = self.join_one(net, keys, degrees, &mut id_rng)?;
             let mut rng = seed.child2(LBL_JOIN, p.as_usize() as u64).rng();
             builder.build_links(net, p, &mut rng)?;
-            self.fire_checkpoints(net, builder, &seed, &mut next_checkpoint, &mut on_checkpoint)?;
+            self.fire_checkpoints(
+                net,
+                builder,
+                &seed,
+                &mut next_checkpoint,
+                &mut on_checkpoint,
+            )?;
         }
         Ok(())
     }

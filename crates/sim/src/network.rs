@@ -474,7 +474,13 @@ mod tests {
         let mut small = Network::new(FaultModel::StabilizedRing);
         let a = small.add_peer(Id::new(1), caps(5)).unwrap();
         let b = small
-            .add_peer(Id::new(2), DegreeCaps { rho_in: 1, rho_out: 5 })
+            .add_peer(
+                Id::new(2),
+                DegreeCaps {
+                    rho_in: 1,
+                    rho_out: 5,
+                },
+            )
             .unwrap();
         let c = small.add_peer(Id::new(3), caps(5)).unwrap();
         assert_eq!(small.try_link(a, b), Ok(()));
@@ -492,7 +498,13 @@ mod tests {
     fn source_budget_enforced() {
         let mut net = Network::new(FaultModel::StabilizedRing);
         let a = net
-            .add_peer(Id::new(1), DegreeCaps { rho_in: 9, rho_out: 1 })
+            .add_peer(
+                Id::new(1),
+                DegreeCaps {
+                    rho_in: 9,
+                    rho_out: 1,
+                },
+            )
             .unwrap();
         let b = net.add_peer(Id::new(2), caps(9)).unwrap();
         let c = net.add_peer(Id::new(3), caps(9)).unwrap();
@@ -505,7 +517,13 @@ mod tests {
         let mut net = Network::new(FaultModel::StabilizedRing);
         let a = net.add_peer(Id::new(1), caps(3)).unwrap();
         let b = net
-            .add_peer(Id::new(2), DegreeCaps { rho_in: 1, rho_out: 3 })
+            .add_peer(
+                Id::new(2),
+                DegreeCaps {
+                    rho_in: 1,
+                    rho_out: 3,
+                },
+            )
             .unwrap();
         let c = net.add_peer(Id::new(3), caps(3)).unwrap();
         net.try_link(a, b).unwrap();
@@ -537,7 +555,7 @@ mod tests {
     fn ring_neighbors_follow_fault_model() {
         let (mut net, idxs) = net_with(&[10, 20, 30]);
         net.kill(idxs[1]).unwrap(); // kill 20
-        // stabilised: successor of 10 skips the dead 20
+                                    // stabilised: successor of 10 skips the dead 20
         assert_eq!(net.ring_successor(idxs[0]), Some(idxs[2]));
         net.set_fault_model(FaultModel::UnstabilizedRing);
         // unstabilised: successor pointer still aims at dead 20
@@ -625,7 +643,11 @@ mod tests {
         assert!(!net.ring_all().contains(Id::new(30)));
         assert!(!net.ring_live().contains(Id::new(30)));
         net.set_fault_model(FaultModel::UnstabilizedRing);
-        assert_eq!(net.ring_successor(idxs[1]), Some(idxs[3]), "all-list re-stitched");
+        assert_eq!(
+            net.ring_successor(idxs[1]),
+            Some(idxs[3]),
+            "all-list re-stitched"
+        );
         // departing twice errors
         assert!(net.depart(idxs[2]).is_err());
     }

@@ -122,7 +122,13 @@ impl<B: OverlayBuilder> Overlay<B> {
     pub fn run_queries(&mut self, workload: &QueryWorkload, n: usize) -> QueryBatchStats {
         self.query_batches += 1;
         let mut rng = self.seed.child2(LBL_QUERY, self.query_batches).rng();
-        run_query_batch(&mut self.net, workload, n, &RoutePolicy::default(), &mut rng)
+        run_query_batch(
+            &mut self.net,
+            workload,
+            n,
+            &RoutePolicy::default(),
+            &mut rng,
+        )
     }
 
     /// Crashes a uniform fraction of live peers.
@@ -168,7 +174,8 @@ mod tests {
     #[test]
     fn grow_query_churn_cycle() {
         let mut ov = Overlay::new(RandomBuilder, FaultModel::StabilizedRing, 7);
-        ov.grow_to(200, &UniformKeys, &ConstantDegrees::new(8)).unwrap();
+        ov.grow_to(200, &UniformKeys, &ConstantDegrees::new(8))
+            .unwrap();
         assert_eq!(ov.network().live_count(), 200);
 
         let stats = ov.run_queries(&QueryWorkload::UniformPeers, 100);
@@ -185,7 +192,8 @@ mod tests {
     fn query_batches_are_independent_but_reproducible() {
         let run = || {
             let mut ov = Overlay::new(RandomBuilder, FaultModel::StabilizedRing, 9);
-            ov.grow_to(100, &UniformKeys, &ConstantDegrees::new(6)).unwrap();
+            ov.grow_to(100, &UniformKeys, &ConstantDegrees::new(6))
+                .unwrap();
             let a = ov.run_queries(&QueryWorkload::UniformPeers, 50);
             let b = ov.run_queries(&QueryWorkload::UniformPeers, 50);
             (a.mean_cost, b.mean_cost)
@@ -200,7 +208,8 @@ mod tests {
     #[test]
     fn rewire_all_preserves_caps() {
         let mut ov = Overlay::new(RandomBuilder, FaultModel::StabilizedRing, 11);
-        ov.grow_to(150, &UniformKeys, &ConstantDegrees::new(6)).unwrap();
+        ov.grow_to(150, &UniformKeys, &ConstantDegrees::new(6))
+            .unwrap();
         ov.rewire_all().unwrap();
         ov.rewire_all().unwrap();
         for p in ov.network().all_peers() {

@@ -105,7 +105,13 @@ mod tests {
 
     #[test]
     fn budgets_gate_acceptance() {
-        let mut p = Peer::new(Id::new(7), DegreeCaps { rho_in: 1, rho_out: 2 });
+        let mut p = Peer::new(
+            Id::new(7),
+            DegreeCaps {
+                rho_in: 1,
+                rho_out: 2,
+            },
+        );
         p.long_in.push(PeerIdx(9));
         assert!(!p.accepts_in(), "in budget of 1 exhausted");
         p.long_out.push(PeerIdx(1));

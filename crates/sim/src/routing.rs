@@ -68,12 +68,7 @@ impl RouteOutcome {
 /// [`Network::live_owner_of`]); the *routing decisions* only use knowledge
 /// a real peer has: its own neighbour list and the probe results the query
 /// accumulated.
-pub fn route_to_owner(
-    net: &Network,
-    src: PeerIdx,
-    key: Id,
-    policy: &RoutePolicy,
-) -> RouteOutcome {
+pub fn route_to_owner(net: &Network, src: PeerIdx, key: Id, policy: &RoutePolicy) -> RouteOutcome {
     let mut out = RouteOutcome {
         success: false,
         hops: 0,
@@ -99,10 +94,15 @@ pub fn route_to_owner(
     let mut neighbors: Vec<PeerIdx> = Vec::with_capacity(64);
     let mut candidates: Vec<(u64, PeerIdx)> = Vec::with_capacity(64);
 
-    while out.cost() < policy.max_messages {
+    loop {
+        // Success check first: arriving at the owner costs no extra
+        // message, so a query that lands exactly on the budget succeeds.
         if current == owner {
             out.success = true;
             out.dest = Some(owner);
+            return out;
+        }
+        if out.cost() >= policy.max_messages {
             return out;
         }
         let cur_potential = net.peer(current).id.cw_dist(owner_id);
@@ -135,6 +135,9 @@ pub fn route_to_owner(
             if known_dead.contains(&c) {
                 continue; // the query already knows; skipping is free
             }
+            if out.cost() >= policy.max_messages {
+                return out; // budget exhausted mid-probe sequence
+            }
             if !net.is_alive(c) {
                 // Probe timed out: wasted traffic, remember the corpse.
                 out.wasted += 1;
@@ -156,6 +159,9 @@ pub fn route_to_owner(
         exhausted.insert(current);
         match stack.pop() {
             Some(prev) => {
+                if out.cost() >= policy.max_messages {
+                    return out; // no budget left for the backtrack message
+                }
                 out.wasted += 1;
                 out.backtracks += 1;
                 current = prev;
@@ -163,7 +169,6 @@ pub fn route_to_owner(
             None => return out, // nowhere left to go
         }
     }
-    out
 }
 
 /// Aggregate statistics over a batch of queries (one figure data point).
@@ -275,6 +280,24 @@ mod tests {
         let o = route_to_owner(&net, src, key, &RoutePolicy::default());
         assert!(o.success);
         assert_eq!(o.cost(), 0);
+    }
+
+    #[test]
+    fn arriving_on_exactly_the_budget_is_a_success() {
+        // One hop to the ring successor, budget of exactly one message:
+        // arrival itself costs nothing, so the query must succeed.
+        let net = test_net(8, 0, 1, FaultModel::StabilizedRing);
+        let src = PeerIdx(3);
+        let owner = net.ring_successor(src).unwrap();
+        let key = net.peer(owner).id;
+        let policy = RoutePolicy {
+            max_messages: 1,
+            use_long_links: true,
+        };
+        let o = route_to_owner(&net, src, key, &policy);
+        assert!(o.success, "owner reached within budget must count");
+        assert_eq!(o.dest, Some(owner));
+        assert_eq!(o.cost(), 1);
     }
 
     #[test]
@@ -408,7 +431,10 @@ mod tests {
         );
         // Some queries succeed through long-link detours, many dead-end.
         assert!(successes > 60, "only {successes}/300 succeeded");
-        assert!(successes < 300, "a 1-entry successor list cannot be perfect");
+        assert!(
+            successes < 300,
+            "a 1-entry successor list cannot be perfect"
+        );
     }
 
     #[test]

@@ -212,7 +212,13 @@ mod tests {
     #[test]
     fn unrestricted_sampling_is_roughly_uniform() {
         let net = test_net(64, 4, 1);
-        let mut walker = Walker::new(&net, WalkConfig { burn_in: 48, metropolis_hastings: true });
+        let mut walker = Walker::new(
+            &net,
+            WalkConfig {
+                burn_in: 48,
+                metropolis_hastings: true,
+            },
+        );
         let mut rng = SeedTree::new(2).rng();
         let mut counts = vec![0u32; 64];
         let trials = 6400;
@@ -276,7 +282,13 @@ mod tests {
         let net = test_net(64, 4, 7);
         let arc = Arc::between(Id::new(0), Id::new(u64::MAX / 2));
         let start = net.idx_of(Id::new(0)).unwrap();
-        let mut walker = Walker::new(&net, WalkConfig { burn_in: 48, metropolis_hastings: true });
+        let mut walker = Walker::new(
+            &net,
+            WalkConfig {
+                burn_in: 48,
+                metropolis_hastings: true,
+            },
+        );
         let mut rng = SeedTree::new(8).rng();
         let mut seen = std::collections::HashSet::new();
         for _ in 0..2000 {
@@ -344,7 +356,13 @@ mod tests {
     #[test]
     fn steps_are_accounted() {
         let net = test_net(16, 2, 17);
-        let mut walker = Walker::new(&net, WalkConfig { burn_in: 10, metropolis_hastings: true });
+        let mut walker = Walker::new(
+            &net,
+            WalkConfig {
+                burn_in: 10,
+                metropolis_hastings: true,
+            },
+        );
         let mut rng = SeedTree::new(18).rng();
         walker.sample_many(PeerIdx(0), None, 5, &mut rng).unwrap();
         assert_eq!(walker.take_steps(), 50, "5 walks x 10 steps");
@@ -355,7 +373,15 @@ mod tests {
     fn sample_peers_wrapper_credits_metrics() {
         let mut net = test_net(16, 2, 19);
         let mut rng = SeedTree::new(20).rng();
-        sample_peers(&mut net, WalkConfig::default(), PeerIdx(0), None, 3, &mut rng).unwrap();
+        sample_peers(
+            &mut net,
+            WalkConfig::default(),
+            PeerIdx(0),
+            None,
+            3,
+            &mut rng,
+        )
+        .unwrap();
         assert_eq!(
             net.metrics.get(MsgKind::WalkStep),
             3 * WalkConfig::default().burn_in as u64

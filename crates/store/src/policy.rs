@@ -250,6 +250,9 @@ mod tests {
     fn policies_have_stable_names() {
         assert_eq!(JoinPolicy::UniformId.name(), "uniform-id");
         assert_eq!(JoinPolicy::FromData.name(), "from-data");
-        assert_eq!(JoinPolicy::StorageAware { probes: 3 }.name(), "storage-aware");
+        assert_eq!(
+            JoinPolicy::StorageAware { probes: 3 }.name(),
+            "storage-aware"
+        );
     }
 }

@@ -46,7 +46,10 @@ impl fmt::Display for Error {
             Error::PeerDead(idx) => write!(f, "peer {idx} is dead"),
             Error::RingEmpty => write!(f, "the ring is empty"),
             Error::LinkRefused { target } => {
-                write!(f, "peer {target} refused the link (in-degree budget exhausted)")
+                write!(
+                    f,
+                    "peer {target} refused the link (in-degree budget exhausted)"
+                )
             }
             Error::RoutingFailed { hops } => {
                 write!(f, "routing failed after {hops} hops")
@@ -75,9 +78,14 @@ mod tests {
                 Error::LinkRefused { target: 7 },
                 "peer 7 refused the link (in-degree budget exhausted)",
             ),
-            (Error::RoutingFailed { hops: 12 }, "routing failed after 12 hops"),
             (
-                Error::SamplingFailed { reason: "empty interval" },
+                Error::RoutingFailed { hops: 12 },
+                "routing failed after 12 hops",
+            ),
+            (
+                Error::SamplingFailed {
+                    reason: "empty interval",
+                },
                 "sampling failed: empty interval",
             ),
         ];

@@ -98,7 +98,10 @@ mod tests {
         let root = SeedTree::new(123);
         let mut seen = HashSet::new();
         for label in 0..10_000u64 {
-            assert!(seen.insert(root.child(label).seed()), "collision at {label}");
+            assert!(
+                seen.insert(root.child(label).seed()),
+                "collision at {label}"
+            );
         }
     }
 

@@ -44,10 +44,10 @@
 //! | [`analytics`] | statistics and figure rendering for the harness |
 
 pub use oscar_analytics as analytics;
+pub use oscar_chord as chord;
 pub use oscar_core as core;
 pub use oscar_degree as degree;
 pub use oscar_keydist as keydist;
-pub use oscar_chord as chord;
 pub use oscar_mercury as mercury;
 pub use oscar_ring as ring;
 pub use oscar_sim as sim;
@@ -57,6 +57,7 @@ pub use oscar_types as types;
 /// The names most programs want in scope.
 pub mod prelude {
     pub use oscar_analytics::{degree_load_curve, degree_volume_utilization, Series, Summary};
+    pub use oscar_chord::{ChordBuilder, ChordConfig, ChordOverlay};
     pub use oscar_core::{
         range_scan, MedianSource, OscarBuilder, OscarConfig, OscarOverlay, RangeScanOutcome,
     };
@@ -66,7 +67,6 @@ pub mod prelude {
     pub use oscar_keydist::{
         ClusteredKeys, GnutellaKeys, KeyDistribution, QueryWorkload, UniformKeys, ZipfKeys,
     };
-    pub use oscar_chord::{ChordBuilder, ChordConfig, ChordOverlay};
     pub use oscar_mercury::{MercuryBuilder, MercuryConfig, MercuryOverlay};
     pub use oscar_sim::{
         FaultModel, GrowthConfig, Network, Overlay, OverlayBuilder, QueryBatchStats, RoutePolicy,

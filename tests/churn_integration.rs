@@ -63,9 +63,19 @@ fn snapshot_clone_isolates_crash_waves() {
     oscar::sim::kill_fraction(&mut clone_a, 0.33, &mut rng_a).unwrap();
     oscar::sim::kill_fraction(&mut clone_b, 0.10, &mut rng_b).unwrap();
 
-    assert_eq!(ov.network().live_count(), pristine_live, "original untouched");
-    assert_eq!(clone_a.live_count(), pristine_live - (pristine_live as f64 * 0.33).round() as usize);
-    assert_eq!(clone_b.live_count(), pristine_live - (pristine_live as f64 * 0.10).round() as usize);
+    assert_eq!(
+        ov.network().live_count(),
+        pristine_live,
+        "original untouched"
+    );
+    assert_eq!(
+        clone_a.live_count(),
+        pristine_live - (pristine_live as f64 * 0.33).round() as usize
+    );
+    assert_eq!(
+        clone_b.live_count(),
+        pristine_live - (pristine_live as f64 * 0.10).round() as usize
+    );
 }
 
 #[test]

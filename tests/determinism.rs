@@ -68,7 +68,8 @@ fn metrics_are_reproducible_too() {
     let run = || {
         let mut ov =
             oscar::core::new_overlay(OscarConfig::default(), FaultModel::StabilizedRing, 99);
-        ov.grow_to(200, &UniformKeys, &ConstantDegrees::paper()).unwrap();
+        ov.grow_to(200, &UniformKeys, &ConstantDegrees::paper())
+            .unwrap();
         ov.network().metrics.clone()
     };
     assert_eq!(run(), run());

@@ -129,7 +129,10 @@ fn oscar_exploits_more_degree_volume_than_mercury() {
         oscar_util > mercury_util,
         "oscar {oscar_util:.2} should exploit more volume than mercury {mercury_util:.2}"
     );
-    assert!(oscar_util > 0.7, "oscar utilisation too low: {oscar_util:.2}");
+    assert!(
+        oscar_util > 0.7,
+        "oscar utilisation too low: {oscar_util:.2}"
+    );
 }
 
 #[test]

@@ -1,0 +1,275 @@
+//! Offline, API-compatible subset of the `criterion` crate.
+//!
+//! The build environment has no crates.io access, so this vendored stub
+//! provides the measurement surface the workspace's benches use:
+//! [`Criterion`], [`BenchmarkGroup`], [`BenchmarkId`], [`Bencher`],
+//! [`black_box`], and the [`criterion_group!`] / [`criterion_main!`]
+//! macros. Bench targets still need `harness = false`.
+//!
+//! Measurement is deliberately simple: each `iter` closure is warmed
+//! up briefly, then timed over enough iterations to fill a short
+//! measurement window, and the mean per-iteration wall time is printed.
+//! There is no statistical analysis, HTML report, or baseline storage —
+//! the stub exists so benches compile, run, and give a usable
+//! order-of-magnitude number.
+
+use std::time::{Duration, Instant};
+
+/// Opaque identity function that defeats constant-folding.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Times the body passed to [`Bencher::iter`].
+pub struct Bencher {
+    measurement_time: Duration,
+    /// (total elapsed, iterations) of the measured window.
+    result: Option<(Duration, u64)>,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut body: F) {
+        // Warm-up & calibration: discover a per-iteration cost estimate.
+        let warmup_end = Instant::now() + self.measurement_time / 4;
+        let mut calib_iters: u64 = 0;
+        let calib_start = Instant::now();
+        while Instant::now() < warmup_end {
+            black_box(body());
+            calib_iters += 1;
+        }
+        let per_iter = calib_start.elapsed().as_secs_f64() / calib_iters.max(1) as f64;
+
+        let target =
+            ((self.measurement_time.as_secs_f64() / per_iter.max(1e-9)) as u64).clamp(1, 1_000_000);
+        let start = Instant::now();
+        for _ in 0..target {
+            black_box(body());
+        }
+        self.result = Some((start.elapsed(), target));
+    }
+}
+
+fn humanize(d: Duration) -> String {
+    let ns = d.as_nanos();
+    match ns {
+        0..=999 => format!("{ns} ns"),
+        1_000..=999_999 => format!("{:.2} µs", ns as f64 / 1e3),
+        1_000_000..=999_999_999 => format!("{:.2} ms", ns as f64 / 1e6),
+        _ => format!("{:.2} s", ns as f64 / 1e9),
+    }
+}
+
+fn run_one(name: &str, measurement_time: Duration, f: impl FnOnce(&mut Bencher)) {
+    let mut b = Bencher {
+        measurement_time,
+        result: None,
+    };
+    f(&mut b);
+    match b.result {
+        Some((total, iters)) => {
+            let per = total / iters.max(1) as u32;
+            println!(
+                "{name:<50} time: {:>12}   ({iters} iterations)",
+                humanize(per)
+            );
+        }
+        None => println!("{name:<50} (no iter() call)"),
+    }
+}
+
+/// A named set of related benchmarks. Borrows the parent `Criterion`
+/// (mirroring the real crate's API shape) but keeps its own
+/// measurement window so per-group overrides don't leak out.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    measurement_time: Duration,
+    _parent: std::marker::PhantomData<&'a mut Criterion>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the stub's fixed measurement
+    /// window makes the requested statistical sample count moot.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement_time = t;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into().id);
+        run_one(&full, self.measurement_time, f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        f: F,
+    ) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.into().id);
+        run_one(&full, self.measurement_time, |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+pub struct Criterion {
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            // Short window: CI smoke runs must stay fast.
+            measurement_time: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.measurement_time = t;
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            measurement_time: self.measurement_time,
+            _parent: std::marker::PhantomData,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        run_one(&id.into().id, self.measurement_time, f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        f: F,
+    ) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher, &I),
+    {
+        let name = id.into().id;
+        run_one(&name, self.measurement_time, |b| f(b, input));
+        self
+    }
+
+    /// Criterion's CLI parsing normally handles `--bench`/filters; the
+    /// stub accepts and ignores whatever cargo passes through.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+    ($group:ident, config = $config:expr, targets = $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $config.configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("stub");
+        group.sample_size(10);
+        group.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        group.bench_with_input(BenchmarkId::from_parameter(7u32), &7u32, |b, &n| {
+            b.iter(|| n * 2)
+        });
+        group.bench_function(BenchmarkId::new("named", 3), |b| b.iter(|| 1 + 2));
+        group.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn group_and_main_macros_compile_and_run() {
+        benches();
+    }
+
+    #[test]
+    fn group_measurement_time_does_not_leak_to_parent() {
+        let mut c = Criterion::default();
+        let parent_window = c.measurement_time;
+        {
+            let mut group = c.benchmark_group("leaky");
+            group.measurement_time(Duration::from_secs(60));
+            group.finish();
+        }
+        assert_eq!(c.measurement_time, parent_window);
+    }
+}

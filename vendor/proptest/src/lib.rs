@@ -1,0 +1,625 @@
+//! Offline, API-compatible subset of the `proptest` crate.
+//!
+//! The build environment has no crates.io access, so this vendored stub
+//! implements the surface the workspace's property tests use:
+//!
+//! - the [`proptest!`] macro (optional `#![proptest_config(..)]` header,
+//!   `#[test]` functions whose parameters are either `pat in strategy`
+//!   or `ident: Type` shorthand for `any::<Type>()`),
+//! - [`Strategy`] implementations for numeric ranges, tuples,
+//!   `prop::collection::vec`, [`any`], and a small regex subset for
+//!   `&str` strategies,
+//! - `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!` /
+//!   `prop_assume!`, [`ProptestConfig`], and [`TestCaseError`].
+//!
+//! Unlike the real crate there is no shrinking: a failing case reports
+//! the panic message of the first failure together with the case number
+//! and the deterministic seed, which is enough to reproduce it (the
+//! runner derives all case seeds from the test name).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+pub mod prelude {
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest,
+        ProptestConfig, Strategy, TestCaseError, TestCaseResult, TestRunner,
+    };
+}
+
+/// Why a single generated case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// An assertion failed; the test as a whole fails.
+    Fail(String),
+    /// `prop_assume!` rejected the inputs; the case is skipped.
+    Reject(String),
+}
+
+impl TestCaseError {
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestCaseError::Fail(m) => write!(f, "test case failed: {m}"),
+            TestCaseError::Reject(m) => write!(f, "test case rejected: {m}"),
+        }
+    }
+}
+
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Runner configuration; only the knobs the workspace uses.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the test to pass.
+    pub cases: u32,
+    /// Upper bound on consecutive `prop_assume!` rejections before the
+    /// runner gives up (mirrors the real crate's global reject cap).
+    pub max_global_rejects: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 256,
+            max_global_rejects: 4096,
+        }
+    }
+}
+
+/// A generator of values of one type. The stub has no shrinking, so a
+/// strategy is just a seeded sampler.
+pub trait Strategy {
+    type Value;
+    fn new_value(&self, rng: &mut SmallRng) -> Self::Value;
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn new_value(&self, rng: &mut SmallRng) -> Self::Value {
+        (**self).new_value(rng)
+    }
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    fn arbitrary_value(rng: &mut SmallRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_via_gen {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            #[inline]
+            fn arbitrary_value(rng: &mut SmallRng) -> Self {
+                rng.gen()
+            }
+        }
+    )*};
+}
+impl_arbitrary_via_gen!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, bool, char);
+
+// Floats: cover sign, magnitude spread, and exact zero — a plain unit
+// uniform would never exercise negative or large inputs.
+impl Arbitrary for f64 {
+    fn arbitrary_value(rng: &mut SmallRng) -> Self {
+        match rng.gen_range(0..8u32) {
+            0 => 0.0,
+            1 => rng.gen::<f64>(),
+            2 => -rng.gen::<f64>(),
+            3 => rng.gen::<f64>() * 1e6,
+            4 => -rng.gen::<f64>() * 1e6,
+            5 => rng.gen::<f64>() * 1e-6,
+            _ => (rng.gen::<f64>() - 0.5) * 2e3,
+        }
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary_value(rng: &mut SmallRng) -> Self {
+        f64::arbitrary_value(rng) as f32
+    }
+}
+
+/// Strategy produced by [`any`].
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// The canonical strategy for `T`: any representable value.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn new_value(&self, rng: &mut SmallRng) -> T {
+        T::arbitrary_value(rng)
+    }
+}
+
+macro_rules! impl_strategy_for_ranges {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            #[inline]
+            fn new_value(&self, rng: &mut SmallRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            #[inline]
+            fn new_value(&self, rng: &mut SmallRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_strategy_for_ranges!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, isize, f32, f64);
+
+macro_rules! impl_strategy_for_tuples {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn new_value(&self, rng: &mut SmallRng) -> Self::Value {
+                ($(self.$idx.new_value(rng),)+)
+            }
+        }
+    )*};
+}
+impl_strategy_for_tuples! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5)
+}
+
+/// Collection strategies, exposed as `prop::collection::*` to mirror
+/// the real crate's prelude.
+pub mod prop {
+    pub mod collection {
+        use super::super::Strategy;
+        use rand::rngs::SmallRng;
+        use rand::Rng;
+
+        pub struct VecStrategy<S> {
+            elem: S,
+            size: core::ops::Range<usize>,
+        }
+
+        /// A `Vec` whose length is drawn from `size` and whose elements
+        /// are drawn from `elem`.
+        pub fn vec<S: Strategy>(elem: S, size: core::ops::Range<usize>) -> VecStrategy<S> {
+            assert!(size.start < size.end, "empty size range for vec strategy");
+            VecStrategy { elem, size }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn new_value(&self, rng: &mut SmallRng) -> Self::Value {
+                let n = rng.gen_range(self.size.clone());
+                (0..n).map(|_| self.elem.new_value(rng)).collect()
+            }
+        }
+
+        pub struct HashSetStrategy<S> {
+            elem: S,
+            size: core::ops::Range<usize>,
+        }
+
+        /// A `HashSet` with between `size.start` and `size.end - 1`
+        /// distinct elements drawn from `elem`. Mirrors the real
+        /// crate's behaviour of retrying duplicates to reach the
+        /// requested minimum size.
+        pub fn hash_set<S: Strategy>(elem: S, size: core::ops::Range<usize>) -> HashSetStrategy<S>
+        where
+            S::Value: std::hash::Hash + Eq,
+        {
+            assert!(
+                size.start < size.end,
+                "empty size range for hash_set strategy"
+            );
+            HashSetStrategy { elem, size }
+        }
+
+        impl<S: Strategy> Strategy for HashSetStrategy<S>
+        where
+            S::Value: std::hash::Hash + Eq,
+        {
+            type Value = std::collections::HashSet<S::Value>;
+            fn new_value(&self, rng: &mut SmallRng) -> Self::Value {
+                let n = rng.gen_range(self.size.clone());
+                let mut set = std::collections::HashSet::new();
+                // Bounded retries: a narrow element domain may not
+                // contain `n` distinct values.
+                let mut attempts = 0usize;
+                while set.len() < n && attempts < n * 20 + 100 {
+                    set.insert(self.elem.new_value(rng));
+                    attempts += 1;
+                }
+                set
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Regex-subset string strategies
+// ---------------------------------------------------------------------------
+
+/// `&str` values act as regex strategies producing `String`s. Supported
+/// subset: a single atom — a character class `[..]` (literals and
+/// `a-z` ranges, leading `^` negation over printable ASCII), `\PC`
+/// (any non-control character), or `.` — followed by an optional
+/// `{m,n}` / `{m}` / `*` / `+` repetition. Unsupported patterns panic
+/// loudly rather than silently generating the wrong language.
+impl Strategy for &str {
+    type Value = String;
+    fn new_value(&self, rng: &mut SmallRng) -> String {
+        let (atom, rest) = parse_atom(self);
+        let (lo, hi) = parse_repeat(rest, self);
+        let n = if lo == hi { lo } else { rng.gen_range(lo..=hi) };
+        (0..n).map(|_| atom.sample(rng)).collect()
+    }
+}
+
+impl Strategy for String {
+    type Value = String;
+    fn new_value(&self, rng: &mut SmallRng) -> String {
+        self.as_str().new_value(rng)
+    }
+}
+
+enum Atom {
+    /// Explicit set of candidate chars.
+    Class(Vec<char>),
+    /// Any non-control char (`\PC`): printable ASCII plus a sprinkle of
+    /// multi-byte code points so encodings get exercised.
+    NonControl,
+}
+
+impl Atom {
+    fn sample(&self, rng: &mut SmallRng) -> char {
+        match self {
+            Atom::Class(chars) => chars[rng.gen_range(0..chars.len())],
+            Atom::NonControl => {
+                const EXOTIC: &[char] = &['é', 'λ', '中', '🦀', 'ß', 'Ω', '☂', 'ñ'];
+                if rng.gen_range(0..8u32) == 0 {
+                    EXOTIC[rng.gen_range(0..EXOTIC.len())]
+                } else {
+                    (0x20 + (rng.next_u64() % 0x5f)) as u8 as char
+                }
+            }
+        }
+    }
+}
+
+fn parse_atom(pat: &str) -> (Atom, &str) {
+    if let Some(rest) = pat
+        .strip_prefix("\\PC")
+        .or_else(|| pat.strip_prefix("\\pC"))
+    {
+        return (Atom::NonControl, rest);
+    }
+    if let Some(rest) = pat.strip_prefix('.') {
+        return (Atom::NonControl, rest);
+    }
+    if let Some(body) = pat.strip_prefix('[') {
+        let close = body
+            .find(']')
+            .unwrap_or_else(|| panic!("unterminated char class in regex strategy {pat:?}"));
+        let (class, rest) = (&body[..close], &body[close + 1..]);
+        let (negate, class) = match class.strip_prefix('^') {
+            Some(c) => (true, c),
+            None => (false, class),
+        };
+        let mut set: Vec<char> = Vec::new();
+        let chars: Vec<char> = class.chars().collect();
+        let mut i = 0;
+        while i < chars.len() {
+            if i + 2 < chars.len() && chars[i + 1] == '-' {
+                let (lo, hi) = (chars[i] as u32, chars[i + 2] as u32);
+                assert!(lo <= hi, "inverted range in regex strategy {pat:?}");
+                set.extend((lo..=hi).filter_map(char::from_u32));
+                i += 3;
+            } else {
+                set.push(chars[i]);
+                i += 1;
+            }
+        }
+        if negate {
+            set = (0x20u32..0x7f)
+                .filter_map(char::from_u32)
+                .filter(|c| !set.contains(c))
+                .collect();
+        }
+        assert!(
+            !set.is_empty(),
+            "empty char class in regex strategy {pat:?}"
+        );
+        return (Atom::Class(set), rest);
+    }
+    panic!("unsupported regex strategy {pat:?}: expected `[..]`, `\\PC`, or `.`");
+}
+
+fn parse_repeat(rest: &str, pat: &str) -> (usize, usize) {
+    match rest {
+        "" => (1, 1),
+        "*" => (0, 32),
+        "+" => (1, 32),
+        _ => {
+            let body = rest
+                .strip_prefix('{')
+                .and_then(|r| r.strip_suffix('}'))
+                .unwrap_or_else(|| {
+                    panic!("unsupported repetition {rest:?} in regex strategy {pat:?}")
+                });
+            let parse = |s: &str| -> usize {
+                s.trim()
+                    .parse()
+                    .unwrap_or_else(|_| panic!("bad repetition bound in regex strategy {pat:?}"))
+            };
+            match body.split_once(',') {
+                Some((lo, hi)) => (parse(lo), parse(hi)),
+                None => {
+                    let n = parse(body);
+                    (n, n)
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Runner
+// ---------------------------------------------------------------------------
+
+/// Drives the generated cases for one `proptest!` test function.
+pub struct TestRunner {
+    config: ProptestConfig,
+    rng: SmallRng,
+    name: &'static str,
+}
+
+impl TestRunner {
+    pub fn new(config: ProptestConfig, name: &'static str) -> Self {
+        // Deterministic per-test seed so failures reproduce run-to-run.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRunner {
+            config,
+            rng: SmallRng::seed_from_u64(h),
+            name,
+        }
+    }
+
+    /// Fresh generation source for one case.
+    pub fn case_rng(&mut self) -> SmallRng {
+        SmallRng::seed_from_u64(self.rng.gen())
+    }
+
+    pub fn run(&mut self, mut case: impl FnMut(&mut SmallRng) -> TestCaseResult) {
+        let mut passed = 0u32;
+        let mut rejected = 0u32;
+        let mut case_no = 0u64;
+        while passed < self.config.cases {
+            case_no += 1;
+            let mut rng = self.case_rng();
+            match case(&mut rng) {
+                Ok(()) => passed += 1,
+                Err(TestCaseError::Reject(_)) => {
+                    rejected += 1;
+                    if rejected > self.config.max_global_rejects {
+                        panic!(
+                            "proptest {}: too many prop_assume! rejections ({rejected})",
+                            self.name
+                        );
+                    }
+                }
+                Err(TestCaseError::Fail(msg)) => {
+                    panic!(
+                        "proptest {} failed at case #{case_no} (after {passed} passes): {msg}",
+                        self.name
+                    );
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------------
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { cfg = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { cfg = ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (cfg = ($cfg:expr);) => {};
+    (cfg = ($cfg:expr);
+        $(#[$attr:meta])*
+        fn $name:ident($($params:tt)*) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$attr])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut runner = $crate::TestRunner::new(config, stringify!($name));
+            runner.run(|__proptest_rng| {
+                $crate::__proptest_bind!(__proptest_rng, $($params)*);
+                let __proptest_body = || -> $crate::TestCaseResult {
+                    $body
+                    #[allow(unreachable_code)]
+                    Ok(())
+                };
+                __proptest_body()
+            });
+        }
+        $crate::__proptest_items! { cfg = ($cfg); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bind {
+    ($rng:ident $(,)?) => {};
+    ($rng:ident, $var:ident in $strat:expr $(, $($rest:tt)*)?) => {
+        let $var = $crate::Strategy::new_value(&($strat), $rng);
+        $crate::__proptest_bind!($rng $(, $($rest)*)?);
+    };
+    ($rng:ident, $var:ident : $ty:ty $(, $($rest:tt)*)?) => {
+        let $var: $ty = $crate::Strategy::new_value(&$crate::any::<$ty>(), $rng);
+        $crate::__proptest_bind!($rng $(, $($rest)*)?);
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        // No format! here: stringified conditions may contain `{`.
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::Fail(
+                concat!("assertion failed: ", stringify!($cond)).to_string(),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::Fail(format!($($fmt)*)));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{:?}` == `{:?}`", l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{:?}` == `{:?}`: {}", l, r, format!($($fmt)*)
+        );
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{:?}` != `{:?}`", l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{:?}` != `{:?}`: {}", l, r, format!($($fmt)*)
+        );
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::Reject(
+                concat!("assumption failed: ", stringify!($cond)).to_string(),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::Reject(format!($($fmt)*)));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn typed_params_and_ranges(a: u64, b in 0u64..100, frac in 0.0f64..1.0) {
+            prop_assert!(b < 100);
+            prop_assert!((0.0..1.0).contains(&frac));
+            prop_assert_eq!(a, a);
+        }
+
+        #[test]
+        fn vec_and_tuple_strategies(
+            ops in prop::collection::vec((any::<u64>(), 0u8..4), 1..120),
+        ) {
+            prop_assert!(!ops.is_empty() && ops.len() < 120);
+            for (_, op) in ops {
+                prop_assert!(op < 4);
+            }
+        }
+
+        #[test]
+        fn regex_strategies(a in "[ -~]{0,16}", s in "\\PC{0,32}") {
+            prop_assert!(a.len() <= 16);
+            prop_assert!(a.chars().all(|c| (' '..='~').contains(&c)));
+            prop_assert!(s.chars().count() <= 32);
+            prop_assert!(!s.chars().any(|c| c.is_control()));
+        }
+
+        #[test]
+        fn assume_rejects(a in 0u64..10, trailing_comma in 0u64..10,) {
+            prop_assume!(a != trailing_comma);
+            prop_assert_ne!(a, trailing_comma, "assume should have filtered equality");
+        }
+    }
+
+    #[test]
+    fn config_cases_respected() {
+        let mut runner = TestRunner::new(
+            ProptestConfig {
+                cases: 12,
+                ..ProptestConfig::default()
+            },
+            "config_cases_respected",
+        );
+        let mut n = 0;
+        runner.run(|_| {
+            n += 1;
+            Ok(())
+        });
+        assert_eq!(n, 12);
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failures_panic() {
+        let mut runner = TestRunner::new(ProptestConfig::default(), "failures_panic");
+        runner.run(|_| Err(TestCaseError::Fail("boom".into())));
+    }
+}
