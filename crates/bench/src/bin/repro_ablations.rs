@@ -22,7 +22,7 @@ use oscar_sim::{kill_fraction, run_query_batch, FaultModel, Network, RoutePolicy
 use oscar_types::SeedTree;
 
 fn ablation_scale() -> Scale {
-    let mut scale = Scale::from_env();
+    let mut scale = Scale::from_env_or_exit();
     if scale.target > 4000 {
         scale.target = 4000;
         scale.step = 400;

@@ -16,7 +16,7 @@ use oscar_bench::Scale;
 use oscar_degree::{ConstantDegrees, SpikyDegrees};
 
 fn main() -> std::io::Result<()> {
-    let scale = Scale::from_env();
+    let scale = Scale::from_env_or_exit();
     eprintln!(
         "regenerating all figures at scale {} (step {}, seed {})",
         scale.target, scale.step, scale.seed

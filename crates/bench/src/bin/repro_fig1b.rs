@@ -10,7 +10,7 @@ use oscar_bench::figures::{fig1b_report, run_fig1_suite};
 use oscar_bench::Scale;
 
 fn main() -> std::io::Result<()> {
-    let scale = Scale::from_env();
+    let scale = Scale::from_env_or_exit();
     let suite = run_fig1_suite(&scale).expect("fig1 suite");
     fig1b_report(&suite).emit("fig1b_degree_load")?;
     Ok(())

@@ -9,7 +9,7 @@ use oscar_bench::figures::{fig1c_report, run_fig1_suite};
 use oscar_bench::Scale;
 
 fn main() -> std::io::Result<()> {
-    let scale = Scale::from_env();
+    let scale = Scale::from_env_or_exit();
     let suite = run_fig1_suite(&scale).expect("fig1 suite");
     fig1c_report(&suite, &scale).emit("fig1c_search_cost")?;
     Ok(())

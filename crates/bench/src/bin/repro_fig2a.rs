@@ -10,7 +10,7 @@ use oscar_bench::Scale;
 use oscar_degree::ConstantDegrees;
 
 fn main() -> std::io::Result<()> {
-    let scale = Scale::from_env();
+    let scale = Scale::from_env_or_exit();
     fig2_report(&scale, &ConstantDegrees::paper(), "constant")
         .expect("fig2a experiment")
         .emit("fig2a_churn_constant")?;

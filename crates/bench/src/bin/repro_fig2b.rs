@@ -10,7 +10,7 @@ use oscar_bench::Scale;
 use oscar_degree::SpikyDegrees;
 
 fn main() -> std::io::Result<()> {
-    let scale = Scale::from_env();
+    let scale = Scale::from_env_or_exit();
     fig2_report(&scale, &SpikyDegrees::paper(), "realistic")
         .expect("fig2b experiment")
         .emit("fig2b_churn_realistic")?;

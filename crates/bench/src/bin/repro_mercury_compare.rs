@@ -9,7 +9,7 @@ use oscar_bench::figures::{mercury_compare_report, run_fig1_suite};
 use oscar_bench::Scale;
 
 fn main() -> std::io::Result<()> {
-    let scale = Scale::from_env();
+    let scale = Scale::from_env_or_exit();
     let suite = run_fig1_suite(&scale).expect("fig1 suite");
     mercury_compare_report(&suite, &scale).emit("mercury_compare")?;
     Ok(())

@@ -265,8 +265,12 @@ pub fn fig2_report(
         }
         report.add_series(s);
         let (_, last) = r.cost_by_size.last().expect("non-empty");
+        // mean_cost/mean_hops average successful queries; mean_wasted
+        // averages all issued queries (failures waste traffic too), so the
+        // three are reported side by side, not as a sum.
         report.add_note(format!(
-            "{:.0}% crashes at final size: cost {:.2} ({:.2} hops + {:.2} wasted), success {:.1}%",
+            "{:.0}% crashes at final size: successful-query cost {:.2} (hops {:.2}), \
+             wasted/query incl. failures {:.2}, success {:.1}%",
             r.fraction * 100.0,
             last.mean_cost,
             last.mean_hops,

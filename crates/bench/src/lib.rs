@@ -14,3 +14,35 @@ pub mod scale;
 pub use experiments::{run_churn_experiment, run_growth_experiment, ChurnResult, GrowthRunResult};
 pub use report::Report;
 pub use scale::Scale;
+
+/// Serialises every test that touches process environment variables.
+///
+/// Tests run on parallel threads of one process, and on glibc a `setenv`
+/// concurrent with any `getenv` is undefined behaviour — so each
+/// env-mutating test must hold [`env_guard::lock`] for its whole body,
+/// and every *reader* of the same variables it mutates must be inside a
+/// lock-holding test too.
+#[cfg(test)]
+pub(crate) mod env_guard {
+    use std::sync::{Mutex, MutexGuard, PoisonError};
+
+    static ENV_LOCK: Mutex<()> = Mutex::new(());
+
+    /// Acquires the process-wide env lock (poison-tolerant: a failed
+    /// env test must not cascade into unrelated failures).
+    pub fn lock() -> MutexGuard<'static, ()> {
+        ENV_LOCK.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Removes the named variables when dropped, even on panic, so a
+    /// failed assertion cannot leak state into later runs.
+    pub struct RemoveOnDrop(pub &'static [&'static str]);
+
+    impl Drop for RemoveOnDrop {
+        fn drop(&mut self) {
+            for name in self.0 {
+                std::env::remove_var(name);
+            }
+        }
+    }
+}

@@ -66,6 +66,8 @@ mod tests {
 
     #[test]
     fn emit_writes_csv_and_returns_path() {
+        let _lock = crate::env_guard::lock();
+        let _cleanup = crate::env_guard::RemoveOnDrop(&["OSCAR_RESULTS_DIR"]);
         let dir = std::env::temp_dir().join("oscar_report_test");
         let _ = std::fs::remove_dir_all(&dir);
         std::env::set_var("OSCAR_RESULTS_DIR", &dir);
@@ -78,7 +80,6 @@ mod tests {
         assert!(path.exists());
         let content = std::fs::read_to_string(&path).unwrap();
         assert!(content.contains("curve"));
-        std::env::remove_var("OSCAR_RESULTS_DIR");
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

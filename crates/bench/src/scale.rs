@@ -1,12 +1,20 @@
 //! Experiment scale configuration.
 //!
 //! The paper's experiments run to 10,000 peers with checkpoints every
-//! 1,000. A full regeneration takes minutes; `OSCAR_SCALE` shrinks the
-//! whole schedule proportionally for quick validation runs:
+//! 1,000. A full regeneration takes minutes; `OSCAR_SCALE` scales the
+//! whole schedule proportionally, both down for quick validation runs and
+//! up for the large-scale smokes the order-statistic ring enables:
 //!
 //! ```sh
 //! OSCAR_SCALE=2000 cargo run --release -p oscar-bench --bin repro_fig1c
+//! OSCAR_SCALE=100000 cargo run --release -p oscar-bench --bin repro_fig1c
 //! ```
+//!
+//! A malformed `OSCAR_SCALE`/`OSCAR_SEED` is a hard error, not a silent
+//! fallback: a typo like `OSCAR_SCALE=2k` used to run the full paper
+//! schedule for minutes and then be mistaken for the intended quick run.
+
+use oscar_types::Error;
 
 /// Scale and seed of an experiment run.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -30,22 +38,49 @@ impl Scale {
     }
 
     /// Scale from the environment: `OSCAR_SCALE` (target size; step is
-    /// target/10) and `OSCAR_SEED`. Defaults to [`Scale::paper`].
-    pub fn from_env() -> Self {
+    /// target/10) and `OSCAR_SEED`. Defaults to [`Scale::paper`] when the
+    /// variables are unset; set-but-unparsable values are
+    /// [`Error::InvalidConfig`] so a typo cannot silently run the full
+    /// paper schedule.
+    pub fn from_env() -> oscar_types::Result<Self> {
         let mut scale = Scale::paper();
         if let Ok(s) = std::env::var("OSCAR_SCALE") {
-            if let Ok(target) = s.trim().parse::<usize>() {
-                let target = target.max(100);
-                scale.target = target;
-                scale.step = (target / 10).max(50);
+            let target = s.trim().parse::<usize>().map_err(|e| {
+                Error::InvalidConfig(format!(
+                    "OSCAR_SCALE must be a positive integer peer count, got {s:?} ({e})"
+                ))
+            })?;
+            if target == 0 {
+                return Err(Error::InvalidConfig(
+                    "OSCAR_SCALE must be a positive integer peer count, got 0".into(),
+                ));
             }
+            if target < 100 {
+                // The schedule floor, announced rather than silent.
+                eprintln!("oscar-bench: OSCAR_SCALE={target} below the 100-peer floor; using 100");
+            }
+            let target = target.max(100);
+            scale.target = target;
+            scale.step = (target / 10).max(50);
         }
         if let Ok(s) = std::env::var("OSCAR_SEED") {
-            if let Ok(seed) = s.trim().parse::<u64>() {
-                scale.seed = seed;
-            }
+            scale.seed = s.trim().parse::<u64>().map_err(|e| {
+                Error::InvalidConfig(format!(
+                    "OSCAR_SEED must be an unsigned 64-bit integer, got {s:?} ({e})"
+                ))
+            })?;
         }
-        scale
+        Ok(scale)
+    }
+
+    /// [`Scale::from_env`] for the repro binaries: prints the
+    /// configuration error and exits non-zero instead of running the wrong
+    /// experiment.
+    pub fn from_env_or_exit() -> Self {
+        Self::from_env().unwrap_or_else(|e| {
+            eprintln!("oscar-bench: {e}");
+            std::process::exit(2);
+        })
     }
 
     /// Reduced scale for tests and Criterion benches.
@@ -99,6 +134,35 @@ mod tests {
             seed: 1,
         };
         assert_eq!(s.checkpoints(), vec![1000, 2000, 2500]);
+    }
+
+    #[test]
+    fn from_env_parses_or_errors_loudly() {
+        let _lock = crate::env_guard::lock();
+        let _cleanup = crate::env_guard::RemoveOnDrop(&["OSCAR_SCALE", "OSCAR_SEED"]);
+        std::env::remove_var("OSCAR_SCALE");
+        std::env::remove_var("OSCAR_SEED");
+        assert_eq!(Scale::from_env().unwrap(), Scale::paper());
+
+        std::env::set_var("OSCAR_SCALE", "2000");
+        std::env::set_var("OSCAR_SEED", "7");
+        let s = Scale::from_env().unwrap();
+        assert_eq!((s.target, s.step, s.seed), (2000, 200, 7));
+
+        // the typo that used to silently run the full paper schedule
+        std::env::set_var("OSCAR_SCALE", "2k");
+        let err = Scale::from_env().unwrap_err();
+        assert!(err.to_string().contains("OSCAR_SCALE"), "{err}");
+
+        // zero parses but is not a runnable peer count
+        std::env::set_var("OSCAR_SCALE", "0");
+        let err = Scale::from_env().unwrap_err();
+        assert!(err.to_string().contains("got 0"), "{err}");
+
+        std::env::set_var("OSCAR_SCALE", "2000");
+        std::env::set_var("OSCAR_SEED", "-1");
+        let err = Scale::from_env().unwrap_err();
+        assert!(err.to_string().contains("OSCAR_SEED"), "{err}");
     }
 
     #[test]

@@ -1,9 +1,9 @@
-//! # oscar-ring — the sorted identifier ring
+//! # oscar-ring — the ordered identifier ring
 //!
 //! Every overlay in this workspace (Oscar, Mercury) sits on the same
 //! substrate the paper assumes: a ring of peers ordered by identifier with
 //! Chord-style successor/predecessor maintenance. This crate is that
-//! substrate: an ordered set of [`Id`]s with
+//! substrate: an ordered set of [`Id`](oscar_types::Id)s with
 //!
 //! * successor / predecessor / owner-of-key queries (wrap-around),
 //! * rank / select (needed to resolve "query the k-th live peer" workloads
@@ -12,14 +12,20 @@
 //!   sampling-based estimation is validated),
 //! * a stabilisation helper that re-stitches the ring after crashes.
 //!
-//! The representation is a sorted `Vec<Id>`: at the paper's scale (10⁴
-//! peers) binary search + memmove beats any tree in both time and clarity.
-//! Insert/remove are O(n); the simulation performs ~10⁴ of each per run,
-//! which is microseconds of memmove. (An order-statistics tree would be the
-//! swap-in replacement at 10⁷+ peers.)
+//! The representation is an **order-statistic treap** ([`treap`]): a BST
+//! keyed by id, heap-ordered on hash-derived priorities, with subtree
+//! counts. Every operation — insert, remove, rank, select, and the arc
+//! queries via rank arithmetic — runs in O(log n) expected, which keeps
+//! bootstrap-and-grow linearithmic and makes 10⁵–10⁶-peer simulations
+//! feasible. The previous sorted-`Vec` representation (O(n) memmove per
+//! membership change, Θ(n²) growth) survives as [`reference::VecRing`]:
+//! the oracle for the equivalence property tests and the baseline for the
+//! `ring_scale` bench in `oscar-bench`.
 
+pub mod reference;
 pub mod ring;
 pub mod stabilize;
+mod treap;
 
 pub use ring::Ring;
 pub use stabilize::stitch_live_ring;

@@ -1,79 +1,79 @@
 //! The ordered ring of peer identifiers.
 
+use crate::treap::Treap;
 use oscar_types::{Arc, Id};
 
 /// An ordered set of peer identifiers on the ring.
 ///
-/// Invariants (enforced by construction, checked by `debug_assert`s and
-/// property tests):
-/// * `ids` is strictly ascending (no duplicates);
-/// * all queries treat the vector as circular.
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
+/// Backed by an order-statistic treap ([`crate::treap`]): insert, remove,
+/// membership, rank/select, neighbour and owner lookups are all O(log n)
+/// expected, and the arc queries reduce to rank arithmetic on subtree
+/// counts. This is what lets `Network` growth scale far past the paper's
+/// 10k peers — the previous sorted-`Vec` representation (preserved as
+/// [`crate::reference::VecRing`], the property-test oracle and bench
+/// baseline) paid an O(n) memmove per membership change, making
+/// bootstrap-and-grow Θ(n²).
+///
+/// Invariants (enforced by construction, checked by property tests against
+/// the oracle):
+/// * stored ids are strictly ascending in iteration order (no duplicates);
+/// * all queries treat the order as circular.
+#[derive(Clone, Default)]
 pub struct Ring {
-    ids: Vec<Id>,
+    tree: Treap,
 }
 
 impl Ring {
     /// Empty ring.
     pub fn new() -> Self {
-        Ring { ids: Vec::new() }
+        Ring { tree: Treap::new() }
     }
 
     /// Ring pre-populated from arbitrary (unsorted, possibly duplicate) ids.
-    pub fn from_ids(mut ids: Vec<Id>) -> Self {
-        ids.sort_unstable();
-        ids.dedup();
-        Ring { ids }
+    pub fn from_ids(ids: Vec<Id>) -> Self {
+        let mut ring = Ring::new();
+        for id in ids {
+            ring.tree.insert(id);
+        }
+        ring
     }
 
     /// Number of peers.
     #[inline]
     pub fn len(&self) -> usize {
-        self.ids.len()
+        self.tree.len()
     }
 
     /// True iff no peers.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.ids.is_empty()
+        self.tree.len() == 0
     }
 
-    /// The sorted identifier slice.
+    /// The identifiers in ascending order (in-order tree walk, O(n) total).
     #[inline]
-    pub fn ids(&self) -> &[Id] {
-        &self.ids
+    pub fn ids(&self) -> impl Iterator<Item = Id> + '_ {
+        self.tree.iter()
     }
 
     /// Membership test.
     pub fn contains(&self, id: Id) -> bool {
-        self.ids.binary_search(&id).is_ok()
+        self.tree.rank_of(id).is_some()
     }
 
     /// Inserts a peer; returns `false` if the identifier was present.
     pub fn insert(&mut self, id: Id) -> bool {
-        match self.ids.binary_search(&id) {
-            Ok(_) => false,
-            Err(pos) => {
-                self.ids.insert(pos, id);
-                true
-            }
-        }
+        self.tree.insert(id)
     }
 
     /// Removes a peer; returns `false` if absent.
     pub fn remove(&mut self, id: Id) -> bool {
-        match self.ids.binary_search(&id) {
-            Ok(pos) => {
-                self.ids.remove(pos);
-                true
-            }
-            Err(_) => false,
-        }
+        self.tree.remove(id)
     }
 
     /// Rank of `id` in ascending identifier order, if present.
     pub fn rank_of(&self, id: Id) -> Option<usize> {
-        self.ids.binary_search(&id).ok()
+        self.tree.rank_of(id)
     }
 
     /// The peer with the given ascending rank.
@@ -81,89 +81,91 @@ impl Ring {
     /// # Panics
     /// If `rank >= len`.
     pub fn select(&self, rank: usize) -> Id {
-        self.ids[rank]
+        self.tree.select(rank)
     }
 
     /// The **owner** of `key`: the first peer at-or-after `key` clockwise
     /// (Chord successor convention — a peer owns the arc
     /// `(predecessor, self]`). `None` on an empty ring.
     pub fn owner_of(&self, key: Id) -> Option<Id> {
-        if self.ids.is_empty() {
+        if self.is_empty() {
             return None;
         }
-        let pos = self.ids.partition_point(|&p| p < key);
-        Some(if pos == self.ids.len() {
-            self.ids[0] // wrap
+        let pos = self.tree.count_lt(key);
+        Some(if pos == self.len() {
+            self.select(0) // wrap
         } else {
-            self.ids[pos]
+            self.select(pos)
         })
     }
 
     /// The first peer **strictly after** `id` clockwise (wraps; returns
     /// `id` itself only when it is the sole peer). `None` on empty ring.
     pub fn successor_of(&self, id: Id) -> Option<Id> {
-        if self.ids.is_empty() {
+        if self.is_empty() {
             return None;
         }
-        let pos = self.ids.partition_point(|&p| p <= id);
-        Some(if pos == self.ids.len() {
-            self.ids[0]
+        let pos = self.tree.count_le(id);
+        Some(if pos == self.len() {
+            self.select(0)
         } else {
-            self.ids[pos]
+            self.select(pos)
         })
     }
 
     /// The first peer **strictly before** `id` clockwise (wraps; returns
     /// `id` itself only when it is the sole peer). `None` on empty ring.
     pub fn predecessor_of(&self, id: Id) -> Option<Id> {
-        if self.ids.is_empty() {
+        if self.is_empty() {
             return None;
         }
-        let pos = self.ids.partition_point(|&p| p < id);
+        let pos = self.tree.count_lt(id);
         Some(if pos == 0 {
-            self.ids[self.ids.len() - 1]
+            self.select(self.len() - 1)
         } else {
-            self.ids[pos - 1]
+            self.select(pos - 1)
         })
     }
 
     /// The peer `k` clockwise steps after `id` (which must be present).
     pub fn nth_clockwise_of(&self, id: Id, k: usize) -> Option<Id> {
         let rank = self.rank_of(id)?;
-        let n = self.ids.len();
-        Some(self.ids[(rank + k) % n])
+        let n = self.len();
+        Some(self.select((rank + k) % n))
     }
 
-    /// Number of peers whose identifiers lie in `arc`.
+    /// Number of peers whose identifiers lie in `arc` — pure rank
+    /// arithmetic, O(log n).
     pub fn count_in_arc(&self, arc: &Arc) -> usize {
-        if arc.is_empty() || self.ids.is_empty() {
+        if arc.is_empty() || self.is_empty() {
             return 0;
         }
         if arc.is_full() {
-            return self.ids.len();
+            return self.len();
         }
         let start = arc.start();
         let end = arc.end(); // exclusive
         if start < end {
             // non-wrapping: [start, end)
-            self.ids.partition_point(|&p| p < end) - self.ids.partition_point(|&p| p < start)
+            self.tree.count_lt(end) - self.tree.count_lt(start)
         } else {
             // wrapping: [start, MAX] ∪ [0, end)
-            (self.ids.len() - self.ids.partition_point(|&p| p < start))
-                + self.ids.partition_point(|&p| p < end)
+            (self.len() - self.tree.count_lt(start)) + self.tree.count_lt(end)
         }
     }
 
     /// The identifiers inside `arc`, in clockwise order starting at
     /// `arc.start()`.
     pub fn ids_in_arc(&self, arc: &Arc) -> Vec<Id> {
-        if arc.is_empty() || self.ids.is_empty() {
+        if arc.is_empty() || self.is_empty() {
             return Vec::new();
         }
-        let start_pos = self.ids.partition_point(|&p| p < arc.start());
-        let n = self.ids.len();
+        let start_pos = self.tree.count_lt(arc.start());
+        let n = self.len();
         let count = self.count_in_arc(arc);
-        (0..count).map(|i| self.ids[(start_pos + i) % n]).collect()
+        (0..count)
+            .map(|i| self.select((start_pos + i) % n))
+            .collect()
     }
 
     /// Exact median of the peers in `arc`, measured by clockwise distance
@@ -177,24 +179,39 @@ impl Ring {
         if members == 0 {
             return None;
         }
-        let start_pos = self.ids.partition_point(|&p| p < arc.start());
-        let n = self.ids.len();
+        let start_pos = self.tree.count_lt(arc.start());
+        let n = self.len();
         let median_offset = members.div_ceil(2) - 1;
-        Some(self.ids[(start_pos + median_offset) % n])
+        Some(self.select((start_pos + median_offset) % n))
     }
 
     /// Iterates peers clockwise starting from the owner of `from`
     /// (inclusive), visiting every peer exactly once.
     pub fn iter_clockwise_from(&self, from: Id) -> impl Iterator<Item = Id> + '_ {
-        let n = self.ids.len();
+        let n = self.len();
         let start = if n == 0 {
             0
         } else {
-            self.ids.partition_point(|&p| p < from) % n
+            self.tree.count_lt(from) % n
         };
-        (0..n).map(move |i| self.ids[(start + i) % n])
+        (0..n).map(move |i| self.select((start + i) % n))
     }
 }
+
+impl std::fmt::Debug for Ring {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_list().entries(self.ids()).finish()
+    }
+}
+
+/// Logical (set) equality: same ids, regardless of tree shape.
+impl PartialEq for Ring {
+    fn eq(&self, other: &Self) -> bool {
+        self.len() == other.len() && self.ids().eq(other.ids())
+    }
+}
+
+impl Eq for Ring {}
 
 #[cfg(test)]
 mod tests {
@@ -220,7 +237,10 @@ mod tests {
     fn from_ids_sorts_and_dedups() {
         let r = ring(&[30, 10, 20, 10]);
         assert_eq!(r.len(), 3);
-        assert_eq!(r.ids(), &[Id::new(10), Id::new(20), Id::new(30)]);
+        assert_eq!(
+            r.ids().collect::<Vec<_>>(),
+            vec![Id::new(10), Id::new(20), Id::new(30)]
+        );
     }
 
     #[test]
@@ -328,11 +348,25 @@ mod tests {
         assert_eq!(seen, vec![Id::new(30), Id::new(10), Id::new(20)]);
     }
 
+    #[test]
+    fn equality_is_content_not_history() {
+        // Same set via different operation histories must compare equal.
+        let mut a = ring(&[10, 20, 30, 40]);
+        a.remove(Id::new(40));
+        let b = ring(&[30, 20, 10]);
+        assert_eq!(a, b);
+        assert_ne!(a, ring(&[10, 20]));
+        assert_eq!(
+            format!("{a:?}"),
+            format!("{:?}", b.ids().collect::<Vec<_>>())
+        );
+    }
+
     proptest! {
         #[test]
         fn prop_sorted_unique(ids in prop::collection::vec(any::<u64>(), 0..200)) {
             let r = Ring::from_ids(ids.into_iter().map(Id::new).collect());
-            let s = r.ids();
+            let s: Vec<Id> = r.ids().collect();
             for w in s.windows(2) {
                 prop_assert!(w[0] < w[1]);
             }
@@ -381,6 +415,91 @@ mod tests {
             let upto = Arc::between(arc.start(), m);
             let at_or_before = r.count_in_arc(&upto) + 1; // +1 for m itself
             prop_assert_eq!(at_or_before, r.len().div_ceil(2));
+        }
+    }
+
+    /// Operational equivalence against the sorted-Vec reference model: any
+    /// interleaving of mutations and queries must be indistinguishable.
+    mod oracle_equivalence {
+        use super::*;
+        use crate::reference::VecRing;
+
+        /// Compare every read-only query on both structures.
+        fn assert_same_views(
+            treap: &Ring,
+            oracle: &VecRing,
+            probe: Id,
+            arc: &Arc,
+        ) -> std::result::Result<(), TestCaseError> {
+            prop_assert_eq!(treap.len(), oracle.len());
+            prop_assert_eq!(treap.is_empty(), oracle.is_empty());
+            prop_assert_eq!(treap.ids().collect::<Vec<_>>(), oracle.ids().to_vec());
+            prop_assert_eq!(treap.contains(probe), oracle.contains(probe));
+            prop_assert_eq!(treap.rank_of(probe), oracle.rank_of(probe));
+            prop_assert_eq!(treap.owner_of(probe), oracle.owner_of(probe));
+            prop_assert_eq!(treap.successor_of(probe), oracle.successor_of(probe));
+            prop_assert_eq!(treap.predecessor_of(probe), oracle.predecessor_of(probe));
+            prop_assert_eq!(
+                treap.nth_clockwise_of(probe, 3),
+                oracle.nth_clockwise_of(probe, 3)
+            );
+            for rank in 0..treap.len() {
+                prop_assert_eq!(treap.select(rank), oracle.select(rank));
+            }
+            prop_assert_eq!(treap.count_in_arc(arc), oracle.count_in_arc(arc));
+            prop_assert_eq!(treap.ids_in_arc(arc), oracle.ids_in_arc(arc));
+            prop_assert_eq!(treap.median_in_arc(arc), oracle.median_in_arc(arc));
+            prop_assert_eq!(
+                treap.iter_clockwise_from(probe).collect::<Vec<_>>(),
+                oracle.iter_clockwise_from(probe).collect::<Vec<_>>()
+            );
+            Ok(())
+        }
+
+        proptest! {
+            #[test]
+            fn prop_treap_matches_vec_reference(
+                // Small id universe (0..64) forces frequent duplicate
+                // inserts and hits on remove; raw u64 arc endpoints produce
+                // wrapping and non-wrapping arcs alike.
+                ops in prop::collection::vec((0u8..2, 0u64..64), 1..200),
+                probe: u64,
+                a: u64,
+                b: u64,
+            ) {
+                let mut treap = Ring::new();
+                let mut oracle = VecRing::new();
+                let arcs = [
+                    Arc::between(Id::new(a), Id::new(b)),
+                    Arc::between(Id::new(b), Id::new(a)),
+                    Arc::FULL,
+                    Arc::EMPTY,
+                ];
+                for (op, x) in ops {
+                    let id = Id::new(x);
+                    match op {
+                        0 => prop_assert_eq!(treap.insert(id), oracle.insert(id)),
+                        _ => prop_assert_eq!(treap.remove(id), oracle.remove(id)),
+                    }
+                    for arc in &arcs {
+                        assert_same_views(&treap, &oracle, Id::new(probe), arc)?;
+                    }
+                }
+            }
+
+            #[test]
+            fn prop_from_ids_matches_vec_reference(
+                ids in prop::collection::vec(any::<u64>(), 0..150),
+                probe: u64,
+                a: u64,
+                b: u64,
+            ) {
+                let ids: Vec<Id> = ids.into_iter().map(Id::new).collect();
+                let treap = Ring::from_ids(ids.clone());
+                let oracle = VecRing::from_ids(ids);
+                let arc = Arc::between(Id::new(a), Id::new(b));
+                assert_same_views(&treap, &oracle, Id::new(probe), &arc)?;
+            }
         }
     }
 }

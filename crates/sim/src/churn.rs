@@ -8,7 +8,7 @@
 
 use crate::network::Network;
 use crate::peer::PeerIdx;
-use oscar_types::Result;
+use oscar_types::{Error, Result};
 use rand::Rng;
 
 /// How ring links behave after crashes.
@@ -32,12 +32,20 @@ pub fn kill_fraction<R: Rng + ?Sized>(
     fraction: f64,
     rng: &mut R,
 ) -> Result<Vec<PeerIdx>> {
-    assert!(
-        (0.0..1.0).contains(&fraction),
-        "fraction must be in [0, 1): killing everyone leaves nothing to measure"
-    );
+    // A bad fraction is an experiment-configuration error like any other in
+    // this API (cf. `Network::add_peer`, `depart`): report it, don't abort
+    // the whole sweep. The range check also rejects NaN.
+    if !(0.0..1.0).contains(&fraction) {
+        return Err(Error::InvalidConfig(format!(
+            "kill fraction must be in [0, 1), got {fraction}: \
+             killing everyone leaves nothing to measure"
+        )));
+    }
     let mut live: Vec<PeerIdx> = net.live_peers().collect();
-    let kill_count = (live.len() as f64 * fraction).round() as usize;
+    // round() can reach live.len() for fractions ≥ (n-0.5)/n; clamp so the
+    // [0, 1) contract (at least one survivor) holds for every input.
+    let kill_count =
+        ((live.len() as f64 * fraction).round() as usize).min(live.len().saturating_sub(1));
     let mut killed = Vec::with_capacity(kill_count);
     for k in 0..kill_count {
         let j = rng.gen_range(k..live.len());
@@ -86,11 +94,30 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "fraction must be in")]
-    fn full_kill_rejected() {
+    fn out_of_range_fractions_are_config_errors() {
         let mut net = build(10);
         let mut rng = SeedTree::new(3).rng();
-        let _ = kill_fraction(&mut net, 1.0, &mut rng);
+        for bad in [1.0, -0.1, 2.0, f64::NAN] {
+            match kill_fraction(&mut net, bad, &mut rng) {
+                Err(oscar_types::Error::InvalidConfig(msg)) => {
+                    assert!(msg.contains("kill fraction"), "unhelpful message: {msg}")
+                }
+                other => panic!("fraction {bad} should be InvalidConfig, got {other:?}"),
+            }
+        }
+        // and the failed call must not have killed anyone
+        assert_eq!(net.live_count(), 10);
+    }
+
+    #[test]
+    fn near_one_fraction_leaves_a_survivor() {
+        // round(10 · 0.95) = 10 would kill everyone; the clamp must keep
+        // the documented "something left to measure" invariant.
+        let mut net = build(10);
+        let mut rng = SeedTree::new(4).rng();
+        let killed = kill_fraction(&mut net, 0.95, &mut rng).unwrap();
+        assert_eq!(killed.len(), 9);
+        assert_eq!(net.live_count(), 1);
     }
 
     #[test]

@@ -174,22 +174,38 @@ pub fn route_to_owner(net: &Network, src: PeerIdx, key: Id, policy: &RoutePolicy
 /// Aggregate statistics over a batch of queries (one figure data point).
 #[derive(Clone, Debug, Default)]
 pub struct QueryBatchStats {
-    /// Number of queries issued.
+    /// Number of queries actually issued (less than requested when the
+    /// network runs out of live peers).
     pub queries: usize,
     /// Mean search cost (hops + wasted), successful queries only.
     pub mean_cost: f64,
-    /// Mean productive hops.
+    /// Mean productive hops, successful queries only (pairs with
+    /// `mean_cost`).
     pub mean_hops: f64,
-    /// Mean wasted messages.
+    /// Mean wasted messages over **all** issued queries, failed included —
+    /// the paper's wasted-traffic signal. A failed query's probes and
+    /// backtracks are traffic the network paid for; dropping them would
+    /// make heavy churn look cheaper the more queries it kills.
     pub mean_wasted: f64,
-    /// Fraction of queries that reached the owner.
+    /// Fraction of issued queries that reached the owner.
     pub success_rate: f64,
-    /// Maximum observed cost.
+    /// Maximum observed cost among successful queries.
     pub max_cost: u32,
-    /// Median cost.
+    /// Median cost (nearest-rank), successful queries only.
     pub p50_cost: f64,
-    /// 95th-percentile cost.
+    /// 95th-percentile cost (nearest-rank), successful queries only.
     pub p95_cost: f64,
+}
+
+/// Nearest-rank percentile of an ascending-sorted sample: the value at
+/// 1-based rank `⌈p/100 · len⌉`. For `len = 4`, p50 picks rank 2 (the
+/// lower median) and p95 picks rank 4 — unlike the former `len·p/100`
+/// index, which returned the upper median and, for `len ≤ 20`, the
+/// maximum.
+fn nearest_rank(sorted: &[u32], pct: usize) -> f64 {
+    debug_assert!(!sorted.is_empty() && pct <= 100);
+    let rank = (pct * sorted.len()).div_ceil(100).max(1);
+    sorted[rank - 1] as f64
 }
 
 /// Issues `n` queries from uniformly random live sources with targets
@@ -207,11 +223,13 @@ pub fn run_query_batch(
     let mut costs: Vec<u32> = Vec::with_capacity(n);
     let mut hops_sum = 0u64;
     let mut wasted_sum = 0u64;
+    let mut issued = 0usize;
     let mut successes = 0usize;
     for _ in 0..n {
         let Some(src) = net.random_live_peer(rng) else {
             break;
         };
+        issued += 1;
         let key = match workload.draw(net.live_count(), rng) {
             QueryTarget::PeerRank(r) => net.peer(net.live_peer_by_rank(r)).id,
             QueryTarget::Key(k) => k,
@@ -219,27 +237,28 @@ pub fn run_query_batch(
         let outcome = route_to_owner(net, src, key, policy);
         net.metrics.add(MsgKind::QueryHop, outcome.hops as u64);
         net.metrics.add(MsgKind::QueryWasted, outcome.wasted as u64);
+        // Waste is traffic whether or not the query delivered.
+        wasted_sum += outcome.wasted as u64;
         if outcome.success {
             successes += 1;
             costs.push(outcome.cost());
             hops_sum += outcome.hops as u64;
-            wasted_sum += outcome.wasted as u64;
         }
     }
     let mut stats = QueryBatchStats {
-        queries: n,
+        queries: issued,
         ..Default::default()
     };
-    stats.success_rate = successes as f64 / n.max(1) as f64;
+    stats.success_rate = successes as f64 / issued.max(1) as f64;
+    stats.mean_wasted = wasted_sum as f64 / issued.max(1) as f64;
     if !costs.is_empty() {
         let m = costs.len() as f64;
         stats.mean_cost = costs.iter().map(|&c| c as f64).sum::<f64>() / m;
         stats.mean_hops = hops_sum as f64 / m;
-        stats.mean_wasted = wasted_sum as f64 / m;
         stats.max_cost = *costs.iter().max().expect("non-empty");
         costs.sort_unstable();
-        stats.p50_cost = costs[costs.len() / 2] as f64;
-        stats.p95_cost = costs[(costs.len() * 95 / 100).min(costs.len() - 1)] as f64;
+        stats.p50_cost = nearest_rank(&costs, 50);
+        stats.p95_cost = nearest_rank(&costs, 95);
     }
     stats
 }
@@ -488,5 +507,55 @@ mod tests {
             &mut rng,
         );
         assert_eq!(stats.success_rate, 0.0);
+        // Nothing could be issued, so nothing may be counted: reporting the
+        // requested 10 here would fabricate a denominator.
+        assert_eq!(stats.queries, 0);
+        assert_eq!(stats.mean_wasted, 0.0);
+    }
+
+    #[test]
+    fn failed_queries_count_their_waste() {
+        // Ring 10,20,30,40 with 20 crashed, unstabilised pointers, and a
+        // single-entry successor list: a query from 10 toward 30 has the
+        // dead 20 as its only progress candidate — one wasted probe, then a
+        // dead end. Every successful route in this topology is probe-free,
+        // so the former successful-only accounting reported mean_wasted = 0
+        // while the network was in fact paying for the failures.
+        let mut net = Network::new(FaultModel::UnstabilizedRing);
+        for id in [10u64, 20, 30, 40] {
+            net.add_peer(Id::new(id), DegreeCaps::symmetric(8)).unwrap();
+        }
+        net.set_succ_list_len(1);
+        net.kill(net.idx_of(Id::new(20)).unwrap()).unwrap();
+        let mut rng = SeedTree::new(17).rng();
+        let stats = run_query_batch(
+            &mut net,
+            &QueryWorkload::UniformPeers,
+            200,
+            &RoutePolicy::default(),
+            &mut rng,
+        );
+        assert_eq!(stats.queries, 200);
+        assert!(stats.success_rate > 0.0 && stats.success_rate < 1.0);
+        assert!(
+            stats.mean_wasted > 0.0,
+            "failed queries' probes must appear in mean_wasted"
+        );
+    }
+
+    #[test]
+    fn percentiles_use_nearest_rank_on_small_batches() {
+        // len 4, p50: rank ⌈0.5·4⌉ = 2 — the lower median, where the old
+        // costs[len/2] picked the upper one.
+        assert_eq!(nearest_rank(&[1, 2, 3, 4], 50), 2.0);
+        assert_eq!(nearest_rank(&[1, 2, 3, 4, 5], 50), 3.0);
+        // len 20, p95: rank ⌈0.95·20⌉ = 19 — the old len·95/100 index
+        // returned the maximum for every batch of 20 or fewer.
+        let v: Vec<u32> = (1..=20).collect();
+        assert_eq!(nearest_rank(&v, 95), 19.0);
+        assert_eq!(nearest_rank(&v, 100), 20.0);
+        // singletons: every percentile is the one sample
+        assert_eq!(nearest_rank(&[7], 50), 7.0);
+        assert_eq!(nearest_rank(&[7], 95), 7.0);
     }
 }

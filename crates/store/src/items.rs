@@ -77,7 +77,9 @@ impl ItemStore {
         if ring.is_empty() {
             return Vec::new();
         }
-        let peers = ring.ids();
+        // One ordered snapshot of the live ring keeps the item loop a
+        // cache-friendly binary search instead of per-item tree descents.
+        let peers: Vec<Id> = ring.ids().collect();
         let mut loads: Vec<(PeerIdx, usize)> = peers
             .iter()
             .map(|&id| (net.idx_of(id).expect("live ring ids registered"), 0usize))
