@@ -1,0 +1,152 @@
+//! Per-join cost of the Oscar construction hot loop at scale, recorded as
+//! machine-readable data points (`BENCH_join.json`) so the perf
+//! trajectory of the join path is tracked, not anecdotal.
+//!
+//! A join is dominated by walk sampling: ~log₂N medians ×
+//! `median_sample_size` walks × `burn_in` Metropolis–Hastings steps for
+//! partition estimation, plus the candidate-sampling walks of link
+//! acquisition. The bench grows one Oscar overlay to `OSCAR_JOIN_BENCH_N`
+//! peers (default 10,000), then times **real joins** — `add_peer` +
+//! `build_links`, invalidation churn included — on identical id/seed
+//! schedules against clones of the grown network, under three walker
+//! regimes:
+//!
+//! * `uncached`  — the collect-then-retain baseline (`WalkConfig::without_cache`),
+//! * `cached`    — the walk-adjacency fast path (default config),
+//! * `chained`   — fast path + thinned chained sampling (`with_chained_sampling`).
+//!
+//! Results are printed and written to `<results dir>/BENCH_join.json`;
+//! the committed `BENCH_join.json` at the repository root is the tracked
+//! baseline.
+//!
+//! ```sh
+//! cargo bench -p oscar-bench --bench join_cost
+//! OSCAR_JOIN_BENCH_N=2000 cargo bench -p oscar-bench --bench join_cost
+//! ```
+
+use oscar_core::{OscarBuilder, OscarConfig};
+use oscar_degree::{ConstantDegrees, DegreeDistribution};
+use oscar_keydist::{GnutellaKeys, KeyDistribution};
+use oscar_sim::{FaultModel, GrowthConfig, GrowthDriver, Network, OverlayBuilder};
+use oscar_types::SeedTree;
+use std::time::Instant;
+
+/// Timed joins per round (each is add_peer + full link construction).
+const JOINS: usize = 64;
+/// Measurement rounds, each on a fresh clone; the fastest is reported.
+const ROUNDS: usize = 3;
+
+fn bench_n() -> usize {
+    // Malformed values are a hard error, matching `Scale::from_env`: a
+    // typo like "2k" must not silently time the full 10k schedule.
+    match std::env::var("OSCAR_JOIN_BENCH_N") {
+        Ok(s) => match s.trim().parse::<usize>() {
+            Ok(n) if n >= 100 => n,
+            _ => {
+                eprintln!("join_cost: OSCAR_JOIN_BENCH_N must be an integer >= 100, got {s:?}");
+                std::process::exit(2);
+            }
+        },
+        Err(_) => 10_000,
+    }
+}
+
+/// Fastest-of-`ROUNDS` mean per-join wall time under `cfg`: each round
+/// clones the grown network and performs `JOINS` complete joins on the
+/// same deterministic id/degree/seed schedule, so the three variants do
+/// identical logical work and differ only in the walker path.
+fn time_joins(net: &Network, cfg: OscarConfig, seed: u64) -> f64 {
+    let builder = OscarBuilder::new(cfg);
+    let keys = GnutellaKeys::default();
+    let degrees = ConstantDegrees::paper();
+    let mut best = f64::INFINITY;
+    for round in 0..ROUNDS {
+        let mut net = net.clone();
+        let schedule = SeedTree::new(seed).child(round as u64);
+        let mut id_rng = schedule.child(1).rng();
+        let t0 = Instant::now();
+        for i in 0..JOINS {
+            let caps = degrees.sample(&mut id_rng);
+            let p = loop {
+                let id = keys.sample(&mut id_rng);
+                if let Ok(p) = net.add_peer(id, caps) {
+                    break p;
+                }
+            };
+            let mut rng = schedule.child2(2, i as u64).rng();
+            builder
+                .build_links(&mut net, p, &mut rng)
+                .expect("join succeeds");
+        }
+        let per_join = t0.elapsed().as_secs_f64() / JOINS as f64;
+        best = best.min(per_join);
+    }
+    best * 1e9
+}
+
+fn main() {
+    let n = bench_n();
+    eprintln!("join_cost: growing oscar overlay to {n} peers...");
+    let mut net = Network::new(FaultModel::StabilizedRing);
+    let builder = OscarBuilder::new(OscarConfig::default());
+    let driver = GrowthDriver::new(GrowthConfig {
+        target_size: n,
+        seed_size: 8,
+        checkpoints: vec![n],
+        rewire_at_checkpoints: true,
+    });
+    driver
+        .run(
+            &mut net,
+            &builder,
+            &GnutellaKeys::default(),
+            &ConstantDegrees::paper(),
+            SeedTree::new(42),
+            |_, _| Ok(()),
+        )
+        .expect("growth succeeds");
+
+    let uncached_cfg = OscarConfig {
+        walk: oscar_sim::WalkConfig::default().without_cache(),
+        ..OscarConfig::default()
+    };
+    let cached_cfg = OscarConfig::default();
+    let chained_cfg = OscarConfig::default().with_chained_sampling(12);
+
+    let uncached = time_joins(&net, uncached_cfg, 1);
+    let cached = time_joins(&net, cached_cfg, 1);
+    let chained = time_joins(&net, chained_cfg, 1);
+
+    let speedup_cached = uncached / cached;
+    let speedup_chained = uncached / chained;
+    println!(
+        "join_cost/full_join/{n}/uncached  {:>12.0} ns/join",
+        uncached
+    );
+    println!(
+        "join_cost/full_join/{n}/cached    {:>12.0} ns/join   ({speedup_cached:.2}x)",
+        cached
+    );
+    println!(
+        "join_cost/full_join/{n}/chained   {:>12.0} ns/join   ({speedup_chained:.2}x)",
+        chained
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"join_cost\",\n  \"n_peers\": {n},\n  \"joins_timed\": {JOINS},\n  \
+         \"rounds\": {ROUNDS},\n  \"uncached_ns_per_join\": {uncached:.0},\n  \
+         \"cached_ns_per_join\": {cached:.0},\n  \"chained_ns_per_join\": {chained:.0},\n  \
+         \"speedup_cached_over_uncached\": {speedup_cached:.2},\n  \
+         \"speedup_chained_over_uncached\": {speedup_chained:.2}\n}}\n"
+    );
+    // `cargo bench` runs with the package dir as cwd, so resolve the
+    // default results dir against the workspace root, where the repro
+    // binaries put their CSVs.
+    let dir = std::env::var("OSCAR_RESULTS_DIR")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|_| std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results"));
+    let _ = std::fs::create_dir_all(&dir);
+    let path = dir.join("BENCH_join.json");
+    std::fs::write(&path, &json).expect("write BENCH_join.json");
+    println!("json: {}", path.display());
+}

@@ -70,6 +70,7 @@ fn bench_mh_correction_overhead(c: &mut Criterion) {
             let cfg = WalkConfig {
                 burn_in: 24,
                 metropolis_hastings: mh,
+                ..WalkConfig::default()
             };
             let mut walker = Walker::new(&net, cfg);
             let mut rng = SeedTree::new(6).rng();

@@ -3,44 +3,71 @@
 //!
 //! ```sh
 //! cargo run --release -p oscar-bench --bin repro_all            # paper scale
-//! OSCAR_SCALE=2000 cargo run --release -p oscar-bench --bin repro_all
+//! OSCAR_SCALE=2000 OSCAR_THREADS=4 cargo run --release -p oscar-bench --bin repro_all
 //! ```
+//!
+//! The three heavy, mutually independent computations — the Figure 1
+//! growth suite (itself 5 parallel growths), the constant-degree churn
+//! experiment, and the realistic-degree churn experiment — run
+//! concurrently under the `OSCAR_THREADS` budget; reports are then
+//! emitted in the usual fixed order, so stdout and every CSV are
+//! byte-identical to a sequential (`OSCAR_THREADS=1`) run.
 //!
 //! Outputs: ASCII plots + Markdown tables on stdout, CSVs under
 //! `results/` (override with `OSCAR_RESULTS_DIR`).
 
 use oscar_bench::figures::{
     fig1a_report, fig1b_report, fig1c_report, fig2_report, mercury_compare_report, run_fig1_suite,
+    Fig1Suite,
 };
-use oscar_bench::Scale;
+use oscar_bench::parallel::{run_tasks, Task};
+use oscar_bench::{Report, Scale};
 use oscar_degree::{ConstantDegrees, SpikyDegrees};
+
+/// One independent heavy computation of the full regeneration.
+enum Piece {
+    Suite(Box<Fig1Suite>),
+    Fig(Report),
+}
 
 fn main() -> std::io::Result<()> {
     let scale = Scale::from_env_or_exit();
     eprintln!(
-        "regenerating all figures at scale {} (step {}, seed {})",
-        scale.target, scale.step, scale.seed
+        "regenerating all figures at scale {} (step {}, seed {}, {} threads)",
+        scale.target,
+        scale.step,
+        scale.seed,
+        scale.thread_count()
     );
     let t0 = std::time::Instant::now();
 
     // Figure 1(a): pure model, cheap.
     fig1a_report(&scale).emit("fig1a_degree_pdf")?;
 
-    // Figures 1(b), 1(c), E3 and E7 share the growth suite.
-    let suite = run_fig1_suite(&scale).expect("fig1 suite");
+    // Figures 1(b), 1(c), E3 and E7 share the growth suite; the two churn
+    // figures are independent of it and of each other.
+    let tasks: Vec<Task<Piece>> = vec![
+        Box::new(|| Piece::Suite(Box::new(run_fig1_suite(&scale).expect("fig1 suite")))),
+        Box::new(|| {
+            Piece::Fig(fig2_report(&scale, &ConstantDegrees::paper(), "constant").expect("fig2a"))
+        }),
+        Box::new(|| {
+            Piece::Fig(fig2_report(&scale, &SpikyDegrees::paper(), "realistic").expect("fig2b"))
+        }),
+    ];
+    let mut pieces = run_tasks(scale.thread_count(), tasks).into_iter();
+    let Some(Piece::Suite(suite)) = pieces.next() else {
+        unreachable!("task 0 is the fig1 suite");
+    };
+    let (Some(Piece::Fig(fig2a)), Some(Piece::Fig(fig2b))) = (pieces.next(), pieces.next()) else {
+        unreachable!("tasks 1 and 2 are the churn figures");
+    };
+
     fig1b_report(&suite).emit("fig1b_degree_load")?;
     fig1c_report(&suite, &scale).emit("fig1c_search_cost")?;
     mercury_compare_report(&suite, &scale).emit("mercury_compare")?;
-
-    // Figure 2(a): churn with constant degrees.
-    fig2_report(&scale, &ConstantDegrees::paper(), "constant")
-        .expect("fig2a")
-        .emit("fig2a_churn_constant")?;
-
-    // Figure 2(b): churn with the realistic (spiky) degrees.
-    fig2_report(&scale, &SpikyDegrees::paper(), "realistic")
-        .expect("fig2b")
-        .emit("fig2b_churn_realistic")?;
+    fig2a.emit("fig2a_churn_constant")?;
+    fig2b.emit("fig2b_churn_realistic")?;
 
     eprintln!("all figures regenerated in {:.1?}", t0.elapsed());
     Ok(())

@@ -1,5 +1,6 @@
 //! The experiment drivers behind every figure.
 
+use crate::parallel::{run_tasks, Task};
 use crate::scale::Scale;
 use oscar_analytics::{degree_load_curve, degree_volume_utilization};
 use oscar_degree::DegreeDistribution;
@@ -90,6 +91,11 @@ pub struct ChurnResult {
 /// The Figure 2 protocol: grow with rewiring; at each checkpoint, for each
 /// crash fraction, crash a *clone* of the network and measure `N` queries
 /// among the survivors (wasted traffic included).
+///
+/// The growth itself is inherently sequential, but the per-checkpoint
+/// fraction measurements are independent (each owns a clone and its own
+/// seed-tree child), so they fan out over [`Scale::thread_count`] workers;
+/// results are byte-identical to the sequential order.
 pub fn run_churn_experiment(
     builder: &dyn OverlayBuilder,
     keys: &dyn KeyDistribution,
@@ -98,6 +104,7 @@ pub fn run_churn_experiment(
     fractions: &[f64],
 ) -> Result<Vec<ChurnResult>> {
     let seed = SeedTree::new(scale.seed);
+    let threads = scale.thread_count();
     let mut net = Network::new(FaultModel::StabilizedRing);
     let driver = GrowthDriver::new(GrowthConfig {
         target_size: scale.target,
@@ -119,22 +126,33 @@ pub fn run_churn_experiment(
         degrees,
         seed.child(LBL_GROWTH),
         |net, cp| {
-            for (fi, result) in results.iter_mut().enumerate() {
-                let mut crashed = net.clone();
-                let churn_seed = seed.child2(LBL_CHURN, (cp.index * 16 + fi) as u64);
-                if result.fraction > 0.0 {
-                    let mut crng = churn_seed.rng();
-                    kill_fraction(&mut crashed, result.fraction, &mut crng)?;
-                }
-                let mut qrng = churn_seed.child(LBL_QUERIES).rng();
-                let stats = run_query_batch(
-                    &mut crashed,
-                    &QueryWorkload::UniformPeers,
-                    cp.size,
-                    &RoutePolicy::default(),
-                    &mut qrng,
-                );
-                result.cost_by_size.push((cp.size, stats));
+            // Clones are taken sequentially (cheap relative to the query
+            // batches); each measurement task then owns its crashed copy.
+            let tasks: Vec<Task<Result<QueryBatchStats>>> = results
+                .iter()
+                .enumerate()
+                .map(|(fi, result)| {
+                    let mut crashed = net.clone();
+                    let fraction = result.fraction;
+                    let churn_seed = seed.child2(LBL_CHURN, (cp.index * 16 + fi) as u64);
+                    Box::new(move || {
+                        if fraction > 0.0 {
+                            let mut crng = churn_seed.rng();
+                            kill_fraction(&mut crashed, fraction, &mut crng)?;
+                        }
+                        let mut qrng = churn_seed.child(LBL_QUERIES).rng();
+                        Ok(run_query_batch(
+                            &mut crashed,
+                            &QueryWorkload::UniformPeers,
+                            cp.size,
+                            &RoutePolicy::default(),
+                            &mut qrng,
+                        ))
+                    }) as Task<Result<QueryBatchStats>>
+                })
+                .collect();
+            for (result, stats) in results.iter_mut().zip(run_tasks(threads, tasks)) {
+                result.cost_by_size.push((cp.size, stats?));
             }
             Ok(())
         },

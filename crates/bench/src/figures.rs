@@ -2,6 +2,7 @@
 //! `repro_all` (which reuses the heavy growth runs across figures).
 
 use crate::experiments::{run_churn_experiment, run_growth_experiment, GrowthRunResult};
+use crate::parallel::{run_tasks, Task};
 use crate::report::Report;
 use crate::scale::Scale;
 use oscar_analytics::{Series, Summary};
@@ -71,38 +72,53 @@ pub struct Fig1Suite {
 
 /// Runs the full Figure 1 suite (the expensive part, reused by 1(b), 1(c),
 /// E3 and E7).
+///
+/// The five growth runs (3× Oscar, Mercury, Chord) are independent — each
+/// derives every random draw from its own `SeedTree` rooted at
+/// `scale.seed` — so they fan out over up to [`Scale::thread_count`]
+/// worker threads with byte-identical results in any order
+/// (`tests/parallel_determinism.rs` proves it against `OSCAR_THREADS=1`).
 pub fn run_fig1_suite(scale: &Scale) -> Result<Fig1Suite> {
-    let keys = GnutellaKeys::default();
-    let mut oscar_runs = Vec::new();
+    let mut tasks: Vec<Task<Result<GrowthRunResult>>> = Vec::new();
     for (name, degrees) in paper_degree_distributions() {
-        eprintln!("[fig1] growing oscar/{name} to {}...", scale.target);
-        let builder = OscarBuilder::new(OscarConfig::default());
-        oscar_runs.push(run_growth_experiment(
-            &builder,
-            &keys,
-            degrees.as_ref(),
-            scale,
-            name,
-        )?);
+        tasks.push(Box::new(move || {
+            eprintln!("[fig1] growing oscar/{name} to {}...", scale.target);
+            let builder = OscarBuilder::new(OscarConfig::default());
+            run_growth_experiment(
+                &builder,
+                &GnutellaKeys::default(),
+                degrees.as_ref(),
+                scale,
+                name,
+            )
+        }));
     }
-    eprintln!("[fig1] growing mercury/constant to {}...", scale.target);
-    let mercury = MercuryBuilder::new(MercuryConfig::default());
-    let mercury_run = run_growth_experiment(
-        &mercury,
-        &keys,
-        &ConstantDegrees::paper(),
-        scale,
-        "mercury-constant",
-    )?;
-    eprintln!("[fig1] growing chord/constant to {}...", scale.target);
-    let chord = ChordBuilder::new(ChordConfig::default());
-    let chord_run = run_growth_experiment(
-        &chord,
-        &keys,
-        &ConstantDegrees::paper(),
-        scale,
-        "chord-constant",
-    )?;
+    tasks.push(Box::new(move || {
+        eprintln!("[fig1] growing mercury/constant to {}...", scale.target);
+        let mercury = MercuryBuilder::new(MercuryConfig::default());
+        run_growth_experiment(
+            &mercury,
+            &GnutellaKeys::default(),
+            &ConstantDegrees::paper(),
+            scale,
+            "mercury-constant",
+        )
+    }));
+    tasks.push(Box::new(move || {
+        eprintln!("[fig1] growing chord/constant to {}...", scale.target);
+        let chord = ChordBuilder::new(ChordConfig::default());
+        run_growth_experiment(
+            &chord,
+            &GnutellaKeys::default(),
+            &ConstantDegrees::paper(),
+            scale,
+            "chord-constant",
+        )
+    }));
+    let mut runs = run_tasks(scale.thread_count(), tasks);
+    let chord_run = runs.pop().expect("chord task")?;
+    let mercury_run = runs.pop().expect("mercury task")?;
+    let oscar_runs = runs.into_iter().collect::<Result<Vec<_>>>()?;
     Ok(Fig1Suite {
         oscar_runs,
         mercury_run,

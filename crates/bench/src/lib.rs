@@ -8,10 +8,12 @@
 
 pub mod experiments;
 pub mod figures;
+pub mod parallel;
 pub mod report;
 pub mod scale;
 
 pub use experiments::{run_churn_experiment, run_growth_experiment, ChurnResult, GrowthRunResult};
+pub use parallel::{run_tasks, Task};
 pub use report::Report;
 pub use scale::Scale;
 

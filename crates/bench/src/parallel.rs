@@ -1,0 +1,110 @@
+//! Deterministic fan-out of independent experiment tasks over scoped
+//! threads.
+//!
+//! Every experiment in this crate is a pure function of a [`crate::Scale`]
+//! and a seed-tree path, so independent runs can execute in any order —
+//! including concurrently — without changing a single byte of output. This
+//! module provides the one primitive the drivers need: run a fixed list of
+//! closures on up to `threads` workers and return their results **in task
+//! order**. With `threads <= 1` the tasks run inline on the caller's
+//! thread, which is exactly the pre-parallelism behaviour
+//! (`OSCAR_THREADS=1`).
+//!
+//! `std::thread::scope` keeps everything borrow-friendly (tasks may borrow
+//! the caller's `Scale`, networks, configs) and dependency-free. A worker
+//! panic propagates to the caller when the scope joins, so a failing task
+//! cannot be silently dropped.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// A unit of experiment work: boxed so heterogeneous closures (different
+/// builders, different figures) can share one task list.
+pub type Task<'a, T> = Box<dyn FnOnce() -> T + Send + 'a>;
+
+/// Runs `tasks` on up to `threads` workers; returns results in task order.
+///
+/// Work is handed out through a shared counter, so long tasks do not
+/// convoy behind short ones; each result lands in its task's slot, so the
+/// output order is independent of scheduling.
+pub fn run_tasks<T: Send>(threads: usize, tasks: Vec<Task<'_, T>>) -> Vec<T> {
+    let n = tasks.len();
+    if threads <= 1 || n <= 1 {
+        return tasks.into_iter().map(|t| t()).collect();
+    }
+    let slots: Vec<Mutex<Option<Task<'_, T>>>> =
+        tasks.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let results: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(n) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let task = slots[i]
+                    .lock()
+                    .expect("task slot poisoned")
+                    .take()
+                    .expect("each task index is claimed once");
+                let result = task();
+                *results[i].lock().expect("result slot poisoned") = Some(result);
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("result slot poisoned")
+                .expect("every task ran")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_are_in_task_order() {
+        for threads in [1usize, 2, 4, 16] {
+            let tasks: Vec<Task<usize>> = (0..20usize)
+                .map(|i| {
+                    Box::new(move || {
+                        // Stagger so late tasks often finish first.
+                        std::thread::sleep(std::time::Duration::from_micros((20 - i as u64) * 50));
+                        i * i
+                    }) as Task<usize>
+                })
+                .collect();
+            let out = run_tasks(threads, tasks);
+            assert_eq!(out, (0..20).map(|i| i * i).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn tasks_may_borrow_caller_state() {
+        let base = [10usize, 20, 30];
+        let tasks: Vec<Task<usize>> = base
+            .iter()
+            .map(|v| Box::new(move || v + 1) as Task<usize>)
+            .collect();
+        assert_eq!(run_tasks(2, tasks), vec![11, 21, 31]);
+    }
+
+    #[test]
+    fn empty_and_single_task_lists_work() {
+        assert!(run_tasks::<u8>(4, Vec::new()).is_empty());
+        let one: Vec<Task<u8>> = vec![Box::new(|| 7)];
+        assert_eq!(run_tasks(4, one), vec![7]);
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let tasks: Vec<Task<u8>> = vec![Box::new(|| 1), Box::new(|| panic!("boom"))];
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run_tasks(2, tasks)));
+        assert!(r.is_err());
+    }
+}

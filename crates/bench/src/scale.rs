@@ -25,6 +25,12 @@ pub struct Scale {
     pub step: usize,
     /// Root experiment seed.
     pub seed: u64,
+    /// Worker-thread budget for the parallel experiment drivers
+    /// (`OSCAR_THREADS`): `0` means "all available parallelism", `1` is
+    /// fully sequential. Every run derives its randomness from its own
+    /// seed-tree child, so the thread count never changes any result —
+    /// only wall time (asserted by `tests/parallel_determinism.rs`).
+    pub threads: usize,
 }
 
 impl Scale {
@@ -34,6 +40,25 @@ impl Scale {
             target: 10_000,
             step: 1_000,
             seed: 42,
+            threads: 0,
+        }
+    }
+
+    /// Same scale with an explicit thread budget.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// The resolved worker-thread budget (`threads`, or all available
+    /// parallelism when 0).
+    pub fn thread_count(&self) -> usize {
+        if self.threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            self.threads
         }
     }
 
@@ -70,6 +95,19 @@ impl Scale {
                 ))
             })?;
         }
+        if let Ok(s) = std::env::var("OSCAR_THREADS") {
+            let threads = s.trim().parse::<usize>().map_err(|e| {
+                Error::InvalidConfig(format!(
+                    "OSCAR_THREADS must be a positive thread count, got {s:?} ({e})"
+                ))
+            })?;
+            if threads == 0 {
+                return Err(Error::InvalidConfig(
+                    "OSCAR_THREADS must be >= 1 (unset it for all cores)".into(),
+                ));
+            }
+            scale.threads = threads;
+        }
         Ok(scale)
     }
 
@@ -83,12 +121,15 @@ impl Scale {
         })
     }
 
-    /// Reduced scale for tests and Criterion benches.
+    /// Reduced scale for tests and Criterion benches (sequential by
+    /// default: tests assert on single-run behaviour, and determinism
+    /// tests opt in to threads explicitly).
     pub fn small(target: usize, seed: u64) -> Self {
         Scale {
             target,
             step: (target / 5).max(20),
             seed,
+            threads: 1,
         }
     }
 
@@ -132,6 +173,7 @@ mod tests {
             target: 2500,
             step: 1000,
             seed: 1,
+            threads: 1,
         };
         assert_eq!(s.checkpoints(), vec![1000, 2000, 2500]);
     }
@@ -139,15 +181,29 @@ mod tests {
     #[test]
     fn from_env_parses_or_errors_loudly() {
         let _lock = crate::env_guard::lock();
-        let _cleanup = crate::env_guard::RemoveOnDrop(&["OSCAR_SCALE", "OSCAR_SEED"]);
+        let _cleanup =
+            crate::env_guard::RemoveOnDrop(&["OSCAR_SCALE", "OSCAR_SEED", "OSCAR_THREADS"]);
         std::env::remove_var("OSCAR_SCALE");
         std::env::remove_var("OSCAR_SEED");
+        std::env::remove_var("OSCAR_THREADS");
         assert_eq!(Scale::from_env().unwrap(), Scale::paper());
+        assert!(Scale::paper().thread_count() >= 1);
 
         std::env::set_var("OSCAR_SCALE", "2000");
         std::env::set_var("OSCAR_SEED", "7");
+        std::env::set_var("OSCAR_THREADS", "4");
         let s = Scale::from_env().unwrap();
-        assert_eq!((s.target, s.step, s.seed), (2000, 200, 7));
+        assert_eq!((s.target, s.step, s.seed, s.threads), (2000, 200, 7, 4));
+        assert_eq!(s.thread_count(), 4);
+
+        // thread typos and zero are hard errors, like the other knobs
+        std::env::set_var("OSCAR_THREADS", "four");
+        let err = Scale::from_env().unwrap_err();
+        assert!(err.to_string().contains("OSCAR_THREADS"), "{err}");
+        std::env::set_var("OSCAR_THREADS", "0");
+        let err = Scale::from_env().unwrap_err();
+        assert!(err.to_string().contains("OSCAR_THREADS"), "{err}");
+        std::env::remove_var("OSCAR_THREADS");
 
         // the typo that used to silently run the full paper schedule
         std::env::set_var("OSCAR_SCALE", "2k");

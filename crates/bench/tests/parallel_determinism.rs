@@ -1,0 +1,72 @@
+//! Parallel sweeps must be a pure wall-time optimisation: every CSV a
+//! figure driver emits has to be byte-identical whether the runs execute
+//! sequentially (`OSCAR_THREADS=1`) or fanned out over worker threads.
+//!
+//! Each growth/churn run derives all of its randomness from its own
+//! `SeedTree` child of `Scale::seed`, so execution order cannot leak into
+//! any result; these tests pin that property end to end, at the level the
+//! acceptance criterion is stated: the rendered CSV bytes.
+
+use oscar_analytics::series::to_csv;
+use oscar_bench::figures::{
+    fig1b_report, fig1c_report, fig2_report, mercury_compare_report, run_fig1_suite,
+};
+use oscar_bench::{run_churn_experiment, Scale};
+use oscar_core::{OscarBuilder, OscarConfig};
+use oscar_degree::ConstantDegrees;
+use oscar_keydist::GnutellaKeys;
+
+#[test]
+fn fig1_suite_csvs_identical_across_thread_counts() {
+    let csvs = |threads: usize| {
+        let scale = Scale::small(150, 3).with_threads(threads);
+        let suite = run_fig1_suite(&scale).unwrap();
+        vec![
+            to_csv(fig1b_report(&suite).series()),
+            to_csv(fig1c_report(&suite, &scale).series()),
+            to_csv(mercury_compare_report(&suite, &scale).series()),
+        ]
+    };
+    let sequential = csvs(1);
+    assert_eq!(sequential, csvs(4), "1 vs 4 threads");
+    assert_eq!(sequential, csvs(0), "1 vs all-cores auto");
+}
+
+#[test]
+fn fig2_churn_csvs_identical_across_thread_counts() {
+    let csv = |threads: usize| {
+        let scale = Scale::small(150, 5).with_threads(threads);
+        let report = fig2_report(&scale, &ConstantDegrees::paper(), "constant").unwrap();
+        to_csv(report.series())
+    };
+    assert_eq!(csv(1), csv(4));
+}
+
+#[test]
+fn churn_experiment_stats_identical_across_thread_counts() {
+    // Below the CSV rendering too: the raw per-checkpoint stats must match
+    // field for field (CSV rounding can never be doing the equalising).
+    let run = |threads: usize| {
+        let scale = Scale::small(150, 7).with_threads(threads);
+        let builder = OscarBuilder::new(OscarConfig::default());
+        run_churn_experiment(
+            &builder,
+            &GnutellaKeys::default(),
+            &ConstantDegrees::paper(),
+            &scale,
+            &[0.0, 0.10, 0.33],
+        )
+        .unwrap()
+    };
+    let a = run(1);
+    let b = run(3);
+    assert_eq!(a.len(), b.len());
+    for (ra, rb) in a.iter().zip(&b) {
+        assert_eq!(ra.fraction, rb.fraction);
+        assert_eq!(ra.cost_by_size.len(), rb.cost_by_size.len());
+        for ((sa, qa), (sb, qb)) in ra.cost_by_size.iter().zip(&rb.cost_by_size) {
+            assert_eq!(sa, sb);
+            assert_eq!(qa, qb, "stats diverged at size {sa}");
+        }
+    }
+}

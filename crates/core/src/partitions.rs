@@ -281,6 +281,54 @@ mod tests {
     }
 
     #[test]
+    fn chained_sampling_preserves_halving() {
+        // Ablation for the thinned-chain walk mode: correlated samples must
+        // not degrade the partition chain. Check the same halving and
+        // partition-count properties the fresh-walk tests demand, across
+        // several seeds so one lucky chain cannot mask a bias.
+        for seed in [13u64, 14, 15] {
+            let mut net = test_net(uniform_ids(512), 5, seed);
+            let u = net.idx_of(Id::new(7)).unwrap();
+            let mut rng = SeedTree::new(seed + 50).rng();
+            let cfg = OscarConfig::default().with_chained_sampling(12);
+            let p = estimate_partitions(&mut net, u, &cfg, &mut rng).unwrap();
+            let n = net.ring_live().len() - 1;
+            let far = net.ring_live().count_in_arc(&p.get(0).0);
+            let frac = far as f64 / n as f64;
+            assert!(
+                (0.30..=0.70).contains(&frac),
+                "seed {seed}: far partition fraction {frac:.2} under chaining"
+            );
+            let expect = (n as f64).log2();
+            assert!(
+                (p.len() as f64) > expect * 0.5 && (p.len() as f64) < expect * 1.8,
+                "seed {seed}: {} partitions vs log2={expect:.1}",
+                p.len()
+            );
+        }
+    }
+
+    #[test]
+    fn chained_sampling_walks_fewer_steps() {
+        let fresh_cfg = OscarConfig::default();
+        let chained_cfg = OscarConfig::default().with_chained_sampling(6);
+        let steps_with = |cfg: &OscarConfig| {
+            let mut net = test_net(uniform_ids(256), 5, 16);
+            let u = net.idx_of(Id::new(7)).unwrap();
+            let mut rng = SeedTree::new(17).rng();
+            estimate_partitions(&mut net, u, cfg, &mut rng).unwrap();
+            net.metrics.get(oscar_sim::MsgKind::WalkStep)
+        };
+        let fresh = steps_with(&fresh_cfg);
+        let chained = steps_with(&chained_cfg);
+        // 12 samples/median: fresh pays 12·24 steps, chained 24 + 11·6.
+        assert!(
+            chained * 2 < fresh,
+            "chaining should at least halve walk steps: {chained} vs {fresh}"
+        );
+    }
+
+    #[test]
     fn skewed_keys_get_density_adapted_partitions() {
         // With a spiky key distribution, partitions must track population,
         // not key-space width: the far partition can be a tiny arc if the

@@ -187,14 +187,15 @@ impl Ring {
 
     /// Iterates peers clockwise starting from the owner of `from`
     /// (inclusive), visiting every peer exactly once.
+    ///
+    /// An in-order treap walk from mid-tree (ids `>= from`) chained with
+    /// the wrapped prefix (ids `< from`): O(log n) to start, O(n) for a
+    /// full walk — not the O(n log n) a rank-chained `select` would pay.
     pub fn iter_clockwise_from(&self, from: Id) -> impl Iterator<Item = Id> + '_ {
-        let n = self.len();
-        let start = if n == 0 {
-            0
-        } else {
-            self.tree.count_lt(from) % n
-        };
-        (0..n).map(move |i| self.select((start + i) % n))
+        let wrapped = self.tree.count_lt(from);
+        self.tree
+            .iter_from(from)
+            .chain(self.tree.iter().take(wrapped))
     }
 }
 

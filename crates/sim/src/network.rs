@@ -5,9 +5,96 @@ use crate::metrics::{Metrics, MsgKind};
 use crate::peer::{LinkError, Peer, PeerIdx};
 use oscar_degree::DegreeCaps;
 use oscar_ring::Ring;
-use oscar_types::{Error, Id, Result};
+use oscar_types::{Arc, Error, Id, Result};
 use rand::Rng;
+use std::cell::RefCell;
 use std::collections::HashMap;
+
+/// One peer's cached walk adjacency: the live walk neighbours **sorted by
+/// identifier** (multiset — a neighbour reachable by ring and long link
+/// appears once per role, exactly like the uncached collection). Sorting
+/// is the fast path's trick: an [`Arc`] restriction selects at most two
+/// contiguous runs of the sorted slice, so the restricted degree and a
+/// uniform restricted pick are O(log deg) binary searches instead of an
+/// O(deg) filter pass per Metropolis–Hastings step.
+///
+/// Valid iff `epoch` matches the network's view epoch **and** `built_at`
+/// is at or after the peer's dirty stamp. Defaults (0, 0) are stale
+/// against the network's counters, which start at 1.
+#[derive(Clone, Debug, Default)]
+struct WalkCacheEntry {
+    epoch: u32,
+    built_at: u64,
+    neighbors: Vec<(Id, PeerIdx)>,
+}
+
+impl WalkCacheEntry {
+    /// `(first_run_start, first_run_len, second_run_len)` of the arc's
+    /// members within the sorted slice: one run for a non-wrapping arc,
+    /// two (tail ∪ head) for a wrapping one.
+    fn arc_runs(&self, arc: &Arc) -> (usize, usize, usize) {
+        if arc.is_full() {
+            return (0, self.neighbors.len(), 0);
+        }
+        if arc.is_empty() {
+            return (0, 0, 0);
+        }
+        let below = |x: Id| self.neighbors.partition_point(|&(id, _)| id < x);
+        let (s, e) = (arc.start(), arc.end());
+        let lo = below(s);
+        let hi = below(e);
+        if s < e {
+            (lo, hi - lo, 0)
+        } else {
+            (lo, self.neighbors.len() - lo, hi)
+        }
+    }
+
+    /// Number of neighbours inside `arc`.
+    fn restricted_degree(&self, arc: Option<&Arc>) -> usize {
+        match arc {
+            None => self.neighbors.len(),
+            Some(a) => {
+                let (_, first, second) = self.arc_runs(a);
+                first + second
+            }
+        }
+    }
+
+    /// The `k`-th neighbour inside `arc`, in sorted order (test oracle
+    /// for the runs arithmetic; production composes
+    /// [`Network::walk_runs`] + [`Network::walk_neighbor_at`]).
+    ///
+    /// # Panics
+    /// If `k >= restricted_degree(arc)`.
+    #[cfg(test)]
+    fn restricted_pick(&self, arc: Option<&Arc>, k: usize) -> PeerIdx {
+        match arc {
+            None => self.neighbors[k].1,
+            Some(a) => {
+                let (lo, first, _) = self.arc_runs(a);
+                if k < first {
+                    self.neighbors[lo + k].1
+                } else {
+                    self.neighbors[k - first].1
+                }
+            }
+        }
+    }
+}
+
+/// Position of an arc restriction within one peer's sorted cached walk
+/// adjacency (see [`Network::walk_runs`]): the restricted neighbours are
+/// `neighbors[lo..lo + first]` followed by `neighbors[..count - first]`
+/// (the wrapped head), `count` in total. Valid until the peer's cache
+/// entry is invalidated by a mutation.
+#[derive(Copy, Clone, Debug)]
+pub struct WalkRuns {
+    lo: usize,
+    first: usize,
+    /// Restricted degree: total neighbours inside the arc.
+    pub count: usize,
+}
 
 /// The whole simulated network.
 ///
@@ -46,6 +133,21 @@ pub struct Network {
     prev_live: Vec<PeerIdx>,
     fault_model: FaultModel,
     succ_list_len: usize,
+    // Per-peer walk-adjacency cache, rebuilt lazily per peer. Every
+    // mutation touches the dirty stamps of exactly the peers whose walk
+    // neighbourhood it changes (a link's two endpoints, a splice's ring
+    // neighbours, a crash's dangling-link owners), so entries persist
+    // across unrelated mutations — that is what amortises the rebuilds
+    // over the join hot loop. `walk_epoch` is the one whole-cache hammer,
+    // for fault-model flips that change every adjacency at once.
+    // Interior mutability keeps the samplers on `&Network` (the cache is
+    // pure memoisation); the cost is that `Network` is `Send` but not
+    // `Sync` — parallel experiment drivers hand each thread its own
+    // network, they never share one.
+    walk_epoch: u32,
+    walk_clock: u64,
+    walk_dirty: Vec<u64>,
+    walk_cache: RefCell<Vec<WalkCacheEntry>>,
     /// Message accounting for the whole simulation.
     pub metrics: Metrics,
 }
@@ -64,8 +166,22 @@ impl Network {
             prev_live: Vec::new(),
             fault_model,
             succ_list_len: 8,
+            walk_epoch: 1,
+            walk_clock: 1,
+            walk_dirty: Vec::new(),
+            walk_cache: RefCell::new(Vec::new()),
             metrics: Metrics::new(),
         }
+    }
+
+    /// Marks one peer's cached walk adjacency stale; it is rebuilt lazily
+    /// on its next walk visit. Callers must touch every peer whose
+    /// *filtered* neighbour list a mutation changes — including peers that
+    /// merely hold a now-dead neighbour.
+    #[inline]
+    fn touch_walk(&mut self, idx: PeerIdx) {
+        self.walk_clock += 1;
+        self.walk_dirty[idx.as_usize()] = self.walk_clock;
     }
 
     /// Length of the Chord-style successor list peers maintain. Only the
@@ -92,6 +208,9 @@ impl Network {
     /// both maintained continuously).
     pub fn set_fault_model(&mut self, fm: FaultModel) {
         self.fault_model = fm;
+        // Every walk adjacency reads ring pointers through the view, so a
+        // view flip invalidates the whole cache at once.
+        self.walk_epoch += 1;
     }
 
     /// Total peers ever added (live + dead).
@@ -145,6 +264,13 @@ impl Network {
         self.by_id.insert(id.raw(), idx);
         self.ring_all.insert(id);
         self.ring_live.insert(id);
+        // The splice changed the ring adjacency of the new peer and of its
+        // (up to four) new ring neighbours — nobody else's.
+        self.walk_dirty.push(0);
+        self.touch_walk(idx);
+        for n in [prev_a, next_a, prev_l, next_l] {
+            self.touch_walk(n);
+        }
         Ok(idx)
     }
 
@@ -261,6 +387,8 @@ impl Network {
         self.metrics.inc(MsgKind::LinkAccept);
         self.peers[fi].long_out.push(to);
         self.peers[ti].long_in.push(from);
+        self.touch_walk(from);
+        self.touch_walk(to);
         Ok(())
     }
 
@@ -273,7 +401,9 @@ impl Network {
             if let Some(pos) = tp.long_in.iter().position(|&s| s == from) {
                 tp.long_in.swap_remove(pos);
             }
+            self.touch_walk(t);
         }
+        self.touch_walk(from);
     }
 
     /// Graceful departure: the peer announces it is leaving, so *all* of
@@ -295,8 +425,10 @@ impl Network {
             if let Some(pos) = sp.long_out.iter().position(|&t| t == idx) {
                 sp.long_out.swap_remove(pos);
             }
+            self.touch_walk(s);
         }
-        // Tear down our own out-links (releases budget at targets).
+        // Tear down our own out-links (releases budget at targets; touches
+        // them and us for the walk cache).
         self.unlink_long_out(idx);
         self.peers[i].alive = false;
         let id = self.peers[i].id;
@@ -310,6 +442,9 @@ impl Network {
         self.next_all[ap.as_usize()] = an;
         self.prev_all[an.as_usize()] = ap;
         self.by_id.remove(&id.raw());
+        for n in [ln, lp, an, ap] {
+            self.touch_walk(n);
+        }
         Ok(())
     }
 
@@ -342,10 +477,22 @@ impl Network {
             if let Some(pos) = tp.long_in.iter().position(|&s| s == idx) {
                 tp.long_in.swap_remove(pos);
             }
+            self.touch_walk(t);
         }
         // Incoming bookkeeping is cleared; the sources keep dangling
-        // `long_out` entries pointing here until they rewire.
-        self.peers[i].long_in.clear();
+        // `long_out` entries pointing here until they rewire — their
+        // live-filtered walk adjacency just lost this peer, so touch them.
+        let sources = std::mem::take(&mut self.peers[i].long_in);
+        for s in sources {
+            self.touch_walk(s);
+        }
+        // Ring neighbours in *both* views see the corpse disappear from
+        // their filtered adjacency (the "all" pointers still aim at it,
+        // but the liveness filter now drops it).
+        let (an, ap) = (self.next_all[i], self.prev_all[i]);
+        for n in [ln, lp, an, ap, idx] {
+            self.touch_walk(n);
+        }
         Ok(())
     }
 
@@ -411,6 +558,128 @@ impl Network {
         let peer = &self.peers[idx.as_usize()];
         buf.extend_from_slice(&peer.long_out);
         buf.extend_from_slice(&peer.long_in);
+    }
+
+    /// Runs `f` on `idx`'s walk-cache entry, lazily (re)building it first
+    /// if its dirty stamp or the view epoch invalidated it.
+    fn with_walk_entry<R>(&self, idx: PeerIdx, f: impl FnOnce(&WalkCacheEntry) -> R) -> R {
+        let mut cache = self.walk_cache.borrow_mut();
+        if cache.len() < self.peers.len() {
+            cache.resize_with(self.peers.len(), WalkCacheEntry::default);
+        }
+        let entry = &mut cache[idx.as_usize()];
+        if entry.epoch != self.walk_epoch || entry.built_at < self.walk_dirty[idx.as_usize()] {
+            entry.neighbors.clear();
+            let push_live = |e: &mut WalkCacheEntry, c: PeerIdx| {
+                let p = &self.peers[c.as_usize()];
+                if p.alive {
+                    e.neighbors.push((p.id, c));
+                }
+            };
+            if let Some(s) = self.ring_successor(idx) {
+                if s != idx {
+                    push_live(entry, s);
+                }
+            }
+            if let Some(p) = self.ring_predecessor(idx) {
+                if p != idx {
+                    push_live(entry, p);
+                }
+            }
+            let peer = &self.peers[idx.as_usize()];
+            for &t in &peer.long_out {
+                push_live(entry, t);
+            }
+            for &s in &peer.long_in {
+                push_live(entry, s);
+            }
+            entry.neighbors.sort_unstable();
+            entry.epoch = self.walk_epoch;
+            entry.built_at = self.walk_clock;
+        }
+        f(entry)
+    }
+
+    /// The number of walk neighbours of `idx` that are alive and (when
+    /// `arc` is given) inside the arc — O(log deg) off the sorted cached
+    /// adjacency, no list materialised.
+    pub fn walk_degree(&self, idx: PeerIdx, arc: Option<&Arc>) -> usize {
+        self.with_walk_entry(idx, |e| e.restricted_degree(arc))
+    }
+
+    /// The arc's position in `idx`'s sorted cached adjacency, for callers
+    /// that hold a walk position across steps: resolve the runs once per
+    /// position change, then map proposals through
+    /// [`Network::walk_neighbor_at`] with no further searches.
+    pub fn walk_runs(&self, idx: PeerIdx, arc: Option<&Arc>) -> WalkRuns {
+        self.with_walk_entry(idx, |e| match arc {
+            None => WalkRuns {
+                lo: 0,
+                first: e.neighbors.len(),
+                count: e.neighbors.len(),
+            },
+            Some(a) => {
+                let (lo, first, second) = e.arc_runs(a);
+                WalkRuns {
+                    lo,
+                    first,
+                    count: first + second,
+                }
+            }
+        })
+    }
+
+    /// The `k`-th (0-based) restricted walk neighbour of `idx` under
+    /// `runs` (obtained from [`Network::walk_runs`] for the same peer and
+    /// arc, with no intervening mutation) — a direct index, no search.
+    ///
+    /// # Panics
+    /// If `k >= runs.count`.
+    pub fn walk_neighbor_at(&self, idx: PeerIdx, runs: WalkRuns, k: usize) -> PeerIdx {
+        let i = if k < runs.first {
+            runs.lo + k
+        } else {
+            k - runs.first
+        };
+        self.with_walk_entry(idx, |e| e.neighbors[i].1)
+    }
+
+    /// The `k`-th (0-based, identifier-sorted) live walk neighbour of
+    /// `idx` inside `arc` — a one-shot convenience over
+    /// [`Network::walk_runs`] + [`Network::walk_neighbor_at`] (what the
+    /// walker composes itself), kept test-only so the panicky indexed
+    /// form is not public API.
+    ///
+    /// # Panics
+    /// If `k >= walk_degree(idx, arc)`.
+    #[cfg(test)]
+    pub(crate) fn walk_pick(&self, idx: PeerIdx, arc: Option<&Arc>, k: usize) -> PeerIdx {
+        self.with_walk_entry(idx, |e| e.restricted_pick(arc, k))
+    }
+
+    /// The walk neighbours of `idx` that are alive and (when `arc` is
+    /// given) inside the arc, collected into `buf` (cleared first) in
+    /// identifier-sorted order; returns the restricted degree. Same
+    /// multiset as [`Network::walk_neighbors_into`] followed by an
+    /// alive+arc `retain`, served from the cache.
+    pub fn walk_neighbors_restricted(
+        &self,
+        idx: PeerIdx,
+        arc: Option<&Arc>,
+        buf: &mut Vec<PeerIdx>,
+    ) -> usize {
+        self.with_walk_entry(idx, |e| {
+            buf.clear();
+            match arc {
+                Some(a) => {
+                    let (lo, first, second) = e.arc_runs(a);
+                    buf.extend(e.neighbors[lo..lo + first].iter().map(|&(_, c)| c));
+                    buf.extend(e.neighbors[..second].iter().map(|&(_, c)| c));
+                }
+                None => buf.extend(e.neighbors.iter().map(|&(_, c)| c)),
+            }
+            buf.len()
+        })
     }
 
     /// Snapshot of `(in_degree, ρ_in_max)` for every **live** peer — the
@@ -659,6 +928,116 @@ mod tests {
         let again = net.add_peer(Id::new(20), caps(4)).unwrap();
         assert_ne!(again, idxs[1], "rejoin gets a fresh index");
         assert_eq!(net.live_owner_of(Id::new(20)), Some(again));
+    }
+
+    #[test]
+    fn cached_walk_neighbors_match_uncached() {
+        let (mut net, idxs) = net_with(&[10, 20, 30, 40, 50, 60]);
+        net.try_link(idxs[0], idxs[3]).unwrap();
+        net.try_link(idxs[4], idxs[0]).unwrap();
+        net.kill(idxs[3]).unwrap(); // dangling long_out at idxs[0]
+        let arcs = [
+            None,
+            Some(Arc::between(Id::new(15), Id::new(45))),
+            Some(Arc::between(Id::new(45), Id::new(15))), // wrapping
+        ];
+        for p in net.all_peers() {
+            if !net.is_alive(p) {
+                continue;
+            }
+            for arc in &arcs {
+                let mut cached = Vec::new();
+                let deg = net.walk_neighbors_restricted(p, arc.as_ref(), &mut cached);
+                let mut plain = Vec::new();
+                net.walk_neighbors_into(p, &mut plain);
+                plain.retain(|&c| {
+                    net.is_alive(c) && arc.as_ref().is_none_or(|a| a.contains(net.peer(c).id))
+                });
+                // Same multiset (the cached order is identifier-sorted).
+                let mut cached_sorted = cached.clone();
+                cached_sorted.sort_unstable();
+                plain.sort_unstable();
+                assert_eq!(cached_sorted, plain, "peer {p:?} arc {arc:?}");
+                // Degree and picks agree with the materialised list.
+                assert_eq!(net.walk_degree(p, arc.as_ref()), deg);
+                for (k, &c) in cached.iter().enumerate() {
+                    assert_eq!(net.walk_pick(p, arc.as_ref(), k), c);
+                }
+            }
+        }
+    }
+
+    mod walk_cache_props {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// Uncached reference for one peer's restricted walk adjacency,
+        /// sorted for multiset comparison.
+        fn plain(net: &Network, p: PeerIdx, arc: Option<&Arc>) -> Vec<PeerIdx> {
+            let mut buf = Vec::new();
+            net.walk_neighbors_into(p, &mut buf);
+            buf.retain(|&c| net.is_alive(c) && arc.is_none_or(|a| a.contains(net.peer(c).id)));
+            buf.sort_unstable();
+            buf
+        }
+
+        proptest! {
+            /// The dirty-stamp invalidation must keep every cached entry
+            /// coherent through arbitrary interleavings of joins, crashes,
+            /// departures, links and unlinks. Queries after every op warm
+            /// the cache, so a missed `touch_walk` on a later op would
+            /// serve a stale entry and fail the comparison.
+            #[test]
+            fn cache_matches_uncached_under_random_ops(
+                ops in prop::collection::vec((any::<u64>(), 0u8..8), 1..80),
+                a: u64,
+                b: u64,
+            ) {
+                let mut net = Network::new(FaultModel::StabilizedRing);
+                let mut added: Vec<PeerIdx> = Vec::new();
+                let arc = Arc::between(Id::new(a), Id::new(b));
+                let mut buf = Vec::new();
+                for (x, op) in ops {
+                    let pick = |added: &[PeerIdx], salt: u64| {
+                        added[((x ^ salt) % added.len() as u64) as usize]
+                    };
+                    match op {
+                        0..=2 => {
+                            if let Ok(p) = net.add_peer(Id::new(x), DegreeCaps::symmetric(4)) {
+                                added.push(p);
+                            }
+                        }
+                        3 if !added.is_empty() => {
+                            let _ = net.kill(pick(&added, 1));
+                        }
+                        4 if !added.is_empty() => {
+                            let _ = net.depart(pick(&added, 2));
+                        }
+                        5 | 6 if !added.is_empty() => {
+                            let _ = net.try_link(pick(&added, 3), pick(&added, 5));
+                        }
+                        _ if !added.is_empty() => {
+                            net.unlink_long_out(pick(&added, 7));
+                        }
+                        _ => {}
+                    }
+                    for &p in &added {
+                        if !net.is_alive(p) {
+                            continue;
+                        }
+                        for arc in [None, Some(&arc)] {
+                            let deg = net.walk_neighbors_restricted(p, arc, &mut buf);
+                            prop_assert_eq!(deg, net.walk_degree(p, arc));
+                            for (k, &c) in buf.iter().enumerate() {
+                                prop_assert_eq!(net.walk_pick(p, arc, k), c);
+                            }
+                            buf.sort_unstable();
+                            prop_assert_eq!(&buf, &plain(&net, p, arc), "peer {:?}", p);
+                        }
+                    }
+                }
+            }
+        }
     }
 
     mod linked_ring_props {

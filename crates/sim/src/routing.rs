@@ -172,7 +172,7 @@ pub fn route_to_owner(net: &Network, src: PeerIdx, key: Id, policy: &RoutePolicy
 }
 
 /// Aggregate statistics over a batch of queries (one figure data point).
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct QueryBatchStats {
     /// Number of queries actually issued (less than requested when the
     /// network runs out of live peers).

@@ -38,6 +38,23 @@ pub struct WalkConfig {
     /// Apply the Metropolis–Hastings degree correction (on by default;
     /// turning it off is ablation material — hubs get oversampled).
     pub metropolis_hastings: bool,
+    /// Serve walk proposals from the network's sorted walk-adjacency
+    /// cache (on by default): restricted degree and uniform neighbour
+    /// pick become O(log deg) binary searches instead of an O(deg)
+    /// collect-and-filter per step. Both paths run the *same chain* —
+    /// uniform proposal over the restricted neighbours, same MH ratio —
+    /// but enumerate neighbours in different orders, so they produce
+    /// different (equally valid) realisations from the same seed. The
+    /// knob exists for the `join_cost` bench to measure the fast path
+    /// against the recollect-and-retain baseline.
+    pub cached: bool,
+    /// Chained sampling: `0` (default) gives every sample of
+    /// [`Walker::sample_many`] its own fresh `burn_in`-step walk from the
+    /// start peer; `t > 0` walks one burn-in and then emits each further
+    /// sample after only `t` thinning steps, continuing from the previous
+    /// sample. Consecutive samples are then correlated — fine for median
+    /// estimation (ablation-validated), much cheaper per sample.
+    pub chain_thin: u32,
 }
 
 impl Default for WalkConfig {
@@ -45,7 +62,25 @@ impl Default for WalkConfig {
         WalkConfig {
             burn_in: 24,
             metropolis_hastings: true,
+            cached: true,
+            chain_thin: 0,
         }
+    }
+}
+
+impl WalkConfig {
+    /// Same config with chained sampling at the given thinning interval.
+    pub fn with_chain_thin(mut self, thin: u32) -> Self {
+        self.chain_thin = thin;
+        self
+    }
+
+    /// Same config with the walk-adjacency cache disabled — the bench
+    /// baseline; the chain is the same, only slower (see
+    /// [`WalkConfig::cached`]).
+    pub fn without_cache(mut self) -> Self {
+        self.cached = false;
+        self
     }
 }
 
@@ -81,8 +116,9 @@ impl<'a> Walker<'a> {
     }
 
     /// Collects the live walk-neighbours of `p` that satisfy the arc
-    /// restriction into `buf`, returning the restricted degree.
-    fn restricted_neighbors(
+    /// restriction into `buf`, returning the restricted degree — the
+    /// uncached baseline path.
+    fn collect_restricted(
         net: &Network,
         p: PeerIdx,
         arc: Option<&Arc>,
@@ -99,6 +135,121 @@ impl<'a> Walker<'a> {
         buf.len()
     }
 
+    /// Advances the walk by `steps` Metropolis–Hastings steps from
+    /// `(current, cur_deg)`. On the uncached path `buf_cur` must hold
+    /// `current`'s restricted neighbours on entry and holds the returned
+    /// peer's on exit; the cached path proposes straight off the network's
+    /// sorted adjacency cache and touches no buffers.
+    fn advance(
+        &mut self,
+        current: PeerIdx,
+        cur_deg: usize,
+        arc: Option<&Arc>,
+        steps: u32,
+        rng: &mut SmallRng,
+    ) -> (PeerIdx, usize) {
+        if self.cfg.cached {
+            return self.advance_cached(current, arc, steps, rng);
+        }
+        self.advance_uncached(current, cur_deg, arc, steps, rng)
+    }
+
+    /// Cached fast path: the current position's arc runs are resolved
+    /// once per move, every proposal is a direct index into the sorted
+    /// cached adjacency, and the candidate's runs — computed for the MH
+    /// ratio — are promoted wholesale on acceptance. O(log deg) per step,
+    /// no buffers.
+    fn advance_cached(
+        &mut self,
+        mut current: PeerIdx,
+        arc: Option<&Arc>,
+        steps: u32,
+        rng: &mut SmallRng,
+    ) -> (PeerIdx, usize) {
+        let mut runs = self.net.walk_runs(current, arc);
+        for _ in 0..steps {
+            self.steps += 1;
+            if runs.count == 0 {
+                // Isolated within the restriction (single-member arc):
+                // the walk stays put; the sample is `current` itself.
+                continue;
+            }
+            let k = rng.gen_range(0..runs.count);
+            let cand = self.net.walk_neighbor_at(current, runs, k);
+            let cand_runs = self.net.walk_runs(cand, arc);
+            let accept = if self.cfg.metropolis_hastings {
+                // min(1, deg(u)/deg(v)) — uniform stationary distribution.
+                cand_runs.count == 0
+                    || rng.gen::<f64>() < runs.count as f64 / cand_runs.count as f64
+            } else {
+                true
+            };
+            if accept && cand_runs.count > 0 {
+                current = cand;
+                runs = cand_runs;
+            }
+        }
+        (current, runs.count)
+    }
+
+    /// Uncached baseline: collect-and-retain per visited peer, with the
+    /// buffer swap promoting the accepted candidate's list.
+    fn advance_uncached(
+        &mut self,
+        mut current: PeerIdx,
+        mut cur_deg: usize,
+        arc: Option<&Arc>,
+        steps: u32,
+        rng: &mut SmallRng,
+    ) -> (PeerIdx, usize) {
+        for _ in 0..steps {
+            self.steps += 1;
+            if cur_deg == 0 {
+                continue;
+            }
+            let k = rng.gen_range(0..cur_deg);
+            let cand = self.buf_cur[k];
+            let cand_deg = Self::collect_restricted(self.net, cand, arc, &mut self.buf_deg);
+            let accept = if self.cfg.metropolis_hastings {
+                cand_deg == 0 || rng.gen::<f64>() < cur_deg as f64 / cand_deg as f64
+            } else {
+                true
+            };
+            if accept && cand_deg > 0 {
+                // The candidate's restricted neighbours were just computed
+                // for the MH ratio; the swap promotes them instead of
+                // recomputing.
+                current = cand;
+                cur_deg = cand_deg;
+                std::mem::swap(&mut self.buf_cur, &mut self.buf_deg);
+            }
+        }
+        (current, cur_deg)
+    }
+
+    /// Validates the walk start and returns its restricted degree (on the
+    /// uncached path, also primes `buf_cur` with its neighbours; the
+    /// cached path resolves the start's runs itself in
+    /// [`Walker::advance_cached`], so the returned degree is unused and
+    /// not computed).
+    fn start_walk(&mut self, start: PeerIdx, arc: Option<&Arc>) -> Result<usize> {
+        if !self.net.is_alive(start) {
+            return Err(Error::PeerDead(start.as_usize()));
+        }
+        if let Some(a) = arc {
+            if !a.contains(self.net.peer(start).id) {
+                return Err(Error::SamplingFailed {
+                    reason: "walk start outside the restricted arc",
+                });
+            }
+        }
+        Ok(if self.cfg.cached {
+            0 // unused: advance_cached re-derives the start's runs
+        } else {
+            Self::collect_restricted(self.net, start, arc, &mut self.buf_cur)
+        })
+    }
+
     /// One (near-)uniform sample from the peers of `arc` (or the whole
     /// live network when `arc` is `None`), starting the walk at `start`.
     ///
@@ -110,43 +261,17 @@ impl<'a> Walker<'a> {
         arc: Option<&Arc>,
         rng: &mut SmallRng,
     ) -> Result<PeerIdx> {
-        if !self.net.is_alive(start) {
-            return Err(Error::PeerDead(start.as_usize()));
-        }
-        if let Some(a) = arc {
-            if !a.contains(self.net.peer(start).id) {
-                return Err(Error::SamplingFailed {
-                    reason: "walk start outside the restricted arc",
-                });
-            }
-        }
-        let mut current = start;
-        let mut cur_deg = Self::restricted_neighbors(self.net, current, arc, &mut self.buf_cur);
-        for _ in 0..self.cfg.burn_in {
-            self.steps += 1;
-            if cur_deg == 0 {
-                // Isolated within the restriction (single-member arc):
-                // the walk stays put; the sample is `current` itself.
-                continue;
-            }
-            let cand = self.buf_cur[rng.gen_range(0..cur_deg)];
-            let cand_deg = Self::restricted_neighbors(self.net, cand, arc, &mut self.buf_deg);
-            let accept = if self.cfg.metropolis_hastings {
-                // min(1, deg(u)/deg(v)) — uniform stationary distribution.
-                cand_deg == 0 || rng.gen::<f64>() < cur_deg as f64 / cand_deg as f64
-            } else {
-                true
-            };
-            if accept && cand_deg > 0 {
-                current = cand;
-                cur_deg = cand_deg;
-                std::mem::swap(&mut self.buf_cur, &mut self.buf_deg);
-            }
-        }
+        let cur_deg = self.start_walk(start, arc)?;
+        let (current, _) = self.advance(start, cur_deg, arc, self.cfg.burn_in, rng);
         Ok(current)
     }
 
-    /// `count` independent samples (each a fresh walk from `start`).
+    /// `count` samples from one start. With `chain_thin == 0` each sample
+    /// is an independent fresh `burn_in`-step walk from `start`; with
+    /// `chain_thin = t > 0` the walk burns in once and then emits a sample
+    /// every `t` steps, continuing from the previous sample (the classic
+    /// MCMC thinning trade: correlated samples, `burn_in + (count-1)·t`
+    /// steps instead of `count·burn_in`).
     pub fn sample_many(
         &mut self,
         start: PeerIdx,
@@ -155,8 +280,24 @@ impl<'a> Walker<'a> {
         rng: &mut SmallRng,
     ) -> Result<Vec<PeerIdx>> {
         let mut out = Vec::with_capacity(count);
-        for _ in 0..count {
-            out.push(self.sample(start, arc, rng)?);
+        if self.cfg.chain_thin == 0 {
+            for _ in 0..count {
+                out.push(self.sample(start, arc, rng)?);
+            }
+            return Ok(out);
+        }
+        if count == 0 {
+            // Still validate: callers treat an Ok return as "start usable".
+            self.start_walk(start, arc)?;
+            return Ok(out);
+        }
+        let mut cur_deg = self.start_walk(start, arc)?;
+        let mut current = start;
+        (current, cur_deg) = self.advance(current, cur_deg, arc, self.cfg.burn_in, rng);
+        out.push(current);
+        for _ in 1..count {
+            (current, cur_deg) = self.advance(current, cur_deg, arc, self.cfg.chain_thin, rng);
+            out.push(current);
         }
         Ok(out)
     }
@@ -217,6 +358,7 @@ mod tests {
             WalkConfig {
                 burn_in: 48,
                 metropolis_hastings: true,
+                ..WalkConfig::default()
             },
         );
         let mut rng = SeedTree::new(2).rng();
@@ -248,6 +390,7 @@ mod tests {
                 WalkConfig {
                     burn_in: 16,
                     metropolis_hastings: mh,
+                    ..WalkConfig::default()
                 },
             );
             let mut rng = SeedTree::new(4).rng();
@@ -287,6 +430,7 @@ mod tests {
             WalkConfig {
                 burn_in: 48,
                 metropolis_hastings: true,
+                ..WalkConfig::default()
             },
         );
         let mut rng = SeedTree::new(8).rng();
@@ -361,12 +505,158 @@ mod tests {
             WalkConfig {
                 burn_in: 10,
                 metropolis_hastings: true,
+                ..WalkConfig::default()
             },
         );
         let mut rng = SeedTree::new(18).rng();
         walker.sample_many(PeerIdx(0), None, 5, &mut rng).unwrap();
         assert_eq!(walker.take_steps(), 50, "5 walks x 10 steps");
         assert_eq!(walker.take_steps(), 0, "drained");
+    }
+
+    #[test]
+    fn uncached_baseline_runs_the_same_chain() {
+        // The bench-baseline path (collect-and-retain) runs the same
+        // Metropolis–Hastings chain as the cached fast path: same step
+        // accounting, and the same uniformity over the restricted
+        // population, even though the two enumerate neighbours in
+        // different orders.
+        let mut net = test_net(64, 4, 21);
+        for v in [3u32, 9, 27] {
+            net.kill(PeerIdx(v)).unwrap();
+        }
+        let arc = Arc::between(Id::new(0), Id::new(u64::MAX / 2));
+        for cfg in [WalkConfig::default(), WalkConfig::default().without_cache()] {
+            let mut walker = Walker::new(&net, cfg);
+            let mut rng = SeedTree::new(22).rng();
+            let mut counts = std::collections::HashMap::new();
+            let trials = 3000;
+            for _ in 0..trials {
+                let s = walker.sample(PeerIdx(0), Some(&arc), &mut rng).unwrap();
+                assert!(net.is_alive(s));
+                assert!(arc.contains(net.peer(s).id));
+                *counts.entry(s).or_insert(0u32) += 1;
+            }
+            assert_eq!(walker.take_steps(), trials * cfg.burn_in as u64);
+            // ~29 live members in the half arc → ~100 samples each.
+            assert!(counts.len() >= 26, "cached={}: starved", cfg.cached);
+            assert!(
+                counts.values().all(|&c| c < 400),
+                "cached={}: hub bias",
+                cfg.cached
+            );
+        }
+    }
+
+    #[test]
+    fn cache_sees_membership_and_link_changes() {
+        // Mutations between walks must invalidate the cache: after each
+        // mutation kind, the cached degree/pick view must agree with a
+        // fresh uncached collection for every live peer (walks in between
+        // warm the cache so staleness would be visible).
+        let mut net = test_net(32, 3, 23);
+        let check = |net: &Network, seed: u64| {
+            let mut walker = Walker::new(net, WalkConfig::default());
+            let mut rng = SeedTree::new(seed).rng();
+            for _ in 0..10 {
+                let s = walker.sample(PeerIdx(1), None, &mut rng).unwrap();
+                assert!(net.is_alive(s));
+            }
+            let mut plain = Vec::new();
+            for p in net.all_peers().filter(|&p| net.is_alive(p)) {
+                let deg = Walker::collect_restricted(net, p, None, &mut plain);
+                assert_eq!(net.walk_degree(p, None), deg, "peer {p:?}");
+                let mut picks: Vec<PeerIdx> = (0..deg).map(|k| net.walk_pick(p, None, k)).collect();
+                picks.sort_unstable();
+                plain.sort_unstable();
+                assert_eq!(picks, plain, "peer {p:?}");
+            }
+        };
+        check(&net, 31); // populate the cache
+        net.kill(PeerIdx(5)).unwrap();
+        check(&net, 32);
+        net.try_link(PeerIdx(1), PeerIdx(9)).unwrap();
+        check(&net, 33);
+        net.unlink_long_out(PeerIdx(1));
+        check(&net, 34);
+        net.depart(PeerIdx(7)).unwrap();
+        check(&net, 35);
+        net.add_peer(Id::new(12345), DegreeCaps::symmetric(64))
+            .unwrap();
+        check(&net, 36);
+        net.set_fault_model(FaultModel::UnstabilizedRing);
+        check(&net, 37);
+    }
+
+    #[test]
+    fn chained_steps_are_accounted() {
+        let net = test_net(16, 2, 17);
+        let mut walker = Walker::new(
+            &net,
+            WalkConfig {
+                burn_in: 10,
+                metropolis_hastings: true,
+                ..WalkConfig::default()
+            }
+            .with_chain_thin(3),
+        );
+        let mut rng = SeedTree::new(18).rng();
+        let samples = walker.sample_many(PeerIdx(0), None, 5, &mut rng).unwrap();
+        assert_eq!(samples.len(), 5);
+        assert_eq!(walker.take_steps(), 10 + 4 * 3, "burn-in + 4 thins");
+        assert_eq!(walker.take_steps(), 0, "drained");
+        // Zero requested samples still validates the start and costs nothing.
+        assert!(walker
+            .sample_many(PeerIdx(0), None, 0, &mut rng)
+            .unwrap()
+            .is_empty());
+        assert_eq!(walker.take_steps(), 0);
+    }
+
+    #[test]
+    fn chained_walk_stays_in_arc_and_covers_it() {
+        let net = test_net(64, 4, 7);
+        let arc = Arc::between(Id::new(0), Id::new(u64::MAX / 2));
+        let start = net.idx_of(Id::new(0)).unwrap();
+        let mut walker = Walker::new(
+            &net,
+            WalkConfig {
+                burn_in: 48,
+                metropolis_hastings: true,
+                ..WalkConfig::default()
+            }
+            .with_chain_thin(8),
+        );
+        let mut rng = SeedTree::new(8).rng();
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..40 {
+            for s in walker.sample_many(start, Some(&arc), 50, &mut rng).unwrap() {
+                assert!(arc.contains(net.peer(s).id), "escaped the arc");
+                seen.insert(s);
+            }
+        }
+        // 32 members in the arc; thinned chains still reach nearly all.
+        assert!(seen.len() >= 28, "only {} members reached", seen.len());
+    }
+
+    #[test]
+    fn chained_errors_match_fresh_walk_errors() {
+        let mut net = test_net(16, 2, 13);
+        let start = net.idx_of(Id::new(0)).unwrap();
+        let cfg = WalkConfig::default().with_chain_thin(4);
+        let far = Arc::between(Id::new(u64::MAX / 2), Id::new(u64::MAX / 2 + 1000));
+        let mut walker = Walker::new(&net, cfg);
+        let mut rng = SeedTree::new(14).rng();
+        assert!(matches!(
+            walker.sample_many(start, Some(&far), 3, &mut rng),
+            Err(Error::SamplingFailed { .. })
+        ));
+        net.kill(start).unwrap();
+        let mut walker = Walker::new(&net, cfg);
+        assert!(matches!(
+            walker.sample_many(start, None, 3, &mut rng),
+            Err(Error::PeerDead(_))
+        ));
     }
 
     #[test]

@@ -93,13 +93,27 @@ impl ItemStore {
         loads
     }
 
-    /// Items stored by one peer (count only).
+    /// Items stored by one peer (count only): counts the sorted items
+    /// inside the peer's owned arc `(predecessor, peer]` with two binary
+    /// searches — O(log items + log peers), no full-placement vector.
     pub fn load_of(&self, net: &Network, peer: PeerIdx) -> usize {
-        self.load_per_peer(net)
-            .into_iter()
-            .find(|&(p, _)| p == peer)
-            .map(|(_, l)| l)
-            .unwrap_or(0)
+        if !net.is_alive(peer) {
+            return 0; // dead peers own nothing (they are off the live ring)
+        }
+        let peer_id = net.peer(peer).id;
+        let Some(pred_id) = net.ring_live().predecessor_of(peer_id) else {
+            return 0;
+        };
+        // Items at-or-before `x` in ascending key order.
+        let le = |x: oscar_types::Id| self.items.partition_point(|&k| k <= x);
+        if pred_id == peer_id {
+            self.items.len() // sole live peer owns the full ring
+        } else if pred_id < peer_id {
+            le(peer_id) - le(pred_id)
+        } else {
+            // wrapping arc: (pred, MAX] ∪ [0, peer]
+            self.items.len() - le(pred_id) + le(peer_id)
+        }
     }
 
     /// Balance statistics over live peers.
@@ -205,6 +219,33 @@ mod tests {
             .unwrap()
             .1;
         assert_eq!(l300, 2);
+    }
+
+    #[test]
+    fn load_of_matches_load_per_peer() {
+        let mut rng = SeedTree::new(9).rng();
+        // Uneven ids incl. wrap-owner; kill one peer to exercise fallthrough.
+        let mut net = net_with(&[50, 5_000, u64::MAX - 10, 900, 77]);
+        net.kill(net.idx_of(Id::new(900)).unwrap()).unwrap();
+        let store = ItemStore::generate(&ClusteredKeys::new(4, 1e-3, 1.0, 3), 5_000, &mut rng);
+        let full = store.load_per_peer(&net);
+        let mut total = 0;
+        for p in net.all_peers() {
+            let direct = store.load_of(&net, p);
+            let from_full = full
+                .iter()
+                .find(|&&(q, _)| q == p)
+                .map(|&(_, l)| l)
+                .unwrap_or(0);
+            assert_eq!(direct, from_full, "peer {p:?}");
+            total += direct;
+        }
+        assert_eq!(total, store.len());
+        // Sole-live-peer edge: everything lands on the survivor.
+        let mut solo = net_with(&[123]);
+        assert_eq!(store.load_of(&solo, PeerIdx(0)), store.len());
+        solo.kill(PeerIdx(0)).unwrap();
+        assert_eq!(store.load_of(&solo, PeerIdx(0)), 0);
     }
 
     #[test]

@@ -75,23 +75,29 @@ pub fn choose_join_id(
             if net.live_count() == 0 || store.is_empty() {
                 return fresh(Id::new(rng.gen()), net, rng);
             }
+            // One loads snapshot for the whole decision; probe `probes`
+            // *distinct* random peers via Floyd's sampling — O(probes)
+            // state, no O(n) index-permutation scaffold — and pick the
+            // most loaded one among them.
             let loads = store.load_per_peer(net);
-            // Probe `probes` *distinct* random peers (partial Fisher-Yates)
-            // and pick the most loaded one among them.
-            let mut order: Vec<usize> = (0..loads.len()).collect();
-            let probes = (*probes).clamp(1, loads.len());
-            let mut best_idx = 0usize;
-            let mut best_load = 0usize;
-            for k in 0..probes {
-                let j = rng.gen_range(k..order.len());
-                order.swap(k, j);
-                let i = order[k];
-                if loads[i].1 >= best_load {
-                    best_load = loads[i].1;
-                    best_idx = i;
+            let n = loads.len();
+            let probes = (*probes).clamp(1, n);
+            let mut probed = std::collections::HashSet::with_capacity(probes);
+            let mut best: Option<(usize, usize)> = None; // (load, index)
+            for j in n - probes..n {
+                let t = rng.gen_range(0..=j);
+                let pick = if probed.insert(t) {
+                    t
+                } else {
+                    probed.insert(j);
+                    j
+                };
+                if best.is_none_or(|(l, _)| loads[pick].1 >= l) {
+                    best = Some((loads[pick].1, pick));
                 }
             }
-            let (victim, victim_load) = loads[best_idx];
+            let (victim_load, best_idx) = best.expect("probes >= 1");
+            let victim = loads[best_idx].0;
             if victim_load == 0 {
                 return fresh(Id::new(rng.gen()), net, rng);
             }
@@ -103,17 +109,19 @@ pub fn choose_join_id(
                 .ring_live()
                 .predecessor_of(victim_id)
                 .expect("non-empty ring");
-            // victim's items: keys in (pred, victim]
+            // The victim's items are the sorted keys in (pred, victim]; in
+            // clockwise order from pred that is the ascending run after
+            // `pred` followed, for a wrapping arc, by the run from key 0.
+            // Index straight into it instead of filtering all keys.
             let take = victim_load.div_ceil(2).min(capacity.max(1));
             let keys = store.keys();
-            // walk the victim's arc collecting its items in order
-            let mut owned: Vec<Id> = keys
-                .iter()
-                .copied()
-                .filter(|&k| k.in_cw_open_closed(pred_id, victim_id))
-                .collect();
-            owned.sort_unstable_by_key(|&k| pred_id.cw_dist(k));
-            let split_key = owned[take - 1];
+            let le = |x: Id| keys.partition_point(|&k| k <= x);
+            let first_after_pred = le(pred_id);
+            let split_key = if pred_id < victim_id || first_after_pred + take <= keys.len() {
+                keys[first_after_pred + take - 1]
+            } else {
+                keys[take - 1 - (keys.len() - first_after_pred)]
+            };
             fresh(split_key, net, rng)
         }
     }
@@ -185,6 +193,44 @@ mod tests {
         );
         let new_max = after.iter().map(|&(_, l)| l).max().unwrap();
         assert!(new_max <= max_before, "join must not worsen the maximum");
+    }
+
+    #[test]
+    fn storage_aware_splits_a_wrap_owner_victim() {
+        // Exercise the wrapping branch of the direct split-key indexing
+        // deterministically: the victim owns the arc through u64::MAX,
+        // holding 20 keys near the top of the ring and 80 near the
+        // bottom, so the split point (the 50th clockwise item from the
+        // predecessor) lies past the wrap — in the low-key run.
+        let mut net = Network::new(FaultModel::StabilizedRing);
+        let pred_ring_id = u64::MAX - 10_000_000;
+        for id in [1000u64, pred_ring_id] {
+            net.add_peer(Id::new(id), DegreeCaps::symmetric(4)).unwrap();
+        }
+        let wrap_owner = net.idx_of(Id::new(1000)).unwrap();
+        let high: Vec<Id> = (0..20)
+            .map(|i| Id::new(u64::MAX - 5_000_000 + i * 10))
+            .collect();
+        let low: Vec<Id> = (0..80).map(|i| Id::new(i * 10)).collect();
+        let store = ItemStore::from_keys(high.iter().chain(&low).copied().collect());
+        assert_eq!(store.load_of(&net, wrap_owner), 100, "victim owns all");
+
+        let mut rng = SeedTree::new(8).rng();
+        // probes = peer count => the heaviest (the wrap owner) is certain.
+        let id = choose_join_id(
+            &net,
+            &store,
+            &JoinPolicy::StorageAware { probes: 2 },
+            usize::MAX,
+            &mut rng,
+        );
+        // take = ceil(100/2) = 50; clockwise from the predecessor the
+        // victim's items are the 20 high keys then the 80 low keys, so
+        // the split key is the 30th low key.
+        assert_eq!(id, low[29], "split at the 50th cw item, past the wrap");
+        let joined = net.add_peer(id, DegreeCaps::symmetric(4)).unwrap();
+        assert_eq!(store.load_of(&net, joined), 50);
+        assert_eq!(store.load_of(&net, wrap_owner), 50);
     }
 
     #[test]
