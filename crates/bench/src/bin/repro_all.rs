@@ -15,6 +15,10 @@
 //!
 //! Outputs: ASCII plots + Markdown tables on stdout, CSVs under
 //! `results/` (override with `OSCAR_RESULTS_DIR`).
+//!
+//! The steady-state continuous-churn experiment — beyond the paper's
+//! one-shot crash waves — has its own driver, `repro_churn`, so the two
+//! can run side by side without duplicating the churn-engine sweep.
 
 use oscar_bench::figures::{
     fig1a_report, fig1b_report, fig1c_report, fig2_report, mercury_compare_report, run_fig1_suite,

@@ -1,0 +1,89 @@
+//! Steady-state continuous churn: the regime past the paper's one-shot
+//! crash waves. Grows one Oscar overlay, then drives sustained Poisson
+//! join/crash/depart at the standard churn-level ladder and measures
+//! cost, wasted traffic, success rate and live population per window.
+//!
+//! ```sh
+//! OSCAR_SCALE=2000 OSCAR_THREADS=4 cargo run --release -p oscar-bench --bin repro_churn
+//! OSCAR_CHURN_WINDOWS=12 cargo run --release -p oscar-bench --bin repro_churn
+//! ```
+//!
+//! The per-level engine runs fan out over `OSCAR_THREADS` workers; every
+//! CSV is byte-identical at any thread count (pinned by
+//! `tests/parallel_determinism.rs`). Besides the CSVs, the run writes
+//! `<results dir>/BENCH_churn.json` (windows/sec throughput + steady-state
+//! mean cost per churn level); the committed `BENCH_churn.json` at the
+//! repository root is the tracked baseline.
+
+use oscar_bench::figures::steady_churn_reports;
+use oscar_bench::{
+    grow_steady_churn_substrate, run_steady_churn_on, standard_churn_schedules, Report, Scale,
+};
+use oscar_core::{OscarBuilder, OscarConfig};
+use oscar_degree::ConstantDegrees;
+use oscar_keydist::GnutellaKeys;
+
+fn main() -> std::io::Result<()> {
+    let scale = Scale::from_env_or_exit();
+    let windows = Scale::churn_windows_from_env_or_exit();
+    let builder = OscarBuilder::new(OscarConfig::default());
+    let keys = GnutellaKeys::default();
+    let degrees = ConstantDegrees::paper();
+    let schedules = standard_churn_schedules(&scale);
+    eprintln!(
+        "[churn-engine] growing to {} then running {} windows x {} churn levels...",
+        scale.target,
+        windows,
+        schedules.len()
+    );
+
+    // Growth and engine are timed separately so the windows/sec baseline
+    // tracks the churn engine alone — a growth/join-path regression must
+    // not masquerade as an engine one.
+    let t_grow = std::time::Instant::now();
+    let net = grow_steady_churn_substrate(&builder, &keys, &degrees, &scale)
+        .expect("steady churn substrate");
+    let grow_secs = t_grow.elapsed().as_secs_f64();
+    let t_engine = std::time::Instant::now();
+    let results = run_steady_churn_on(&net, &builder, &keys, &degrees, &scale, &schedules, windows)
+        .expect("steady churn suite");
+    let engine_secs = t_engine.elapsed().as_secs_f64();
+
+    for (name, report) in steady_churn_reports(&results) {
+        report.emit(name)?;
+    }
+
+    let total_windows = results.iter().map(|r| r.windows.len()).sum::<usize>();
+    let windows_per_sec = total_windows as f64 / engine_secs.max(1e-9);
+    let mut per_level = String::new();
+    for (i, r) in results.iter().enumerate() {
+        let comma = if i + 1 < results.len() { "," } else { "" };
+        per_level.push_str(&format!(
+            "    {{ \"level\": \"{}\", \"steady_mean_cost\": {:.3}, \
+             \"steady_mean_wasted\": {:.3}, \"steady_success_rate\": {:.4}, \
+             \"steady_live\": {:.0} }}{comma}\n",
+            r.label,
+            r.steady_mean(|w| w.queries.mean_cost),
+            r.steady_mean(|w| w.queries.mean_wasted),
+            r.steady_mean(|w| w.queries.success_rate),
+            r.steady_mean(|w| w.live_at_end as f64),
+        ));
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"steady_churn\",\n  \"n_peers\": {},\n  \"seed\": {},\n  \
+         \"windows_per_level\": {windows},\n  \"total_windows\": {total_windows},\n  \
+         \"grow_secs\": {grow_secs:.2},\n  \"engine_secs\": {engine_secs:.2},\n  \
+         \"windows_per_sec\": {windows_per_sec:.2},\n  \"levels\": [\n{per_level}  ]\n}}\n",
+        scale.target, scale.seed,
+    );
+    let dir = Report::results_dir();
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join("BENCH_churn.json");
+    std::fs::write(&path, &json)?;
+    println!("json: {}", path.display());
+    eprintln!(
+        "steady churn: grew in {grow_secs:.1}s; {total_windows} windows in {engine_secs:.1}s \
+         ({windows_per_sec:.2} windows/s)"
+    );
+    Ok(())
+}

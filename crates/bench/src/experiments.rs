@@ -6,8 +6,8 @@ use oscar_analytics::{degree_load_curve, degree_volume_utilization};
 use oscar_degree::DegreeDistribution;
 use oscar_keydist::{KeyDistribution, QueryWorkload};
 use oscar_sim::{
-    kill_fraction, run_query_batch, FaultModel, GrowthConfig, GrowthDriver, Network,
-    OverlayBuilder, QueryBatchStats, RoutePolicy,
+    kill_fraction, run_continuous_churn, run_query_batch, ChurnSchedule, ChurnWindowStats,
+    FaultModel, GrowthConfig, GrowthDriver, Network, OverlayBuilder, QueryBatchStats, RoutePolicy,
 };
 use oscar_types::{Result, SeedTree};
 
@@ -15,6 +15,7 @@ use oscar_types::{Result, SeedTree};
 const LBL_GROWTH: u64 = 1;
 const LBL_QUERIES: u64 = 2;
 const LBL_CHURN: u64 = 3;
+const LBL_STEADY: u64 = 4;
 
 /// Everything one growth run produces.
 pub struct GrowthRunResult {
@@ -160,6 +161,148 @@ pub fn run_churn_experiment(
     Ok(results)
 }
 
+/// One continuous-churn series: steady-state windows at a fixed churn
+/// level on the common grown network.
+pub struct SteadyChurnResult {
+    /// Human label for the churn level ("1.0%/win", …).
+    pub label: String,
+    /// The schedule that produced it.
+    pub schedule: ChurnSchedule,
+    /// Per-window measurements, in virtual-time order.
+    pub windows: Vec<ChurnWindowStats>,
+}
+
+impl SteadyChurnResult {
+    /// Mean of `f` over the steady-state windows (the last half — the
+    /// early windows still carry the pristine pre-churn topology).
+    pub fn steady_mean(&self, f: impl Fn(&ChurnWindowStats) -> f64) -> f64 {
+        let tail = &self.windows[self.windows.len() / 2..];
+        if tail.is_empty() {
+            return 0.0;
+        }
+        tail.iter().map(f).sum::<f64>() / tail.len() as f64
+    }
+}
+
+/// The standard churn-level ladder for a given scale: per-window peer
+/// turnover of 0.5%, 1%, 2% and 5% of the grown population, symmetric
+/// join/crash rates plus a small graceful-departure share, one repair
+/// sweep per window.
+pub fn standard_churn_schedules(scale: &Scale) -> Vec<(String, ChurnSchedule)> {
+    [0.005, 0.01, 0.02, 0.05]
+        .into_iter()
+        .map(|turnover| {
+            let base = ChurnSchedule::symmetric(0.0);
+            let events_per_window = turnover * scale.target as f64;
+            let rate = events_per_window / base.window_ticks as f64;
+            (
+                format!("{:.1}%/win", turnover * 100.0),
+                ChurnSchedule {
+                    join_rate: rate,
+                    crash_rate: rate * 0.8,
+                    depart_rate: rate * 0.2,
+                    queries_per_window: (scale.target / 4).max(100),
+                    min_live: (scale.target / 10).max(16),
+                    ..base
+                },
+            )
+        })
+        .collect()
+}
+
+/// Grows the substrate network the steady-churn engine starts from: the
+/// paper's growth protocol with a final rewire-all pass, so window 0
+/// measures churn damage on a repaired topology, not growth-era link
+/// bias (comparable to the fig1c/fig2 checkpoints at the same size).
+pub fn grow_steady_churn_substrate<B: OverlayBuilder + ?Sized>(
+    builder: &B,
+    keys: &dyn KeyDistribution,
+    degrees: &dyn DegreeDistribution,
+    scale: &Scale,
+) -> Result<Network> {
+    let seed = SeedTree::new(scale.seed);
+    let mut net = Network::new(FaultModel::StabilizedRing);
+    let driver = GrowthDriver::new(GrowthConfig {
+        target_size: scale.target,
+        seed_size: 8,
+        checkpoints: vec![scale.target],
+        rewire_at_checkpoints: true,
+    });
+    driver.run(
+        &mut net,
+        builder,
+        keys,
+        degrees,
+        seed.child(LBL_GROWTH),
+        |_, _| Ok(()),
+    )?;
+    Ok(net)
+}
+
+/// The engine half of the steady-state churn protocol: run the
+/// continuous-churn engine on an owned clone of `net` per churn level
+/// and measure every window.
+///
+/// The per-level runs are independent — each owns its clone and derives
+/// all randomness from its own seed-tree child — so they fan out over
+/// [`Scale::thread_count`] workers with byte-identical results
+/// (`tests/parallel_determinism.rs` pins it).
+pub fn run_steady_churn_on<B: OverlayBuilder + Sync + ?Sized>(
+    net: &Network,
+    builder: &B,
+    keys: &dyn KeyDistribution,
+    degrees: &dyn DegreeDistribution,
+    scale: &Scale,
+    schedules: &[(String, ChurnSchedule)],
+    windows: usize,
+) -> Result<Vec<SteadyChurnResult>> {
+    let seed = SeedTree::new(scale.seed);
+    let tasks: Vec<Task<Result<Vec<ChurnWindowStats>>>> = schedules
+        .iter()
+        .enumerate()
+        .map(|(i, (_, schedule))| {
+            let mut churned = net.clone();
+            let run_seed = seed.child2(LBL_STEADY, i as u64);
+            Box::new(move || {
+                run_continuous_churn(
+                    &mut churned,
+                    builder,
+                    keys,
+                    degrees,
+                    schedule,
+                    windows,
+                    run_seed,
+                )
+            }) as Task<Result<Vec<ChurnWindowStats>>>
+        })
+        .collect();
+    schedules
+        .iter()
+        .zip(run_tasks(scale.thread_count(), tasks))
+        .map(|((label, schedule), windows)| {
+            Ok(SteadyChurnResult {
+                label: label.clone(),
+                schedule: schedule.clone(),
+                windows: windows?,
+            })
+        })
+        .collect()
+}
+
+/// The full steady-state churn protocol:
+/// [`grow_steady_churn_substrate`] + [`run_steady_churn_on`].
+pub fn run_steady_churn_experiment<B: OverlayBuilder + Sync + ?Sized>(
+    builder: &B,
+    keys: &dyn KeyDistribution,
+    degrees: &dyn DegreeDistribution,
+    scale: &Scale,
+    schedules: &[(String, ChurnSchedule)],
+    windows: usize,
+) -> Result<Vec<SteadyChurnResult>> {
+    let net = grow_steady_churn_substrate(builder, keys, degrees, scale)?;
+    run_steady_churn_on(&net, builder, keys, degrees, scale, schedules, windows)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -212,6 +355,37 @@ mod tests {
                 assert_eq!(stats.success_rate, 1.0);
             }
         }
+    }
+
+    #[test]
+    fn steady_churn_experiment_measures_every_window() {
+        let scale = Scale::small(200, 13);
+        let builder = OscarBuilder::new(OscarConfig::default());
+        let schedules = standard_churn_schedules(&scale);
+        assert_eq!(schedules.len(), 4);
+        let rs = run_steady_churn_experiment(
+            &builder,
+            &GnutellaKeys::default(),
+            &ConstantDegrees::paper(),
+            &scale,
+            &schedules[..2],
+            3,
+        )
+        .unwrap();
+        assert_eq!(rs.len(), 2);
+        for r in &rs {
+            assert_eq!(r.windows.len(), 3);
+            for w in &r.windows {
+                assert!(w.queries.queries > 0, "{}: empty window", r.label);
+                assert!(w.live_at_end >= r.schedule.min_live);
+            }
+            assert!(r.steady_mean(|w| w.queries.mean_cost) > 0.0);
+        }
+        // The common grown substrate means window 0 histories diverge only
+        // through the engine: schedules must actually differ in intensity.
+        let turnover =
+            |r: &SteadyChurnResult| r.windows.iter().map(|w| w.joins + w.crashes).sum::<u64>();
+        assert!(turnover(&rs[1]) > turnover(&rs[0]));
     }
 
     #[test]

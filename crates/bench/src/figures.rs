@@ -1,7 +1,10 @@
 //! One driver per paper figure, shared by the `repro_*` binaries and
 //! `repro_all` (which reuses the heavy growth runs across figures).
 
-use crate::experiments::{run_churn_experiment, run_growth_experiment, GrowthRunResult};
+use crate::experiments::{
+    run_churn_experiment, run_growth_experiment, run_steady_churn_experiment,
+    standard_churn_schedules, GrowthRunResult, SteadyChurnResult,
+};
 use crate::parallel::{run_tasks, Task};
 use crate::report::Report;
 use crate::scale::Scale;
@@ -297,6 +300,69 @@ pub fn fig2_report(
     Ok(report)
 }
 
+/// Runs the steady-state continuous-churn experiment (Oscar, Gnutella
+/// keys, constant degrees) over the standard churn-level ladder.
+pub fn run_steady_churn_suite(scale: &Scale, windows: usize) -> Result<Vec<SteadyChurnResult>> {
+    let builder = OscarBuilder::new(OscarConfig::default());
+    let schedules = standard_churn_schedules(scale);
+    eprintln!(
+        "[churn-engine] growing to {} then running {} windows x {} churn levels...",
+        scale.target,
+        windows,
+        schedules.len()
+    );
+    run_steady_churn_experiment(
+        &builder,
+        &GnutellaKeys::default(),
+        &ConstantDegrees::paper(),
+        scale,
+        &schedules,
+        windows,
+    )
+}
+
+/// The steady-state churn figures: search cost, wasted traffic and live
+/// population per measurement window, one curve per churn level. Returned
+/// as `(csv_name, report)` pairs for the emitters.
+pub fn steady_churn_reports(results: &[SteadyChurnResult]) -> Vec<(&'static str, Report)> {
+    let mut cost = Report::new(
+        "Continuous churn: successful-query search cost per steady-state window",
+        "window",
+    );
+    let mut waste = Report::new(
+        "Continuous churn: wasted messages per query (incl. failures) per window",
+        "window",
+    );
+    let mut population = Report::new("Continuous churn: live population per window", "window");
+    for r in results {
+        let mut cost_s = Series::new(r.label.clone());
+        let mut waste_s = Series::new(r.label.clone());
+        let mut pop_s = Series::new(r.label.clone());
+        for w in &r.windows {
+            let x = w.window as f64;
+            cost_s.push(x, w.queries.mean_cost);
+            waste_s.push(x, w.queries.mean_wasted);
+            pop_s.push(x, w.live_at_end as f64);
+        }
+        cost.add_series(cost_s);
+        waste.add_series(waste_s);
+        population.add_series(pop_s);
+        cost.add_note(format!(
+            "{}: steady-state mean cost {:.2}, wasted/query {:.2}, success {:.1}%, live {:.0}",
+            r.label,
+            r.steady_mean(|w| w.queries.mean_cost),
+            r.steady_mean(|w| w.queries.mean_wasted),
+            r.steady_mean(|w| w.queries.success_rate) * 100.0,
+            r.steady_mean(|w| w.live_at_end as f64),
+        ));
+    }
+    vec![
+        ("churn_steady_cost", cost),
+        ("churn_steady_waste", waste),
+        ("churn_steady_population", population),
+    ]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -328,5 +394,20 @@ mod tests {
         let scale = Scale::small(150, 5);
         let report = fig2_report(&scale, &ConstantDegrees::paper(), "constant").unwrap();
         assert_eq!(report.series().len(), 3);
+    }
+
+    #[test]
+    fn steady_churn_suite_smoke_at_tiny_scale() {
+        let scale = Scale::small(150, 7);
+        let results = run_steady_churn_suite(&scale, 2).unwrap();
+        assert_eq!(results.len(), 4);
+        let reports = steady_churn_reports(&results);
+        assert_eq!(reports.len(), 3);
+        for (name, report) in &reports {
+            assert_eq!(report.series().len(), 4, "{name}");
+            for s in report.series() {
+                assert_eq!(s.points.len(), 2, "{name}/{}", s.label);
+            }
+        }
     }
 }

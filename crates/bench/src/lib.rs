@@ -12,7 +12,11 @@ pub mod parallel;
 pub mod report;
 pub mod scale;
 
-pub use experiments::{run_churn_experiment, run_growth_experiment, ChurnResult, GrowthRunResult};
+pub use experiments::{
+    grow_steady_churn_substrate, run_churn_experiment, run_growth_experiment,
+    run_steady_churn_experiment, run_steady_churn_on, standard_churn_schedules, ChurnResult,
+    GrowthRunResult, SteadyChurnResult,
+};
 pub use parallel::{run_tasks, Task};
 pub use report::Report;
 pub use scale::Scale;

@@ -133,6 +133,31 @@ impl Scale {
         }
     }
 
+    /// Steady-churn measurement windows per level from the environment
+    /// (`OSCAR_CHURN_WINDOWS`; default 8). Must be >= 2 — the
+    /// steady-state aggregate is the last half of the windows — and a
+    /// malformed value is a hard error like the other knobs.
+    pub fn churn_windows_from_env() -> oscar_types::Result<usize> {
+        match std::env::var("OSCAR_CHURN_WINDOWS") {
+            Ok(s) => match s.trim().parse::<usize>() {
+                Ok(n) if n >= 2 => Ok(n),
+                _ => Err(Error::InvalidConfig(format!(
+                    "OSCAR_CHURN_WINDOWS must be an integer >= 2, got {s:?}"
+                ))),
+            },
+            Err(_) => Ok(8),
+        }
+    }
+
+    /// [`Scale::churn_windows_from_env`] for the repro binaries: prints
+    /// the configuration error and exits non-zero.
+    pub fn churn_windows_from_env_or_exit() -> usize {
+        Self::churn_windows_from_env().unwrap_or_else(|e| {
+            eprintln!("oscar-bench: {e}");
+            std::process::exit(2);
+        })
+    }
+
     /// The checkpoint sizes: `step, 2·step, …, target`.
     pub fn checkpoints(&self) -> Vec<usize> {
         let mut cps: Vec<usize> = (1..)
@@ -219,6 +244,21 @@ mod tests {
         std::env::set_var("OSCAR_SEED", "-1");
         let err = Scale::from_env().unwrap_err();
         assert!(err.to_string().contains("OSCAR_SEED"), "{err}");
+    }
+
+    #[test]
+    fn churn_windows_parse_or_error_loudly() {
+        let _lock = crate::env_guard::lock();
+        let _cleanup = crate::env_guard::RemoveOnDrop(&["OSCAR_CHURN_WINDOWS"]);
+        std::env::remove_var("OSCAR_CHURN_WINDOWS");
+        assert_eq!(Scale::churn_windows_from_env().unwrap(), 8);
+        std::env::set_var("OSCAR_CHURN_WINDOWS", "12");
+        assert_eq!(Scale::churn_windows_from_env().unwrap(), 12);
+        for bad in ["1", "0", "eight", "-3"] {
+            std::env::set_var("OSCAR_CHURN_WINDOWS", bad);
+            let err = Scale::churn_windows_from_env().unwrap_err();
+            assert!(err.to_string().contains("OSCAR_CHURN_WINDOWS"), "{err}");
+        }
     }
 
     #[test]

@@ -10,8 +10,9 @@
 use oscar_analytics::series::to_csv;
 use oscar_bench::figures::{
     fig1b_report, fig1c_report, fig2_report, mercury_compare_report, run_fig1_suite,
+    run_steady_churn_suite, steady_churn_reports,
 };
-use oscar_bench::{run_churn_experiment, Scale};
+use oscar_bench::{run_churn_experiment, run_steady_churn_experiment, Scale};
 use oscar_core::{OscarBuilder, OscarConfig};
 use oscar_degree::ConstantDegrees;
 use oscar_keydist::GnutellaKeys;
@@ -40,6 +41,51 @@ fn fig2_churn_csvs_identical_across_thread_counts() {
         to_csv(report.series())
     };
     assert_eq!(csv(1), csv(4));
+}
+
+#[test]
+fn steady_churn_csvs_identical_across_thread_counts() {
+    // The repro_churn acceptance criterion: every steady-state CSV must be
+    // byte-identical whether the per-level engine runs execute
+    // sequentially or fan out over worker threads.
+    let csvs = |threads: usize| {
+        let scale = Scale::small(150, 9).with_threads(threads);
+        let results = run_steady_churn_suite(&scale, 3).unwrap();
+        steady_churn_reports(&results)
+            .iter()
+            .map(|(_, r)| to_csv(r.series()))
+            .collect::<Vec<_>>()
+    };
+    let sequential = csvs(1);
+    assert_eq!(sequential, csvs(4), "1 vs 4 threads");
+    assert_eq!(sequential, csvs(0), "1 vs all-cores auto");
+}
+
+#[test]
+fn steady_churn_windows_identical_across_thread_counts() {
+    // Below the CSV rendering: the raw per-window stats must match field
+    // for field.
+    let run = |threads: usize| {
+        let scale = Scale::small(150, 11).with_threads(threads);
+        let builder = OscarBuilder::new(OscarConfig::default());
+        let schedules = oscar_bench::standard_churn_schedules(&scale);
+        run_steady_churn_experiment(
+            &builder,
+            &GnutellaKeys::default(),
+            &ConstantDegrees::paper(),
+            &scale,
+            &schedules,
+            3,
+        )
+        .unwrap()
+    };
+    let a = run(1);
+    let b = run(3);
+    assert_eq!(a.len(), b.len());
+    for (ra, rb) in a.iter().zip(&b) {
+        assert_eq!(ra.label, rb.label);
+        assert_eq!(ra.windows, rb.windows, "windows diverged at {}", ra.label);
+    }
 }
 
 #[test]

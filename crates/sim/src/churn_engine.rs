@@ -1,0 +1,637 @@
+//! Continuous-churn engine: sustained join/crash/depart at a rate.
+//!
+//! The paper's churn experiments (Figure 2) are one-shot crash waves
+//! measured on post-wave snapshots; its harder open regime is a network
+//! under *sustained* membership change, measured at steady state. This
+//! engine drives [`Network::add_peer`] / [`Network::kill`] /
+//! [`Network::depart`] from independent Poisson processes on the
+//! discrete-event queue ([`EventQueue`]): each process draws exponential
+//! inter-arrival times from its own seed-tree stream, periodic rewire
+//! sweeps repair dangling links, and measurement windows of fixed virtual
+//! length aggregate cost, wasted traffic, success rate and the live
+//! population over time.
+//!
+//! Everything derives from one [`SeedTree`], so a run is a pure function
+//! of `(network, schedule, windows, seed)` — the bench drivers fan
+//! independent runs over worker threads with byte-identical results.
+
+use crate::events::{EventQueue, VirtualTime};
+use crate::growth::{rewire_all_peers, OverlayBuilder};
+use crate::network::Network;
+use crate::routing::{run_query_batch, QueryBatchStats, RoutePolicy};
+use oscar_degree::DegreeDistribution;
+use oscar_keydist::{KeyDistribution, QueryWorkload};
+use oscar_types::{Error, Result, SeedTree};
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// Seed-tree labels for the engine's RNG streams.
+const LBL_JOIN_GAPS: u64 = 1;
+const LBL_CRASH_GAPS: u64 = 2;
+const LBL_DEPART_GAPS: u64 = 3;
+const LBL_JOIN: u64 = 4;
+const LBL_CRASH_PICK: u64 = 5;
+const LBL_DEPART_PICK: u64 = 6;
+const LBL_REWIRE: u64 = 7;
+const LBL_MEASURE: u64 = 8;
+
+/// Rates and windows of a continuous-churn run.
+///
+/// Rates are expected events per virtual tick; each membership process is
+/// an independent Poisson process (exponential inter-arrival times), so
+/// joins and crashes genuinely interleave rather than alternating on a
+/// fixed grid. A rate of `0.0` disables the process.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ChurnSchedule {
+    /// Expected joins per tick.
+    pub join_rate: f64,
+    /// Expected crashes (abrupt failures leaving dangling links) per tick.
+    pub crash_rate: f64,
+    /// Expected graceful departures (clean link teardown) per tick.
+    pub depart_rate: f64,
+    /// Rewire every live peer's long-range links every this many ticks
+    /// (the repair protocol of the paper's checkpoints); `0` disables
+    /// sweeps, which lets dangling-link waste accumulate.
+    pub rewire_every: u64,
+    /// Virtual length of one measurement window.
+    pub window_ticks: u64,
+    /// Queries issued at the end of each window (uniform live targets).
+    pub queries_per_window: usize,
+    /// Crash/depart events fizzle while the live population is at or
+    /// below this floor, so a crash-heavy schedule cannot extinguish the
+    /// network mid-experiment.
+    pub min_live: usize,
+}
+
+impl ChurnSchedule {
+    /// A population-neutral schedule: joins and crashes at the same rate,
+    /// no graceful departures, one rewire sweep per window.
+    pub fn symmetric(rate_per_tick: f64) -> Self {
+        ChurnSchedule {
+            join_rate: rate_per_tick,
+            crash_rate: rate_per_tick,
+            depart_rate: 0.0,
+            rewire_every: 1000,
+            window_ticks: 1000,
+            queries_per_window: 200,
+            min_live: 16,
+        }
+    }
+
+    /// Checks the schedule is runnable.
+    pub fn validate(&self) -> Result<()> {
+        for (name, rate) in [
+            ("join_rate", self.join_rate),
+            ("crash_rate", self.crash_rate),
+            ("depart_rate", self.depart_rate),
+        ] {
+            if !rate.is_finite() || rate < 0.0 {
+                return Err(Error::InvalidConfig(format!(
+                    "{name} must be a finite non-negative rate, got {rate}"
+                )));
+            }
+        }
+        if self.window_ticks == 0 {
+            return Err(Error::InvalidConfig(
+                "window_ticks must be >= 1: zero-length windows measure nothing".into(),
+            ));
+        }
+        if self.queries_per_window == 0 {
+            return Err(Error::InvalidConfig(
+                "queries_per_window must be >= 1: a window without queries has no data point"
+                    .into(),
+            ));
+        }
+        if self.min_live < 1 {
+            return Err(Error::InvalidConfig(
+                "min_live must be >= 1: the engine never extinguishes the network".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// What one measurement window observed.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ChurnWindowStats {
+    /// 0-based window index.
+    pub window: usize,
+    /// Window start (inclusive).
+    pub start: VirtualTime,
+    /// Window end (the measurement instant).
+    pub end: VirtualTime,
+    /// Joins completed during the window.
+    pub joins: u64,
+    /// Crashes injected during the window.
+    pub crashes: u64,
+    /// Graceful departures during the window.
+    pub departs: u64,
+    /// Rewire-all sweeps during the window.
+    pub rewires: u64,
+    /// Crash/depart arrivals suppressed by the `min_live` floor.
+    pub suppressed: u64,
+    /// Live population at the measurement instant.
+    pub live_at_end: usize,
+    /// The window's query batch (cost, wasted traffic, success rate).
+    pub queries: QueryBatchStats,
+}
+
+impl ChurnWindowStats {
+    /// Zeroed accumulator for the window opening at `start`.
+    fn fresh(window: usize, start: VirtualTime) -> Self {
+        ChurnWindowStats {
+            window,
+            start,
+            end: start,
+            joins: 0,
+            crashes: 0,
+            departs: 0,
+            rewires: 0,
+            suppressed: 0,
+            live_at_end: 0,
+            queries: QueryBatchStats::default(),
+        }
+    }
+}
+
+/// The engine's event alphabet.
+#[derive(Copy, Clone, Debug)]
+enum EngineEvent {
+    Join,
+    Crash,
+    Depart,
+    Rewire,
+    WindowEnd,
+}
+
+/// Draws an exponential inter-arrival gap (in whole ticks, >= 1) for a
+/// Poisson process with `rate` events per tick.
+fn exponential_gap(rate: f64, rng: &mut SmallRng) -> u64 {
+    let u: f64 = rng.gen(); // [0, 1)
+                            // -ln(1-u)/rate, clamped into [1, 2^40] ticks: a gap of one tick is
+                            // the event-queue resolution, and the upper clamp keeps a glacial
+                            // rate from overflowing the virtual clock.
+    let gap = -(1.0 - u).ln() / rate;
+    (gap.ceil() as u64).clamp(1, 1 << 40)
+}
+
+/// Runs `windows` measurement windows of continuous churn on `net`.
+///
+/// Joins sample fresh identifiers from `keys` and caps from `degrees`,
+/// then build links through `builder` — exactly the growth driver's join
+/// protocol, but interleaved with failures on the virtual clock. Crash
+/// and depart victims are uniform over the live population.
+///
+/// Determinism: all randomness derives from `seed`; identical inputs give
+/// identical windows, regardless of what else the process is doing.
+pub fn run_continuous_churn<B: OverlayBuilder + ?Sized>(
+    net: &mut Network,
+    builder: &B,
+    keys: &dyn KeyDistribution,
+    degrees: &dyn DegreeDistribution,
+    schedule: &ChurnSchedule,
+    windows: usize,
+    seed: SeedTree,
+) -> Result<Vec<ChurnWindowStats>> {
+    schedule.validate()?;
+    if net.live_count() < 2 {
+        return Err(Error::InvalidConfig(format!(
+            "continuous churn needs a running overlay (>= 2 live peers), got {}",
+            net.live_count()
+        )));
+    }
+    let mut results = Vec::with_capacity(windows);
+    if windows == 0 {
+        return Ok(results);
+    }
+
+    let mut queue: EventQueue<EngineEvent> = EventQueue::new();
+    let mut join_gaps = seed.child(LBL_JOIN_GAPS).rng();
+    let mut crash_gaps = seed.child(LBL_CRASH_GAPS).rng();
+    let mut depart_gaps = seed.child(LBL_DEPART_GAPS).rng();
+    let mut crash_pick = seed.child(LBL_CRASH_PICK).rng();
+    let mut depart_pick = seed.child(LBL_DEPART_PICK).rng();
+
+    // Every window timer is scheduled up front, before anything else, so
+    // each WindowEnd carries a lower FIFO sequence than every membership
+    // event and rewire sweep (initial or rescheduled): an event landing
+    // exactly on a window boundary is always counted in the *next*
+    // window, and a coinciding sweep repairs only *after* the books
+    // close — a window reports the damage churn accumulated since the
+    // last repair, under any `rewire_every`/`window_ticks` ratio.
+    for k in 1..=windows as u64 {
+        queue.schedule(
+            VirtualTime(k * schedule.window_ticks),
+            EngineEvent::WindowEnd,
+        );
+    }
+    if schedule.join_rate > 0.0 {
+        queue.schedule_in(
+            exponential_gap(schedule.join_rate, &mut join_gaps),
+            EngineEvent::Join,
+        );
+    }
+    if schedule.crash_rate > 0.0 {
+        queue.schedule_in(
+            exponential_gap(schedule.crash_rate, &mut crash_gaps),
+            EngineEvent::Crash,
+        );
+    }
+    if schedule.depart_rate > 0.0 {
+        queue.schedule_in(
+            exponential_gap(schedule.depart_rate, &mut depart_gaps),
+            EngineEvent::Depart,
+        );
+    }
+    if schedule.rewire_every > 0 {
+        queue.schedule_in(schedule.rewire_every, EngineEvent::Rewire);
+    }
+
+    // Lifetime counters for per-activity seed derivation; window counters
+    // reset at each measurement.
+    let mut joins_total = 0u64;
+    let mut rewires_total = 0u64;
+    let mut window_start = VirtualTime(0);
+    let mut w = ChurnWindowStats::fresh(0, window_start);
+
+    while results.len() < windows {
+        let (now, event) = queue
+            .pop()
+            .expect("an engine process or the window timer is always scheduled");
+        match event {
+            EngineEvent::Join => {
+                let join_seed = seed.child2(LBL_JOIN, joins_total);
+                joins_total += 1;
+                let mut jrng = join_seed.rng();
+                let caps = degrees.sample(&mut jrng);
+                // Resample identifier collisions, like the growth driver.
+                let mut admitted = false;
+                for _ in 0..1000 {
+                    let id = keys.sample(&mut jrng);
+                    if net.idx_of(id).is_none() {
+                        let p = net.add_peer(id, caps)?;
+                        builder.build_links(net, p, &mut jrng)?;
+                        admitted = true;
+                        break;
+                    }
+                }
+                if !admitted {
+                    return Err(Error::InvalidConfig(
+                        "key distribution too degenerate: 1000 consecutive id collisions".into(),
+                    ));
+                }
+                w.joins += 1;
+                queue.schedule_in(
+                    exponential_gap(schedule.join_rate, &mut join_gaps),
+                    EngineEvent::Join,
+                );
+            }
+            EngineEvent::Crash => {
+                if net.live_count() > schedule.min_live {
+                    let victim = net
+                        .random_live_peer(&mut crash_pick)
+                        .expect("live_count > min_live >= 1");
+                    net.kill(victim)?;
+                    w.crashes += 1;
+                } else {
+                    w.suppressed += 1;
+                }
+                queue.schedule_in(
+                    exponential_gap(schedule.crash_rate, &mut crash_gaps),
+                    EngineEvent::Crash,
+                );
+            }
+            EngineEvent::Depart => {
+                if net.live_count() > schedule.min_live {
+                    let victim = net
+                        .random_live_peer(&mut depart_pick)
+                        .expect("live_count > min_live >= 1");
+                    net.depart(victim)?;
+                    w.departs += 1;
+                } else {
+                    w.suppressed += 1;
+                }
+                queue.schedule_in(
+                    exponential_gap(schedule.depart_rate, &mut depart_gaps),
+                    EngineEvent::Depart,
+                );
+            }
+            EngineEvent::Rewire => {
+                rewire_all_peers(net, builder, seed.child2(LBL_REWIRE, rewires_total))?;
+                rewires_total += 1;
+                w.rewires += 1;
+                queue.schedule_in(schedule.rewire_every, EngineEvent::Rewire);
+            }
+            EngineEvent::WindowEnd => {
+                let widx = results.len();
+                let mut qrng = seed.child2(LBL_MEASURE, widx as u64).rng();
+                w.window = widx;
+                w.start = window_start;
+                w.end = now;
+                w.live_at_end = net.live_count();
+                w.queries = run_query_batch(
+                    net,
+                    &QueryWorkload::UniformPeers,
+                    schedule.queries_per_window,
+                    &RoutePolicy::default(),
+                    &mut qrng,
+                );
+                results.push(w.clone());
+                window_start = now;
+                w = ChurnWindowStats::fresh(widx + 1, window_start);
+            }
+        }
+    }
+    Ok(results)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::churn::FaultModel;
+    use crate::peer::{LinkError, PeerIdx};
+    use oscar_degree::ConstantDegrees;
+    use oscar_keydist::UniformKeys;
+
+    /// Toy builder: links to up to 4 random live peers.
+    struct RandomBuilder;
+
+    impl OverlayBuilder for RandomBuilder {
+        fn name(&self) -> &str {
+            "random"
+        }
+        fn build_links(&self, net: &mut Network, p: PeerIdx, rng: &mut SmallRng) -> Result<()> {
+            for _ in 0..16 {
+                if net.peer(p).out_degree() >= 4 {
+                    break;
+                }
+                if let Some(t) = net.random_live_peer(rng) {
+                    match net.try_link(p, t) {
+                        Ok(())
+                        | Err(LinkError::SelfLink)
+                        | Err(LinkError::Duplicate)
+                        | Err(LinkError::TargetFull) => {}
+                        Err(e) => panic!("unexpected {e:?}"),
+                    }
+                }
+            }
+            Ok(())
+        }
+    }
+
+    fn grown(n: usize, seed: u64) -> Network {
+        use crate::growth::{GrowthConfig, GrowthDriver};
+        let mut net = Network::new(FaultModel::StabilizedRing);
+        GrowthDriver::new(GrowthConfig {
+            target_size: n,
+            seed_size: 4,
+            checkpoints: vec![],
+            rewire_at_checkpoints: false,
+        })
+        .run(
+            &mut net,
+            &RandomBuilder,
+            &UniformKeys,
+            &ConstantDegrees::new(8),
+            SeedTree::new(seed),
+            |_, _| Ok(()),
+        )
+        .unwrap();
+        net
+    }
+
+    fn run(
+        net: &mut Network,
+        schedule: &ChurnSchedule,
+        windows: usize,
+        seed: u64,
+    ) -> Vec<ChurnWindowStats> {
+        run_continuous_churn(
+            net,
+            &RandomBuilder,
+            &UniformKeys,
+            &ConstantDegrees::new(8),
+            schedule,
+            windows,
+            SeedTree::new(seed),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn windows_cover_the_virtual_timeline() {
+        let mut net = grown(120, 1);
+        let schedule = ChurnSchedule {
+            window_ticks: 500,
+            queries_per_window: 50,
+            ..ChurnSchedule::symmetric(0.05)
+        };
+        let ws = run(&mut net, &schedule, 4, 9);
+        assert_eq!(ws.len(), 4);
+        for (i, w) in ws.iter().enumerate() {
+            assert_eq!(w.window, i);
+            assert_eq!(w.start, VirtualTime(i as u64 * 500));
+            assert_eq!(w.end, VirtualTime((i as u64 + 1) * 500));
+            assert!(w.queries.queries > 0, "window {i} issued no queries");
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let schedule = ChurnSchedule::symmetric(0.08);
+        let mut a = grown(150, 2);
+        let mut b = grown(150, 2);
+        let wa = run(&mut a, &schedule, 3, 7);
+        let wb = run(&mut b, &schedule, 3, 7);
+        assert_eq!(wa, wb, "same seed, same windows");
+        let mut c = grown(150, 2);
+        let wc = run(&mut c, &schedule, 3, 8);
+        assert_ne!(wa, wc, "different engine seed diverges");
+    }
+
+    #[test]
+    fn symmetric_rates_hold_the_population() {
+        let mut net = grown(200, 3);
+        let ws = run(&mut net, &ChurnSchedule::symmetric(0.1), 6, 11);
+        for w in &ws {
+            assert!(
+                (100..=300).contains(&w.live_at_end),
+                "population drifted to {} in window {}",
+                w.live_at_end,
+                w.window
+            );
+            assert!(w.joins > 0 && w.crashes > 0, "both processes must fire");
+        }
+    }
+
+    #[test]
+    fn join_only_grows_and_crash_only_shrinks_to_the_floor() {
+        let mut net = grown(100, 4);
+        let join_only = ChurnSchedule {
+            crash_rate: 0.0,
+            ..ChurnSchedule::symmetric(0.1)
+        };
+        let ws = run(&mut net, &join_only, 3, 13);
+        assert!(
+            ws.last().unwrap().live_at_end > 200,
+            "joins should compound"
+        );
+        assert!(ws.iter().all(|w| w.crashes == 0 && w.departs == 0));
+
+        let mut net = grown(100, 5);
+        let crash_only = ChurnSchedule {
+            join_rate: 0.0,
+            min_live: 40,
+            ..ChurnSchedule::symmetric(0.2)
+        };
+        let ws = run(&mut net, &crash_only, 4, 13);
+        let last = ws.last().unwrap();
+        assert_eq!(last.live_at_end, 40, "floor must hold exactly");
+        assert!(last.suppressed > 0, "floor suppressions must be counted");
+    }
+
+    #[test]
+    fn departures_leave_no_dangling_links() {
+        let mut net = grown(150, 6);
+        let depart_only = ChurnSchedule {
+            join_rate: 0.0,
+            crash_rate: 0.0,
+            depart_rate: 0.15,
+            rewire_every: 0,
+            ..ChurnSchedule::symmetric(0.0)
+        };
+        let ws = run(&mut net, &depart_only, 3, 17);
+        assert!(ws.iter().map(|w| w.departs).sum::<u64>() > 0);
+        // Graceful departures tear links down cleanly: every remaining
+        // out-link targets a live peer, so queries waste nothing.
+        for p in net.live_peers().collect::<Vec<_>>() {
+            for &t in &net.peer(p).long_out {
+                assert!(net.is_alive(t), "departure left a dangling link");
+            }
+        }
+        assert_eq!(ws.last().unwrap().queries.mean_wasted, 0.0);
+    }
+
+    #[test]
+    fn rewire_sweeps_fire_on_schedule() {
+        let mut net = grown(100, 7);
+        let schedule = ChurnSchedule {
+            rewire_every: 250,
+            window_ticks: 1000,
+            ..ChurnSchedule::symmetric(0.02)
+        };
+        let ws = run(&mut net, &schedule, 2, 19);
+        // Sweeps land at ticks 250, 500, 750, 1000, … — but at a window
+        // boundary the measurement wins the FIFO tie (it was scheduled a
+        // whole window earlier), so the boundary sweep is counted in the
+        // *next* window: 3 sweeps in window 0, then 4 per window.
+        assert_eq!(ws[0].rewires, 3);
+        assert_eq!(ws[1].rewires, 4);
+    }
+
+    #[test]
+    fn measurements_precede_sweeps_even_when_the_sweep_period_spans_windows() {
+        // Regression: with `rewire_every > window_ticks` the first sweep
+        // used to be enqueued (at init, t=0) with a lower FIFO sequence
+        // than the coinciding window timer (enqueued one window later),
+        // so the tick-200 measurement saw a freshly-swept network.
+        // Pre-scheduling every window timer makes the measurement win all
+        // same-tick ties: sweeps at 200, 400, 600 land *after* the books
+        // close, i.e. in windows 2, 4, 6.
+        let mut net = grown(100, 10);
+        let schedule = ChurnSchedule {
+            rewire_every: 200,
+            window_ticks: 100,
+            queries_per_window: 30,
+            ..ChurnSchedule::symmetric(0.02)
+        };
+        let ws = run(&mut net, &schedule, 7, 23);
+        let rewires: Vec<u64> = ws.iter().map(|w| w.rewires).collect();
+        assert_eq!(rewires, vec![0, 0, 1, 0, 1, 0, 1]);
+    }
+
+    #[test]
+    fn invalid_schedules_are_config_errors() {
+        let mut net = grown(50, 8);
+        let bad = [
+            ChurnSchedule {
+                join_rate: -0.1,
+                ..ChurnSchedule::symmetric(0.1)
+            },
+            ChurnSchedule {
+                crash_rate: f64::NAN,
+                ..ChurnSchedule::symmetric(0.1)
+            },
+            ChurnSchedule {
+                window_ticks: 0,
+                ..ChurnSchedule::symmetric(0.1)
+            },
+            ChurnSchedule {
+                queries_per_window: 0,
+                ..ChurnSchedule::symmetric(0.1)
+            },
+            ChurnSchedule {
+                min_live: 0,
+                ..ChurnSchedule::symmetric(0.1)
+            },
+        ];
+        for schedule in bad {
+            let r = run_continuous_churn(
+                &mut net,
+                &RandomBuilder,
+                &UniformKeys,
+                &ConstantDegrees::new(8),
+                &schedule,
+                2,
+                SeedTree::new(1),
+            );
+            assert!(
+                matches!(r, Err(Error::InvalidConfig(_))),
+                "schedule {schedule:?} must be rejected"
+            );
+        }
+        // An empty network is not a runnable overlay either.
+        let mut empty = Network::new(FaultModel::StabilizedRing);
+        assert!(matches!(
+            run_continuous_churn(
+                &mut empty,
+                &RandomBuilder,
+                &UniformKeys,
+                &ConstantDegrees::new(8),
+                &ChurnSchedule::symmetric(0.1),
+                1,
+                SeedTree::new(1),
+            ),
+            Err(Error::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn zero_windows_do_nothing() {
+        let mut net = grown(60, 9);
+        let before = net.live_count();
+        let ws = run(&mut net, &ChurnSchedule::symmetric(0.1), 0, 21);
+        assert!(ws.is_empty());
+        assert_eq!(net.live_count(), before, "no windows, no churn applied");
+    }
+
+    #[test]
+    fn exponential_gaps_match_the_rate() {
+        // Mean of exponential(λ) is 1/λ; the integer clamp biases the mean
+        // up by at most half a tick, so a generous band suffices.
+        let mut rng = SeedTree::new(33).rng();
+        let rate = 0.05;
+        let n = 20_000;
+        let mean = (0..n)
+            .map(|_| exponential_gap(rate, &mut rng) as f64)
+            .sum::<f64>()
+            / n as f64;
+        assert!(
+            (mean - 1.0 / rate).abs() < 2.0,
+            "mean gap {mean:.2} far from {:.2}",
+            1.0 / rate
+        );
+        // The clamp floor: very high rates still advance time.
+        assert!(exponential_gap(1e9, &mut rng) >= 1);
+    }
+}

@@ -164,6 +164,67 @@ mod tests {
         q.schedule(VirtualTime(5), ());
     }
 
+    mod queue_props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Model check against a sorted reference: under arbitrary
+            /// interleavings of `schedule` (absolute, offset from now),
+            /// `schedule_in` and `pop`, every pop must return exactly the
+            /// pending event with the least `(time, insertion order)` —
+            /// i.e. time-ordering with FIFO tie-breaking — and the clock
+            /// must advance monotonically.
+            #[test]
+            fn pops_always_follow_time_then_fifo_order(
+                ops in prop::collection::vec((0u8..3, 0u64..20), 1..200),
+            ) {
+                let mut q: EventQueue<usize> = EventQueue::new();
+                // Reference model: pending (time, seq) pairs, seq = the
+                // payload tag assigned at insertion.
+                let mut pending: Vec<(u64, usize)> = Vec::new();
+                let mut inserted = 0usize;
+                let mut last_popped = VirtualTime(0);
+                for (op, delay) in ops {
+                    match op {
+                        0 => {
+                            let at = q.now().after(delay);
+                            q.schedule(at, inserted);
+                            pending.push((at.0, inserted));
+                            inserted += 1;
+                        }
+                        1 => {
+                            q.schedule_in(delay, inserted);
+                            pending.push((q.now().0 + delay, inserted));
+                            inserted += 1;
+                        }
+                        _ => match q.pop() {
+                            Some((t, tag)) => {
+                                let (bi, &best) = pending
+                                    .iter()
+                                    .enumerate()
+                                    .min_by_key(|&(_, &(at, seq))| (at, seq))
+                                    .expect("queue non-empty implies model non-empty");
+                                prop_assert_eq!((t.0, tag), best, "pop order diverged");
+                                prop_assert!(t >= last_popped, "clock went backwards");
+                                prop_assert_eq!(q.now(), t);
+                                last_popped = t;
+                                pending.remove(bi);
+                            }
+                            None => prop_assert!(pending.is_empty(), "queue dropped events"),
+                        },
+                    }
+                    prop_assert_eq!(q.len(), pending.len());
+                }
+                // Drain: the remainder must come out in model order too.
+                pending.sort_unstable();
+                let drained: Vec<(u64, usize)> =
+                    std::iter::from_fn(|| q.pop().map(|(t, tag)| (t.0, tag))).collect();
+                prop_assert_eq!(drained, pending);
+            }
+        }
+    }
+
     #[test]
     fn interleaved_schedule_pop() {
         // An event handler scheduling follow-ups — the DES core loop.

@@ -66,12 +66,16 @@ impl GrowthConfig {
 
     fn validate(&self) -> Result<()> {
         if self.seed_size < 2 {
-            return Err(Error::InvalidConfig("seed_size must be >= 2".into()));
+            return Err(Error::InvalidConfig(format!(
+                "seed_size must be >= 2 (a one-peer network has no link targets), got {}",
+                self.seed_size
+            )));
         }
         if self.target_size < self.seed_size {
-            return Err(Error::InvalidConfig(
-                "target_size must be >= seed_size".into(),
-            ));
+            return Err(Error::InvalidConfig(format!(
+                "target_size ({}) must be >= seed_size ({}): the growth schedule is inverted",
+                self.target_size, self.seed_size
+            )));
         }
         if self.checkpoints.windows(2).any(|w| w[0] >= w[1]) {
             return Err(Error::InvalidConfig(
@@ -213,25 +217,35 @@ impl GrowthDriver {
         Ok(())
     }
 
-    /// Rewires every live peer once, in a deterministically shuffled order
-    /// (rewiring order matters: early peers grab in-degree budget first, so
-    /// a fixed order would bias utilisation).
+    /// Rewires every live peer once — see [`rewire_all_peers`].
     pub fn rewire_all<B>(&self, net: &mut Network, builder: &B, seed: SeedTree) -> Result<()>
     where
         B: OverlayBuilder + ?Sized,
     {
-        let mut order: Vec<PeerIdx> = net.live_peers().collect();
-        let mut shuffle_rng = seed.child(LBL_SHUFFLE).rng();
-        for i in (1..order.len()).rev() {
-            let j = shuffle_rng.gen_range(0..=i);
-            order.swap(i, j);
-        }
-        for p in order {
-            let mut rng = seed.child2(LBL_REWIRE, p.as_usize() as u64).rng();
-            builder.rewire(net, p, &mut rng)?;
-        }
-        Ok(())
+        rewire_all_peers(net, builder, seed)
     }
+}
+
+/// Rewires every live peer's long-range links once, in a deterministically
+/// shuffled order (rewiring order matters: early peers grab in-degree
+/// budget first, so a fixed order would bias utilisation). Shared by the
+/// growth driver's checkpoints, the facade's `rewire_all` and the
+/// continuous-churn engine's periodic sweeps.
+pub fn rewire_all_peers<B>(net: &mut Network, builder: &B, seed: SeedTree) -> Result<()>
+where
+    B: OverlayBuilder + ?Sized,
+{
+    let mut order: Vec<PeerIdx> = net.live_peers().collect();
+    let mut shuffle_rng = seed.child(LBL_SHUFFLE).rng();
+    for i in (1..order.len()).rev() {
+        let j = shuffle_rng.gen_range(0..=i);
+        order.swap(i, j);
+    }
+    for p in order {
+        let mut rng = seed.child2(LBL_REWIRE, p.as_usize() as u64).rng();
+        builder.rewire(net, p, &mut rng)?;
+    }
+    Ok(())
 }
 
 #[cfg(test)]

@@ -19,8 +19,10 @@
 //! * [`growth`] — bootstrap-and-grow driver, generic over an
 //!   [`OverlayBuilder`] (Oscar and Mercury implement it), with checkpoint
 //!   callbacks for rewiring and measurement.
-//! * [`events`] — a small discrete-event queue with virtual time, used by
-//!   the growth driver.
+//! * [`events`] — a small discrete-event queue with virtual time.
+//! * [`churn_engine`] — continuous churn: Poisson join/crash/depart
+//!   arrivals on the event queue, periodic rewire sweeps, steady-state
+//!   measurement windows.
 //! * [`metrics`] — message accounting by category.
 //!
 //! Each `Network` is single-threaded and allocation-conscious: a full
@@ -32,6 +34,7 @@
 //! worker thread its own network and never share one.
 
 pub mod churn;
+pub mod churn_engine;
 pub mod events;
 pub mod growth;
 pub mod metrics;
@@ -42,8 +45,9 @@ pub mod routing;
 pub mod walker;
 
 pub use churn::{kill_fraction, FaultModel};
+pub use churn_engine::{run_continuous_churn, ChurnSchedule, ChurnWindowStats};
 pub use events::{Event, EventQueue, VirtualTime};
-pub use growth::{Checkpoint, GrowthConfig, GrowthDriver, OverlayBuilder};
+pub use growth::{rewire_all_peers, Checkpoint, GrowthConfig, GrowthDriver, OverlayBuilder};
 pub use metrics::{Metrics, MsgKind};
 pub use network::Network;
 pub use overlay::Overlay;

@@ -7,7 +7,8 @@
 //! benchmarks treat both identically.
 
 use crate::churn::{kill_fraction, FaultModel};
-use crate::growth::{Checkpoint, GrowthConfig, GrowthDriver, OverlayBuilder};
+use crate::churn_engine::{run_continuous_churn, ChurnSchedule, ChurnWindowStats};
+use crate::growth::{rewire_all_peers, Checkpoint, GrowthConfig, GrowthDriver, OverlayBuilder};
 use crate::network::Network;
 use crate::peer::PeerIdx;
 use crate::routing::{run_query_batch, QueryBatchStats, RoutePolicy};
@@ -20,6 +21,7 @@ const LBL_GROW: u64 = 10;
 const LBL_REWIRE: u64 = 11;
 const LBL_QUERY: u64 = 12;
 const LBL_CHURN: u64 = 13;
+const LBL_CONTINUOUS: u64 = 14;
 
 /// A running overlay: network + link-building strategy + seed.
 pub struct Overlay<B: OverlayBuilder> {
@@ -28,6 +30,8 @@ pub struct Overlay<B: OverlayBuilder> {
     seed: SeedTree,
     rewire_rounds: u64,
     query_batches: u64,
+    churn_waves: u64,
+    churn_runs: u64,
 }
 
 impl<B: OverlayBuilder> Overlay<B> {
@@ -39,6 +43,8 @@ impl<B: OverlayBuilder> Overlay<B> {
             seed: SeedTree::new(seed),
             rewire_rounds: 0,
             query_batches: 0,
+            churn_waves: 0,
+            churn_runs: 0,
         }
     }
 
@@ -107,13 +113,7 @@ impl<B: OverlayBuilder> Overlay<B> {
     pub fn rewire_all(&mut self) -> Result<()> {
         self.rewire_rounds += 1;
         let seed = self.seed.child2(LBL_REWIRE, self.rewire_rounds);
-        let driver = GrowthDriver::new(GrowthConfig {
-            target_size: self.net.len().max(2),
-            seed_size: 2,
-            checkpoints: vec![],
-            rewire_at_checkpoints: false,
-        });
-        driver.rewire_all(&mut self.net, &self.builder, seed)
+        rewire_all_peers(&mut self.net, &self.builder, seed)
     }
 
     /// Issues `n` queries and aggregates the costs. Each call uses a fresh
@@ -131,10 +131,38 @@ impl<B: OverlayBuilder> Overlay<B> {
         )
     }
 
-    /// Crashes a uniform fraction of live peers.
+    /// Crashes a uniform fraction of live peers. Each wave draws from its
+    /// own derived RNG stream (mirroring [`Overlay::run_queries`]), so
+    /// repeated waves on one overlay are independent — the previous
+    /// fixed-label derivation replayed the identical stream every call,
+    /// silently correlating repeated-churn experiments.
     pub fn kill_fraction(&mut self, fraction: f64) -> Result<Vec<PeerIdx>> {
-        let mut rng = self.seed.child(LBL_CHURN).rng();
+        self.churn_waves += 1;
+        let mut rng = self.seed.child2(LBL_CHURN, self.churn_waves).rng();
         kill_fraction(&mut self.net, fraction, &mut rng)
+    }
+
+    /// Runs `windows` measurement windows of continuous churn (Poisson
+    /// join/crash/depart arrivals on the event queue — see
+    /// [`crate::churn_engine`]). Each call uses a fresh derived seed, so
+    /// repeated runs on one overlay are independent but reproducible.
+    pub fn run_continuous_churn(
+        &mut self,
+        keys: &dyn KeyDistribution,
+        degrees: &dyn DegreeDistribution,
+        schedule: &ChurnSchedule,
+        windows: usize,
+    ) -> Result<Vec<ChurnWindowStats>> {
+        self.churn_runs += 1;
+        run_continuous_churn(
+            &mut self.net,
+            &self.builder,
+            keys,
+            degrees,
+            schedule,
+            windows,
+            self.seed.child2(LBL_CONTINUOUS, self.churn_runs),
+        )
     }
 }
 
@@ -142,7 +170,7 @@ impl<B: OverlayBuilder> Overlay<B> {
 mod tests {
     use super::*;
     use crate::peer::LinkError;
-    use oscar_degree::ConstantDegrees;
+    use oscar_degree::{ConstantDegrees, DegreeCaps};
     use oscar_keydist::UniformKeys;
     use rand::rngs::SmallRng;
 
@@ -216,6 +244,106 @@ mod tests {
             let peer = ov.network().peer(p);
             assert!(peer.in_degree() <= peer.caps.rho_in);
             assert!(peer.out_degree() <= peer.caps.rho_out);
+        }
+    }
+
+    #[test]
+    fn successive_kill_waves_draw_independent_streams() {
+        // Regression for the wave-counter fix: the old derivation rebuilt
+        // `seed.child(LBL_CHURN)` on every call, so two waves over
+        // equal-sized populations replayed the identical RNG stream and
+        // selected the identical *positions* in the live-peer list. Restore
+        // the population between waves to make that replay observable.
+        let mut ov = Overlay::new(RandomBuilder, FaultModel::StabilizedRing, 21);
+        ov.grow_to(100, &UniformKeys, &ConstantDegrees::new(6))
+            .unwrap();
+
+        let positions_of = |pre: &[PeerIdx], killed: &[PeerIdx]| -> Vec<usize> {
+            killed
+                .iter()
+                .map(|k| pre.iter().position(|p| p == k).expect("victim was live"))
+                .collect()
+        };
+
+        let pre1: Vec<PeerIdx> = ov.network().live_peers().collect();
+        let wave1 = ov.kill_fraction(0.10).unwrap();
+        let pos1 = positions_of(&pre1, &wave1);
+
+        // Refill to exactly 100 live peers so wave 2 samples from a
+        // same-length list — a replayed stream would pick the same spots.
+        for i in 0..wave1.len() {
+            ov.network_mut()
+                .add_peer(
+                    oscar_types::Id::new(u64::MAX - i as u64),
+                    DegreeCaps::symmetric(6),
+                )
+                .unwrap();
+        }
+        assert_eq!(ov.network().live_count(), 100);
+        let pre2: Vec<PeerIdx> = ov.network().live_peers().collect();
+        let wave2 = ov.kill_fraction(0.10).unwrap();
+        let pos2 = positions_of(&pre2, &wave2);
+
+        assert_ne!(
+            pos1, pos2,
+            "waves replayed the same RNG stream: victims at identical list positions"
+        );
+        // And the wave sequence stays reproducible under the same seed.
+        let mut ov2 = Overlay::new(RandomBuilder, FaultModel::StabilizedRing, 21);
+        ov2.grow_to(100, &UniformKeys, &ConstantDegrees::new(6))
+            .unwrap();
+        assert_eq!(ov2.kill_fraction(0.10).unwrap(), wave1);
+    }
+
+    #[test]
+    fn grow_to_tiny_targets() {
+        // n < 2 is an inverted growth schedule (seed cohort bigger than
+        // the target); it must come back as InvalidConfig, not something
+        // silent. n = 2 is the smallest runnable overlay.
+        for n in [0usize, 1] {
+            let mut ov = Overlay::new(RandomBuilder, FaultModel::StabilizedRing, 31);
+            match ov.grow_to(n, &UniformKeys, &ConstantDegrees::new(4)) {
+                Err(oscar_types::Error::InvalidConfig(msg)) => {
+                    assert!(
+                        msg.contains("target_size"),
+                        "unhelpful message for n={n}: {msg}"
+                    );
+                }
+                other => panic!("grow_to({n}) should be InvalidConfig, got {other:?}"),
+            }
+        }
+        let mut ov = Overlay::new(RandomBuilder, FaultModel::StabilizedRing, 31);
+        ov.grow_to(2, &UniformKeys, &ConstantDegrees::new(4))
+            .unwrap();
+        assert_eq!(ov.network().live_count(), 2);
+    }
+
+    #[test]
+    fn continuous_churn_runs_are_independent_but_reproducible() {
+        use crate::churn_engine::ChurnSchedule;
+        let schedule = ChurnSchedule {
+            queries_per_window: 50,
+            ..ChurnSchedule::symmetric(0.05)
+        };
+        let run = || {
+            let mut ov = Overlay::new(RandomBuilder, FaultModel::StabilizedRing, 19);
+            ov.grow_to(150, &UniformKeys, &ConstantDegrees::new(6))
+                .unwrap();
+            let a = ov
+                .run_continuous_churn(&UniformKeys, &ConstantDegrees::new(6), &schedule, 2)
+                .unwrap();
+            let b = ov
+                .run_continuous_churn(&UniformKeys, &ConstantDegrees::new(6), &schedule, 2)
+                .unwrap();
+            (a, b)
+        };
+        let (a1, b1) = run();
+        let (a2, b2) = run();
+        assert_eq!(a1, a2, "same seed, same first run");
+        assert_eq!(b1, b2, "same seed, same second run");
+        assert_ne!(a1, b1, "repeated runs draw fresh streams");
+        for w in &a1 {
+            assert!(w.queries.queries > 0);
         }
     }
 

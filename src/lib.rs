@@ -69,7 +69,8 @@ pub mod prelude {
     };
     pub use oscar_mercury::{MercuryBuilder, MercuryConfig, MercuryOverlay};
     pub use oscar_sim::{
-        FaultModel, GrowthConfig, Network, Overlay, OverlayBuilder, QueryBatchStats, RoutePolicy,
+        ChurnSchedule, ChurnWindowStats, FaultModel, GrowthConfig, Network, Overlay,
+        OverlayBuilder, QueryBatchStats, RoutePolicy,
     };
     pub use oscar_types::{Arc, Error, Id, Result, SeedTree};
 }

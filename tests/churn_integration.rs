@@ -137,6 +137,65 @@ fn rewiring_after_churn_repairs_the_overlay() {
 }
 
 #[test]
+fn churn_engine_under_unstabilized_ring_degrades_but_stays_deterministic() {
+    // The continuous-churn engine under the harsher fault model: ring
+    // pointers keep aiming at corpses and no rewire sweeps repair the
+    // long links, so delivery degrades as crashes accumulate — but the
+    // whole run remains a pure function of the seed.
+    let schedule = ChurnSchedule {
+        join_rate: 0.02,
+        crash_rate: 0.30,
+        depart_rate: 0.0,
+        rewire_every: 0,
+        window_ticks: 500,
+        queries_per_window: 300,
+        min_live: 60,
+    };
+    let run = |fm: FaultModel| {
+        let mut ov = oscar::core::new_overlay(OscarConfig::default(), fm, 23);
+        ov.grow_to(600, &GnutellaKeys::default(), &ConstantDegrees::paper())
+            .unwrap();
+        // Single successor pointer (ablation A4): without the O(log N)
+        // successor list, corpse-riddled ring pointers actually strand
+        // queries instead of merely costing probes.
+        ov.network_mut().set_succ_list_len(1);
+        ov.run_continuous_churn(
+            &GnutellaKeys::default(),
+            &ConstantDegrees::paper(),
+            &schedule,
+            4,
+        )
+        .unwrap()
+    };
+
+    let a = run(FaultModel::UnstabilizedRing);
+    let b = run(FaultModel::UnstabilizedRing);
+    assert_eq!(a, b, "engine run must be deterministic under seed");
+
+    let stabilized = run(FaultModel::StabilizedRing);
+    let last = a.last().unwrap();
+    let last_stab = stabilized.last().unwrap();
+    assert_eq!(
+        last_stab.queries.success_rate, 1.0,
+        "stabilised ring still delivers everything"
+    );
+    assert!(
+        last.queries.success_rate < 1.0,
+        "unstabilised ring under sustained crashes must drop queries, got {:.3}",
+        last.queries.success_rate
+    );
+    assert!(
+        last.queries.success_rate > 0.2,
+        "but not collapse outright, got {:.3}",
+        last.queries.success_rate
+    );
+    assert!(
+        last.queries.mean_wasted > last_stab.queries.mean_wasted,
+        "corpse probing must waste more traffic than the stabilised view"
+    );
+}
+
+#[test]
 fn deep_churn_degrades_gracefully() {
     // Well beyond the paper's 33%: kill 60%; the stabilised ring still
     // delivers everything, cost rises but stays polylogarithmic-ish.
