@@ -1,0 +1,434 @@
+//! Bench-baseline regression gating.
+//!
+//! The repo commits `BENCH_*.json` performance baselines at its root; CI
+//! regenerates the same files under `results/` on every scale-smoke run.
+//! Until now the fresh numbers were only uploaded as artifacts — a
+//! regression was invisible unless someone eyeballed them. This module
+//! diffs a candidate against its baseline, renders a before/after table,
+//! and **gates** on the throughput keys: `windows_per_sec` (higher is
+//! better) and any `*_ns_per_join` (lower is better). A gated key moving
+//! more than the tolerance in the bad direction is a regression; the
+//! `bench_check` binary exits non-zero on any.
+//!
+//! The JSON reader is deliberately tiny (the workspace is
+//! dependency-free): a recursive-descent pass that collects every numeric
+//! leaf under its dotted path (`levels[2].steady_mean_cost`). Strings,
+//! booleans and nulls are skipped — only numbers can regress.
+
+use oscar_types::{Error, Result};
+
+/// Relative tolerance of the gate: a gated key may drift this fraction in
+/// the bad direction before it counts as a regression (default 30%, per
+/// machine-to-machine noise on the CI runners).
+pub const DEFAULT_TOLERANCE: f64 = 0.30;
+
+/// Which direction of change regresses a gated key.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Gate {
+    /// Throughput-style key: a drop is a regression (`windows_per_sec`).
+    HigherIsBetter,
+    /// Latency-style key: a rise is a regression (`*_ns_per_join`).
+    LowerIsBetter,
+}
+
+/// The gate for a dotted key path, if the key is gated at all. Matching
+/// is on the leaf name, so nested occurrences gate too.
+pub fn gate_for(path: &str) -> Option<Gate> {
+    let leaf = path.rsplit('.').next().unwrap_or(path);
+    if leaf == "windows_per_sec" {
+        Some(Gate::HigherIsBetter)
+    } else if leaf.ends_with("_ns_per_join") {
+        Some(Gate::LowerIsBetter)
+    } else {
+        None
+    }
+}
+
+/// One compared key.
+#[derive(Clone, Debug)]
+pub struct CompareRow {
+    /// Dotted key path into the JSON document.
+    pub key: String,
+    /// Baseline value.
+    pub baseline: f64,
+    /// Candidate value (`None` when the candidate dropped the key).
+    pub current: Option<f64>,
+    /// The gate, when this key is gated.
+    pub gate: Option<Gate>,
+    /// True iff the key is gated and moved past tolerance the wrong way
+    /// (or vanished from the candidate).
+    pub regressed: bool,
+}
+
+/// A full baseline-vs-candidate comparison.
+#[derive(Clone, Debug)]
+pub struct Comparison {
+    /// One row per numeric baseline key, in document order.
+    pub rows: Vec<CompareRow>,
+    /// Number of regressed rows.
+    pub regressions: usize,
+}
+
+/// Diffs `current` against `baseline` (both JSON documents) under the
+/// given relative tolerance. Every numeric key of the baseline produces a
+/// row; keys new in the candidate are informational only (they become
+/// part of the gate once the baseline is refreshed).
+pub fn compare(baseline: &str, current: &str, tolerance: f64) -> Result<Comparison> {
+    let base = parse_numbers(baseline)?;
+    let cand = parse_numbers(current)?;
+    let mut rows = Vec::with_capacity(base.len());
+    let mut regressions = 0;
+    for (key, old) in base {
+        let new = cand.iter().find(|(k, _)| *k == key).map(|&(_, v)| v);
+        let gate = gate_for(&key);
+        let regressed = match (gate, new) {
+            (None, _) => false,
+            (Some(_), None) => true, // gated key vanished: fail loudly
+            (Some(g), Some(new)) => match g {
+                Gate::HigherIsBetter => new < old * (1.0 - tolerance),
+                Gate::LowerIsBetter => new > old * (1.0 + tolerance),
+            },
+        };
+        regressions += regressed as usize;
+        rows.push(CompareRow {
+            key,
+            baseline: old,
+            current: new,
+            gate,
+            regressed,
+        });
+    }
+    Ok(Comparison { rows, regressions })
+}
+
+/// Renders the before/after table for one compared file.
+pub fn render_table(name: &str, cmp: &Comparison) -> String {
+    let mut out = format!("== {name} ==\n");
+    out.push_str("| key | baseline | current | delta | gate |\n");
+    out.push_str("|---|---|---|---|---|\n");
+    for row in &cmp.rows {
+        let (current, delta) = match row.current {
+            Some(v) => {
+                let pct = if row.baseline != 0.0 {
+                    format!("{:+.1}%", (v - row.baseline) / row.baseline * 100.0)
+                } else {
+                    "n/a".to_string()
+                };
+                (format!("{v}"), pct)
+            }
+            None => ("missing".to_string(), "n/a".to_string()),
+        };
+        let gate = match (row.gate, row.regressed) {
+            (None, _) => "",
+            (Some(_), false) => "ok",
+            (Some(_), true) => "REGRESSED",
+        };
+        out.push_str(&format!(
+            "| {} | {} | {} | {} | {} |\n",
+            row.key, row.baseline, current, delta, gate
+        ));
+    }
+    out
+}
+
+/// Extracts every numeric leaf of a JSON document as
+/// `(dotted.path[with].indices, value)` pairs, in document order.
+pub fn parse_numbers(json: &str) -> Result<Vec<(String, f64)>> {
+    let mut p = Parser {
+        bytes: json.as_bytes(),
+        pos: 0,
+        out: Vec::new(),
+    };
+    p.skip_ws();
+    p.value("")?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.error("trailing content after the JSON document"));
+    }
+    Ok(p.out)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    out: Vec<(String, f64)>,
+}
+
+impl Parser<'_> {
+    fn error(&self, msg: &str) -> Error {
+        Error::InvalidConfig(format!("bench JSON at byte {}: {msg}", self.pos))
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<()> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected {:?}", b as char)))
+        }
+    }
+
+    /// Parses one value, collecting numeric leaves under `path`.
+    fn value(&mut self, path: &str) -> Result<()> {
+        match self.peek() {
+            Some(b'{') => self.object(path),
+            Some(b'[') => self.array(path),
+            Some(b'"') => {
+                self.string()?;
+                Ok(())
+            }
+            Some(b't') => self.literal("true"),
+            Some(b'f') => self.literal("false"),
+            Some(b'n') => self.literal("null"),
+            Some(c) if c == b'-' || c.is_ascii_digit() => {
+                let v = self.number()?;
+                self.out.push((path.to_string(), v));
+                Ok(())
+            }
+            _ => Err(self.error("expected a JSON value")),
+        }
+    }
+
+    fn object(&mut self, path: &str) -> Result<()> {
+        self.expect(b'{')?;
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(());
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            let child = if path.is_empty() {
+                key
+            } else {
+                format!("{path}.{key}")
+            };
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            self.value(&child)?;
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(());
+                }
+                _ => return Err(self.error("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn array(&mut self, path: &str) -> Result<()> {
+        self.expect(b'[')?;
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(());
+        }
+        let mut i = 0usize;
+        loop {
+            self.skip_ws();
+            self.value(&format!("{path}[{i}]"))?;
+            i += 1;
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(());
+                }
+                _ => return Err(self.error("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    /// Parses a string (the bench files never escape, but tolerate `\X`).
+    fn string(&mut self) -> Result<String> {
+        self.expect(b'"')?;
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            match c {
+                b'"' => {
+                    let s = String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned();
+                    self.pos += 1;
+                    return Ok(s);
+                }
+                b'\\' => self.pos += 2,
+                _ => self.pos += 1,
+            }
+        }
+        Err(self.error("unterminated string"))
+    }
+
+    fn number(&mut self) -> Result<f64> {
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_digit() || matches!(c, b'-' | b'+' | b'.' | b'e' | b'E') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .ok_or_else(|| self.error("malformed number"))
+    }
+
+    fn literal(&mut self, lit: &str) -> Result<()> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected literal {lit}")))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const JOINISH: &str = r#"{
+  "bench": "join_cost",
+  "n_peers": 10000,
+  "uncached_ns_per_join": 1600000,
+  "cached_ns_per_join": 900000,
+  "speedup": 1.80
+}"#;
+
+    const CHURNISH: &str = r#"{
+  "bench": "steady_churn",
+  "windows_per_sec": 1.08,
+  "levels": [
+    { "level": "0.5%/win", "steady_mean_cost": 3.598 },
+    { "level": "1.0%/win", "steady_mean_cost": 3.575 }
+  ]
+}"#;
+
+    #[test]
+    fn parses_nested_numeric_leaves_with_paths() {
+        let nums = parse_numbers(CHURNISH).unwrap();
+        assert_eq!(
+            nums,
+            vec![
+                ("windows_per_sec".to_string(), 1.08),
+                ("levels[0].steady_mean_cost".to_string(), 3.598),
+                ("levels[1].steady_mean_cost".to_string(), 3.575),
+            ]
+        );
+        assert!(parse_numbers("{ broken").is_err());
+        assert!(parse_numbers("{} extra").is_err());
+    }
+
+    #[test]
+    fn gates_cover_exactly_the_throughput_keys() {
+        assert_eq!(gate_for("windows_per_sec"), Some(Gate::HigherIsBetter));
+        assert_eq!(gate_for("cached_ns_per_join"), Some(Gate::LowerIsBetter));
+        assert_eq!(
+            gate_for("decades[1].d1000_ns_per_join"),
+            Some(Gate::LowerIsBetter)
+        );
+        assert_eq!(gate_for("steady_mean_cost"), None);
+        assert_eq!(gate_for("grow_secs"), None);
+        assert_eq!(gate_for("n_peers"), None);
+    }
+
+    #[test]
+    fn identical_files_pass() {
+        let cmp = compare(JOINISH, JOINISH, DEFAULT_TOLERANCE).unwrap();
+        assert_eq!(cmp.regressions, 0);
+        assert_eq!(cmp.rows.len(), 4, "every numeric key is a row");
+    }
+
+    #[test]
+    fn doctored_2x_latency_regression_fails() {
+        // The acceptance criterion: a 2x throughput regression must be
+        // caught. Double one ns_per_join in the candidate.
+        let doctored = JOINISH.replace(
+            "\"cached_ns_per_join\": 900000",
+            "\"cached_ns_per_join\": 1800000",
+        );
+        let cmp = compare(JOINISH, &doctored, DEFAULT_TOLERANCE).unwrap();
+        assert_eq!(cmp.regressions, 1);
+        let row = cmp
+            .rows
+            .iter()
+            .find(|r| r.key == "cached_ns_per_join")
+            .unwrap();
+        assert!(row.regressed);
+        let table = render_table("BENCH_join.json", &cmp);
+        assert!(table.contains("REGRESSED"), "{table}");
+    }
+
+    #[test]
+    fn doctored_halved_throughput_fails_and_non_gated_drift_passes() {
+        // Halve windows_per_sec: regression. Triple a steady mean (a
+        // correctness-ish metric, not a throughput gate): reported in the
+        // table but never gated.
+        let doctored = CHURNISH
+            .replace("\"windows_per_sec\": 1.08", "\"windows_per_sec\": 0.54")
+            .replace("3.575", "10.7");
+        let cmp = compare(CHURNISH, &doctored, DEFAULT_TOLERANCE).unwrap();
+        assert_eq!(cmp.regressions, 1);
+        assert!(cmp
+            .rows
+            .iter()
+            .any(|r| r.key == "windows_per_sec" && r.regressed));
+    }
+
+    #[test]
+    fn improvements_and_tolerated_drift_pass() {
+        // 20% slower is inside the 30% tolerance; faster is never a
+        // regression, however large.
+        let slower = JOINISH.replace("1600000", "1900000");
+        assert_eq!(
+            compare(JOINISH, &slower, DEFAULT_TOLERANCE)
+                .unwrap()
+                .regressions,
+            0
+        );
+        let faster = JOINISH.replace("1600000", "100000");
+        assert_eq!(
+            compare(JOINISH, &faster, DEFAULT_TOLERANCE)
+                .unwrap()
+                .regressions,
+            0
+        );
+        let throughput_up =
+            CHURNISH.replace("\"windows_per_sec\": 1.08", "\"windows_per_sec\": 9.9");
+        assert_eq!(
+            compare(CHURNISH, &throughput_up, DEFAULT_TOLERANCE)
+                .unwrap()
+                .regressions,
+            0
+        );
+    }
+
+    #[test]
+    fn vanished_gated_key_is_a_regression() {
+        let missing = r#"{ "bench": "steady_churn", "levels": [] }"#;
+        let cmp = compare(CHURNISH, missing, DEFAULT_TOLERANCE).unwrap();
+        assert_eq!(cmp.regressions, 1);
+        let row = cmp
+            .rows
+            .iter()
+            .find(|r| r.key == "windows_per_sec")
+            .unwrap();
+        assert!(row.regressed && row.current.is_none());
+        let table = render_table("BENCH_churn.json", &cmp);
+        assert!(table.contains("missing"), "{table}");
+    }
+}

@@ -1,0 +1,81 @@
+//! CI gate: diff freshly-benched `results/BENCH_*.json` against the
+//! committed repo-root baselines and fail on throughput regressions.
+//!
+//! ```sh
+//! ./target/release/bench_check [baseline_dir] [results_dir]
+//! ```
+//!
+//! Defaults: baselines in the current directory (the repo root in CI),
+//! candidates in `results/` (or `$OSCAR_RESULTS_DIR`). For every tracked
+//! baseline a before/after table is printed; the process exits
+//!
+//! * `0` — all gated keys (`windows_per_sec`, `*_ns_per_join`) within
+//!   tolerance (`$OSCAR_BENCH_TOLERANCE`, default 0.30 = 30%),
+//! * `1` — at least one gated key regressed past tolerance,
+//! * `2` — a file is missing/unreadable or the tolerance is malformed
+//!   (the bench step did not run; gating would be meaningless).
+
+use oscar_bench::baseline::{compare, render_table, DEFAULT_TOLERANCE};
+use oscar_bench::Report;
+use std::path::PathBuf;
+
+/// The tracked baselines, by file name (repo root and results dir agree).
+const TRACKED: [&str; 3] = ["BENCH_join.json", "BENCH_churn.json", "BENCH_growth.json"];
+
+fn read_or_exit(path: &PathBuf) -> String {
+    std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!(
+            "bench_check: cannot read {} ({e}) — did the bench step run?",
+            path.display()
+        );
+        std::process::exit(2);
+    })
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let baseline_dir = PathBuf::from(args.next().unwrap_or_else(|| ".".into()));
+    let results_dir = args
+        .next()
+        .map(PathBuf::from)
+        .unwrap_or_else(Report::results_dir);
+    let tolerance = match std::env::var("OSCAR_BENCH_TOLERANCE") {
+        Ok(s) => s
+            .trim()
+            .parse::<f64>()
+            .ok()
+            .filter(|t| (0.0..10.0).contains(t))
+            .unwrap_or_else(|| {
+                eprintln!(
+                    "bench_check: OSCAR_BENCH_TOLERANCE must be a fraction in [0, 10), got {s:?}"
+                );
+                std::process::exit(2);
+            }),
+        Err(_) => DEFAULT_TOLERANCE,
+    };
+
+    let mut regressions = 0usize;
+    for name in TRACKED {
+        let baseline = read_or_exit(&baseline_dir.join(name));
+        let candidate = read_or_exit(&results_dir.join(name));
+        let cmp = compare(&baseline, &candidate, tolerance).unwrap_or_else(|e| {
+            eprintln!("bench_check: {name}: {e}");
+            std::process::exit(2);
+        });
+        println!("{}", render_table(name, &cmp));
+        regressions += cmp.regressions;
+    }
+    if regressions > 0 {
+        eprintln!(
+            "bench_check: {regressions} gated key(s) regressed more than {:.0}% — \
+             see the tables above. If the change is intentional, refresh the \
+             committed BENCH_*.json baselines from this run's artifacts.",
+            tolerance * 100.0
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "bench_check: all gated keys within {:.0}% of the committed baselines",
+        tolerance * 100.0
+    );
+}

@@ -1,0 +1,84 @@
+//! Growth-loop timing per `OSCAR_SCALE` decade — the wall-time trajectory
+//! of the substrate construction itself.
+//!
+//! ```sh
+//! OSCAR_SCALE=2000 cargo run --release -p oscar-bench --bin repro_growth
+//! ```
+//!
+//! Grows a fresh Oscar overlay (paper protocol: Gnutella keys, constant
+//! degrees, final rewire-all) at each decade of the configured scale —
+//! 100, 1,000, … up to `OSCAR_SCALE` (so `2000` times 100, 1,000 and
+//! 2,000) — sequentially and alone in the process, and writes
+//! `<results dir>/BENCH_growth.json` with seconds and ns-per-join per
+//! decade. The committed `BENCH_growth.json` at the repository root is
+//! the tracked baseline; `bench_check` gates CI on the
+//! `d<N>_ns_per_join` keys, so a growth/join-path slowdown fails the
+//! build instead of hiding in slower CI.
+
+use oscar_bench::{grow_steady_churn_substrate, Report, Scale};
+use oscar_core::{OscarBuilder, OscarConfig};
+use oscar_degree::ConstantDegrees;
+use oscar_keydist::GnutellaKeys;
+
+/// The timed sizes: every power-of-ten decade from 100 up to (and
+/// including) `target`, plus `target` itself when it is not a decade.
+fn decades(target: usize) -> Vec<usize> {
+    let mut sizes = Vec::new();
+    let mut d = 100usize;
+    while d < target {
+        sizes.push(d);
+        d = d.saturating_mul(10);
+    }
+    sizes.push(target);
+    sizes
+}
+
+fn main() -> std::io::Result<()> {
+    let scale = Scale::from_env_or_exit();
+    let builder = OscarBuilder::new(OscarConfig::default());
+    let keys = GnutellaKeys::default();
+    let degrees = ConstantDegrees::paper();
+    let sizes = decades(scale.target);
+    eprintln!(
+        "[growth] timing substrate growth at {} decades up to {} (seed {})...",
+        sizes.len(),
+        scale.target,
+        scale.seed
+    );
+
+    println!("| n_peers | secs | ns/join |");
+    println!("|---|---|---|");
+    let mut decade_rows = String::new();
+    let mut top_keys = String::new();
+    for (i, &n) in sizes.iter().enumerate() {
+        let decade_scale = Scale {
+            target: n,
+            step: (n / 10).max(50),
+            ..scale.clone()
+        };
+        let t0 = std::time::Instant::now();
+        let net = grow_steady_churn_substrate(&builder, &keys, &degrees, &decade_scale)
+            .expect("growth substrate");
+        let secs = t0.elapsed().as_secs_f64();
+        assert_eq!(net.live_count(), n, "growth must reach the decade size");
+        let ns_per_join = secs * 1e9 / n as f64;
+        println!("| {n} | {secs:.3} | {:.0} |", ns_per_join);
+        let comma = if i + 1 < sizes.len() { "," } else { "" };
+        decade_rows.push_str(&format!(
+            "    {{ \"n_peers\": {n}, \"secs\": {secs:.3} }}{comma}\n"
+        ));
+        top_keys.push_str(&format!(",\n  \"d{n}_ns_per_join\": {:.0}", ns_per_join));
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"growth\",\n  \"seed\": {},\n  \"max_target\": {},\n  \
+         \"decades\": [\n{decade_rows}  ]{top_keys}\n}}\n",
+        scale.seed, scale.target,
+    );
+    let dir = Report::results_dir();
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join("BENCH_growth.json");
+    std::fs::write(&path, &json)?;
+    println!("json: {}", path.display());
+    Ok(())
+}

@@ -1,0 +1,58 @@
+//! The churn phase diagram: where does delivery actually break?
+//!
+//! Sweeps churn level (2–20% of the population per window) × repair
+//! policy (no repair at all — the control column where delivery actually
+//! collapses — whole-network sweep, reactive k=2 neighbour repair,
+//! probe-triggered repair) × successor-list length (1, 2, 4) on one grown
+//! Oscar overlay, under the **unstabilised** ring — ring pointers keep
+//! aiming at corpses, so the successor list and the repair policy are all
+//! that stand between sustained churn and lost queries.
+//!
+//! ```sh
+//! OSCAR_SCALE=2000 OSCAR_THREADS=4 cargo run --release -p oscar-bench --bin repro_phase
+//! OSCAR_CHURN_WINDOWS=12 cargo run --release -p oscar-bench --bin repro_phase
+//! ```
+//!
+//! The per-cell engine runs fan out over `OSCAR_THREADS` workers; every
+//! CSV is byte-identical at any thread count (pinned by
+//! `tests/parallel_determinism.rs`). Outputs `churn_phase_*.csv` under
+//! `results/` plus a steady-state table per cell on stdout.
+
+use oscar_bench::figures::{phase_reports, run_phase_suite};
+use oscar_bench::Scale;
+
+fn main() -> std::io::Result<()> {
+    let scale = Scale::from_env_or_exit();
+    let windows = Scale::churn_windows_from_env_or_exit();
+
+    let t0 = std::time::Instant::now();
+    let cells = run_phase_suite(&scale, windows).expect("phase suite");
+    let secs = t0.elapsed().as_secs_f64();
+
+    for (name, report) in phase_reports(&cells) {
+        report.emit(name)?;
+    }
+
+    println!("\n==== steady-state phase cells ====\n");
+    println!("| level | policy | succ | success | cost | wasted | repairs/win | repair msgs/win |");
+    println!("|---|---|---|---|---|---|---|---|");
+    for c in &cells {
+        println!(
+            "| {} | {} | {} | {:.3} | {:.2} | {:.2} | {:.0} | {:.0} |",
+            c.level,
+            c.policy,
+            c.succ_list_len,
+            c.steady_mean(|w| w.queries.success_rate),
+            c.steady_mean(|w| w.queries.mean_cost),
+            c.steady_mean(|w| w.queries.mean_wasted),
+            c.steady_mean(|w| w.repairs as f64),
+            c.steady_mean(|w| w.repair_cost as f64),
+        );
+    }
+    eprintln!(
+        "phase diagram: {} cells x {} windows in {secs:.1}s",
+        cells.len(),
+        windows
+    );
+    Ok(())
+}

@@ -7,7 +7,8 @@ use oscar_degree::DegreeDistribution;
 use oscar_keydist::{KeyDistribution, QueryWorkload};
 use oscar_sim::{
     kill_fraction, run_continuous_churn, run_query_batch, ChurnSchedule, ChurnWindowStats,
-    FaultModel, GrowthConfig, GrowthDriver, Network, OverlayBuilder, QueryBatchStats, RoutePolicy,
+    FaultModel, GrowthConfig, GrowthDriver, Network, OverlayBuilder, QueryBatchStats, RepairPolicy,
+    RoutePolicy,
 };
 use oscar_types::{Result, SeedTree};
 
@@ -16,6 +17,7 @@ const LBL_GROWTH: u64 = 1;
 const LBL_QUERIES: u64 = 2;
 const LBL_CHURN: u64 = 3;
 const LBL_STEADY: u64 = 4;
+const LBL_PHASE: u64 = 5;
 
 /// Everything one growth run produces.
 pub struct GrowthRunResult {
@@ -172,39 +174,55 @@ pub struct SteadyChurnResult {
     pub windows: Vec<ChurnWindowStats>,
 }
 
+/// Mean of `f` over the steady-state tail of `windows` (the last half —
+/// the early windows still carry the pristine pre-churn topology).
+pub fn steady_mean_of(windows: &[ChurnWindowStats], f: impl Fn(&ChurnWindowStats) -> f64) -> f64 {
+    let tail = &windows[windows.len() / 2..];
+    if tail.is_empty() {
+        return 0.0;
+    }
+    tail.iter().map(f).sum::<f64>() / tail.len() as f64
+}
+
 impl SteadyChurnResult {
     /// Mean of `f` over the steady-state windows (the last half — the
     /// early windows still carry the pristine pre-churn topology).
     pub fn steady_mean(&self, f: impl Fn(&ChurnWindowStats) -> f64) -> f64 {
-        let tail = &self.windows[self.windows.len() / 2..];
-        if tail.is_empty() {
-            return 0.0;
-        }
-        tail.iter().map(f).sum::<f64>() / tail.len() as f64
+        steady_mean_of(&self.windows, f)
     }
 }
 
+/// One schedule of the churn ladders: per-window peer turnover of
+/// `turnover` of the grown population, symmetric join/failure rates with
+/// a small graceful-departure share, one repair sweep per window.
+pub fn churn_schedule_for(turnover: f64, scale: &Scale) -> ChurnSchedule {
+    let base = ChurnSchedule::symmetric(0.0);
+    let events_per_window = turnover * scale.target as f64;
+    let rate = events_per_window / base.window_ticks as f64;
+    ChurnSchedule {
+        join_rate: rate,
+        crash_rate: rate * 0.8,
+        depart_rate: rate * 0.2,
+        queries_per_window: (scale.target / 4).max(100),
+        min_live: (scale.target / 10).max(16),
+        ..base
+    }
+}
+
+/// Human label for a turnover fraction ("2.0%/win").
+fn turnover_label(turnover: f64) -> String {
+    format!("{:.1}%/win", turnover * 100.0)
+}
+
 /// The standard churn-level ladder for a given scale: per-window peer
-/// turnover of 0.5%, 1%, 2% and 5% of the grown population, symmetric
-/// join/crash rates plus a small graceful-departure share, one repair
-/// sweep per window.
+/// turnover of 0.5%, 1%, 2% and 5% of the grown population.
 pub fn standard_churn_schedules(scale: &Scale) -> Vec<(String, ChurnSchedule)> {
     [0.005, 0.01, 0.02, 0.05]
         .into_iter()
         .map(|turnover| {
-            let base = ChurnSchedule::symmetric(0.0);
-            let events_per_window = turnover * scale.target as f64;
-            let rate = events_per_window / base.window_ticks as f64;
             (
-                format!("{:.1}%/win", turnover * 100.0),
-                ChurnSchedule {
-                    join_rate: rate,
-                    crash_rate: rate * 0.8,
-                    depart_rate: rate * 0.2,
-                    queries_per_window: (scale.target / 4).max(100),
-                    min_live: (scale.target / 10).max(16),
-                    ..base
-                },
+                turnover_label(turnover),
+                churn_schedule_for(turnover, scale),
             )
         })
         .collect()
@@ -303,6 +321,162 @@ pub fn run_steady_churn_experiment<B: OverlayBuilder + Sync + ?Sized>(
     run_steady_churn_on(&net, builder, keys, degrees, scale, schedules, windows)
 }
 
+/// One cell of the churn phase diagram: a fixed (churn level, repair
+/// policy, successor-list length) combination measured at steady state
+/// under the **unstabilised** ring — the regime where the successor list
+/// is what keeps routing alive and delivery can actually break.
+pub struct PhaseCell {
+    /// Churn-level label ("10.0%/win").
+    pub level: String,
+    /// Per-window turnover fraction of the grown population.
+    pub turnover: f64,
+    /// Repair-policy label ("sweep", "reactive-k2", "on-probe").
+    pub policy: String,
+    /// Successor-list length this cell ran with.
+    pub succ_list_len: usize,
+    /// The schedule that produced it (repair policy already applied).
+    pub schedule: ChurnSchedule,
+    /// Per-window measurements, in virtual-time order.
+    pub windows: Vec<ChurnWindowStats>,
+}
+
+impl PhaseCell {
+    /// Mean of `f` over the steady-state windows (the last half).
+    pub fn steady_mean(&self, f: impl Fn(&ChurnWindowStats) -> f64) -> f64 {
+        steady_mean_of(&self.windows, f)
+    }
+}
+
+/// The phase diagram's churn axis: 2%, 5%, 10% and 20% of the population
+/// per window — deliberately past the standard ladder's 5% ceiling, so
+/// the delivery cliff is inside the swept range.
+pub fn phase_churn_levels(scale: &Scale) -> Vec<(String, f64, ChurnSchedule)> {
+    [0.02, 0.05, 0.10, 0.20]
+        .into_iter()
+        .map(|turnover| {
+            (
+                turnover_label(turnover),
+                turnover,
+                churn_schedule_for(turnover, scale),
+            )
+        })
+        .collect()
+}
+
+/// The phase diagram's repair axis: no repair at all (the control column
+/// — dangling links and ring corpses accumulate unchecked, which is
+/// where delivery actually collapses), the paper-style whole-network
+/// sweep once per window, reactive k=2 neighbour repair, and
+/// probe-triggered repair.
+pub fn phase_repair_policies() -> Vec<(String, RepairPolicy)> {
+    let window_ticks = ChurnSchedule::symmetric(0.0).window_ticks;
+    vec![
+        ("none".to_string(), RepairPolicy::SweepEvery(0)),
+        ("sweep".to_string(), RepairPolicy::SweepEvery(window_ticks)),
+        (
+            "reactive-k2".to_string(),
+            RepairPolicy::Reactive { neighbors_k: 2 },
+        ),
+        ("on-probe".to_string(), RepairPolicy::OnProbe),
+    ]
+}
+
+/// The phase diagram's successor-list axis.
+pub const PHASE_SUCC_LENS: [usize; 3] = [1, 2, 4];
+
+/// The 3-axis churn phase diagram on a pre-grown substrate: for every
+/// (churn level × repair policy × successor-list length) cell, run the
+/// continuous-churn engine on an owned clone of `net` flipped to
+/// [`FaultModel::UnstabilizedRing`] and measure every window.
+///
+/// Cells are independent — each owns its clone and derives all
+/// randomness from its own seed-tree child keyed by cell index — so they
+/// fan out over [`Scale::thread_count`] workers with byte-identical
+/// results at any thread count (`tests/parallel_determinism.rs` pins the
+/// rendered CSVs).
+#[allow(clippy::too_many_arguments)]
+pub fn run_phase_diagram_experiment<B: OverlayBuilder + Sync + ?Sized>(
+    net: &Network,
+    builder: &B,
+    keys: &dyn KeyDistribution,
+    degrees: &dyn DegreeDistribution,
+    scale: &Scale,
+    levels: &[(String, f64, ChurnSchedule)],
+    policies: &[(String, RepairPolicy)],
+    succ_lens: &[usize],
+    windows: usize,
+) -> Result<Vec<PhaseCell>> {
+    let seed = SeedTree::new(scale.seed);
+    let mut meta = Vec::new();
+    for (level, turnover, base_schedule) in levels {
+        for (policy_name, policy) in policies {
+            for &succ in succ_lens {
+                let schedule = ChurnSchedule {
+                    repair: policy.clone(),
+                    ..base_schedule.clone()
+                };
+                // Per-cell seed keyed by grid position, independent of
+                // how the cells are later batched onto workers.
+                let run_seed = seed.child2(LBL_PHASE, meta.len() as u64);
+                meta.push((
+                    level.clone(),
+                    *turnover,
+                    policy_name.clone(),
+                    succ,
+                    schedule,
+                    run_seed,
+                ));
+            }
+        }
+    }
+    // Clones are what dominates memory (a full Network per cell), and
+    // `Network` is not `Sync`, so workers cannot clone the substrate
+    // themselves. Dispatching the grid one thread-budget-sized wave at a
+    // time keeps at most `threads` clones alive instead of the whole
+    // grid's worth — the difference between feasible and not at 10⁵
+    // peers × 48 cells. Waves cost a join barrier each; cells inside a
+    // wave still spread over all workers.
+    let threads = scale.thread_count().max(1);
+    let mut results: Vec<Result<Vec<ChurnWindowStats>>> = Vec::with_capacity(meta.len());
+    for wave in meta.chunks(threads) {
+        let tasks: Vec<Task<Result<Vec<ChurnWindowStats>>>> = wave
+            .iter()
+            .map(|(_, _, _, succ, schedule, run_seed)| {
+                let mut cell_net = net.clone();
+                let task_schedule = schedule.clone();
+                let (succ, run_seed) = (*succ, *run_seed);
+                Box::new(move || {
+                    cell_net.set_fault_model(FaultModel::UnstabilizedRing);
+                    cell_net.set_succ_list_len(succ);
+                    run_continuous_churn(
+                        &mut cell_net,
+                        builder,
+                        keys,
+                        degrees,
+                        &task_schedule,
+                        windows,
+                        run_seed,
+                    )
+                }) as Task<Result<Vec<ChurnWindowStats>>>
+            })
+            .collect();
+        results.extend(run_tasks(threads, tasks));
+    }
+    meta.into_iter()
+        .zip(results)
+        .map(|((level, turnover, policy, succ, schedule, _), windows)| {
+            Ok(PhaseCell {
+                level,
+                turnover,
+                policy,
+                succ_list_len: succ,
+                schedule,
+                windows: windows?,
+            })
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -386,6 +560,57 @@ mod tests {
         let turnover =
             |r: &SteadyChurnResult| r.windows.iter().map(|w| w.joins + w.crashes).sum::<u64>();
         assert!(turnover(&rs[1]) > turnover(&rs[0]));
+    }
+
+    #[test]
+    fn phase_diagram_covers_the_grid_under_the_unstabilized_ring() {
+        let scale = Scale::small(200, 17);
+        let builder = OscarBuilder::new(OscarConfig::default());
+        let keys = GnutellaKeys::default();
+        let degrees = ConstantDegrees::paper();
+        let net = grow_steady_churn_substrate(&builder, &keys, &degrees, &scale).unwrap();
+        let levels = phase_churn_levels(&scale);
+        assert_eq!(levels.len(), 4);
+        assert_eq!(levels.last().unwrap().1, 0.20, "ladder reaches 20%/win");
+        let policies = phase_repair_policies();
+        assert_eq!(policies.len(), 4);
+        // A 2-level × 3-policy × 2-succ subgrid keeps the test fast.
+        let cells = run_phase_diagram_experiment(
+            &net,
+            &builder,
+            &keys,
+            &degrees,
+            &scale,
+            &levels[..2],
+            &policies,
+            &[1, 4],
+            2,
+        )
+        .unwrap();
+        assert_eq!(cells.len(), 2 * 4 * 2);
+        for c in &cells {
+            assert_eq!(c.windows.len(), 2, "{}/{}", c.level, c.policy);
+            assert_eq!(c.schedule.repair.clone(), {
+                let by_name = phase_repair_policies();
+                by_name.into_iter().find(|(n, _)| *n == c.policy).unwrap().1
+            });
+            for w in &c.windows {
+                assert!(w.queries.queries > 0);
+            }
+        }
+        // Repair accounting differentiates the policies: sweeps rewire the
+        // population, reactive repairs scale with the membership events.
+        let total_repair = |policy: &str, succ: usize| {
+            cells
+                .iter()
+                .filter(|c| c.policy == policy && c.succ_list_len == succ && c.level == "2.0%/win")
+                .map(|c| c.windows.iter().map(|w| w.repair_cost).sum::<u64>())
+                .sum::<u64>()
+        };
+        assert!(
+            total_repair("reactive-k2", 4) < total_repair("sweep", 4),
+            "reactive repair must cost less than sweeping at 2%/win"
+        );
     }
 
     #[test]

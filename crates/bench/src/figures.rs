@@ -2,8 +2,9 @@
 //! `repro_all` (which reuses the heavy growth runs across figures).
 
 use crate::experiments::{
-    run_churn_experiment, run_growth_experiment, run_steady_churn_experiment,
-    standard_churn_schedules, GrowthRunResult, SteadyChurnResult,
+    grow_steady_churn_substrate, phase_churn_levels, phase_repair_policies, run_churn_experiment,
+    run_growth_experiment, run_phase_diagram_experiment, run_steady_churn_experiment,
+    standard_churn_schedules, GrowthRunResult, PhaseCell, SteadyChurnResult, PHASE_SUCC_LENS,
 };
 use crate::parallel::{run_tasks, Task};
 use crate::report::Report;
@@ -363,6 +364,110 @@ pub fn steady_churn_reports(results: &[SteadyChurnResult]) -> Vec<(&'static str,
     ]
 }
 
+/// Runs the full churn phase diagram (Oscar, Gnutella keys, constant
+/// degrees): the default 4-level × 4-policy × 3-succ-length grid on one
+/// grown substrate, under the unstabilised ring.
+pub fn run_phase_suite(scale: &Scale, windows: usize) -> Result<Vec<PhaseCell>> {
+    let builder = OscarBuilder::new(OscarConfig::default());
+    let keys = GnutellaKeys::default();
+    let degrees = ConstantDegrees::paper();
+    let levels = phase_churn_levels(scale);
+    let policies = phase_repair_policies();
+    eprintln!(
+        "[phase] growing to {} then sweeping {} churn levels x {} repair policies x {} succ \
+         lengths ({} windows each)...",
+        scale.target,
+        levels.len(),
+        policies.len(),
+        PHASE_SUCC_LENS.len(),
+        windows,
+    );
+    let net = grow_steady_churn_substrate(&builder, &keys, &degrees, scale)?;
+    run_phase_diagram_experiment(
+        &net,
+        &builder,
+        &keys,
+        &degrees,
+        scale,
+        &levels,
+        &policies,
+        &PHASE_SUCC_LENS,
+        windows,
+    )
+}
+
+/// The phase-diagram figures: steady-state delivery, search cost, wasted
+/// traffic and repair traffic as functions of churn level, one curve per
+/// (repair policy, successor-list length). Returned as
+/// `(csv_name, report)` pairs for the emitters.
+pub fn phase_reports(cells: &[PhaseCell]) -> Vec<(&'static str, Report)> {
+    let mut success = Report::new(
+        "Churn phase diagram: steady-state delivery rate (unstabilised ring)",
+        "churn %/window",
+    );
+    let mut cost = Report::new(
+        "Churn phase diagram: steady-state successful-query search cost",
+        "churn %/window",
+    );
+    let mut waste = Report::new(
+        "Churn phase diagram: steady-state wasted messages per query",
+        "churn %/window",
+    );
+    let mut repair = Report::new(
+        "Churn phase diagram: steady-state repair messages per window",
+        "churn %/window",
+    );
+    // One series per (policy, succ) pair, points ordered by churn level —
+    // iterate combos in first-appearance order so the CSV layout is
+    // stable whatever grid subset produced the cells.
+    let mut combos: Vec<(String, usize)> = Vec::new();
+    for c in cells {
+        let combo = (c.policy.clone(), c.succ_list_len);
+        if !combos.contains(&combo) {
+            combos.push(combo);
+        }
+    }
+    for (policy, succ) in combos {
+        let label = format!("{policy}/succ={succ}");
+        let mut success_s = Series::new(label.clone());
+        let mut cost_s = Series::new(label.clone());
+        let mut waste_s = Series::new(label.clone());
+        let mut repair_s = Series::new(label.clone());
+        let mut cliff: Option<(f64, f64)> = None;
+        for c in cells
+            .iter()
+            .filter(|c| c.policy == policy && c.succ_list_len == succ)
+        {
+            let x = c.turnover * 100.0;
+            let delivery = c.steady_mean(|w| w.queries.success_rate);
+            success_s.push(x, delivery);
+            cost_s.push(x, c.steady_mean(|w| w.queries.mean_cost));
+            waste_s.push(x, c.steady_mean(|w| w.queries.mean_wasted));
+            repair_s.push(x, c.steady_mean(|w| w.repair_cost as f64));
+            if cliff.is_none() && delivery < 0.9 {
+                cliff = Some((x, delivery));
+            }
+        }
+        success.add_note(match cliff {
+            Some((x, d)) => format!(
+                "{label}: delivery cliff at {x:.0}%/win (steady success {:.1}%)",
+                d * 100.0
+            ),
+            None => format!("{label}: no cliff — delivery >= 90% across the swept range"),
+        });
+        success.add_series(success_s);
+        cost.add_series(cost_s);
+        waste.add_series(waste_s);
+        repair.add_series(repair_s);
+    }
+    vec![
+        ("churn_phase_success", success),
+        ("churn_phase_cost", cost),
+        ("churn_phase_waste", waste),
+        ("churn_phase_repair", repair),
+    ]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -394,6 +499,22 @@ mod tests {
         let scale = Scale::small(150, 5);
         let report = fig2_report(&scale, &ConstantDegrees::paper(), "constant").unwrap();
         assert_eq!(report.series().len(), 3);
+    }
+
+    #[test]
+    fn phase_suite_smoke_at_tiny_scale() {
+        let scale = Scale::small(120, 19);
+        let cells = run_phase_suite(&scale, 2).unwrap();
+        assert_eq!(cells.len(), 4 * 4 * 3);
+        let reports = phase_reports(&cells);
+        assert_eq!(reports.len(), 4);
+        for (name, report) in &reports {
+            // One curve per (policy, succ) combo, one point per level.
+            assert_eq!(report.series().len(), 12, "{name}");
+            for s in report.series() {
+                assert_eq!(s.points.len(), 4, "{name}/{}", s.label);
+            }
+        }
     }
 
     #[test]

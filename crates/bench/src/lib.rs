@@ -6,6 +6,7 @@
 //! a seed, so the binaries, the benches and the tests all drive the same
 //! code.
 
+pub mod baseline;
 pub mod experiments;
 pub mod figures;
 pub mod parallel;
@@ -13,9 +14,10 @@ pub mod report;
 pub mod scale;
 
 pub use experiments::{
-    grow_steady_churn_substrate, run_churn_experiment, run_growth_experiment,
-    run_steady_churn_experiment, run_steady_churn_on, standard_churn_schedules, ChurnResult,
-    GrowthRunResult, SteadyChurnResult,
+    churn_schedule_for, grow_steady_churn_substrate, phase_churn_levels, phase_repair_policies,
+    run_churn_experiment, run_growth_experiment, run_phase_diagram_experiment,
+    run_steady_churn_experiment, run_steady_churn_on, standard_churn_schedules, steady_mean_of,
+    ChurnResult, GrowthRunResult, PhaseCell, SteadyChurnResult, PHASE_SUCC_LENS,
 };
 pub use parallel::{run_tasks, Task};
 pub use report::Report;

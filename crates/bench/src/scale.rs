@@ -134,9 +134,11 @@ impl Scale {
     }
 
     /// Steady-churn measurement windows per level from the environment
-    /// (`OSCAR_CHURN_WINDOWS`; default 8). Must be >= 2 — the
-    /// steady-state aggregate is the last half of the windows — and a
-    /// malformed value is a hard error like the other knobs.
+    /// (`OSCAR_CHURN_WINDOWS`; default 8) — used by both `repro_churn`
+    /// (windows per churn level) and `repro_phase` (windows per phase
+    /// cell). Must be >= 2 — the steady-state aggregate is the last half
+    /// of the windows — and a malformed value is a hard error like the
+    /// other knobs.
     pub fn churn_windows_from_env() -> oscar_types::Result<usize> {
         match std::env::var("OSCAR_CHURN_WINDOWS") {
             Ok(s) => match s.trim().parse::<usize>() {

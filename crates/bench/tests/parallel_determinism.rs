@@ -9,8 +9,8 @@
 
 use oscar_analytics::series::to_csv;
 use oscar_bench::figures::{
-    fig1b_report, fig1c_report, fig2_report, mercury_compare_report, run_fig1_suite,
-    run_steady_churn_suite, steady_churn_reports,
+    fig1b_report, fig1c_report, fig2_report, mercury_compare_report, phase_reports, run_fig1_suite,
+    run_phase_suite, run_steady_churn_suite, steady_churn_reports,
 };
 use oscar_bench::{run_churn_experiment, run_steady_churn_experiment, Scale};
 use oscar_core::{OscarBuilder, OscarConfig};
@@ -59,6 +59,24 @@ fn steady_churn_csvs_identical_across_thread_counts() {
     let sequential = csvs(1);
     assert_eq!(sequential, csvs(4), "1 vs 4 threads");
     assert_eq!(sequential, csvs(0), "1 vs all-cores auto");
+}
+
+#[test]
+fn phase_diagram_csvs_identical_across_thread_counts() {
+    // The repro_phase acceptance criterion: the 3-axis sweep (churn level
+    // × repair policy × successor-list length) fans its cells over
+    // `OSCAR_THREADS` on owned clones, and every rendered CSV must be
+    // byte-identical whether the cells run sequentially or on 4 workers.
+    let csvs = |threads: usize| {
+        let scale = Scale::small(120, 21).with_threads(threads);
+        let cells = run_phase_suite(&scale, 2).unwrap();
+        phase_reports(&cells)
+            .iter()
+            .map(|(_, r)| to_csv(r.series()))
+            .collect::<Vec<_>>()
+    };
+    let sequential = csvs(1);
+    assert_eq!(sequential, csvs(4), "1 vs 4 threads");
 }
 
 #[test]

@@ -6,10 +6,11 @@
 //! engine drives [`Network::add_peer`] / [`Network::kill`] /
 //! [`Network::depart`] from independent Poisson processes on the
 //! discrete-event queue ([`EventQueue`]): each process draws exponential
-//! inter-arrival times from its own seed-tree stream, periodic rewire
-//! sweeps repair dangling links, and measurement windows of fixed virtual
-//! length aggregate cost, wasted traffic, success rate and the live
-//! population over time.
+//! inter-arrival times from its own seed-tree stream, a [`RepairPolicy`]
+//! heals the damage (whole-network sweeps, reactive neighbour rewires, or
+//! probe-triggered rewires), and measurement windows of fixed virtual
+//! length aggregate cost, wasted traffic, success rate, repair traffic
+//! and the live population over time.
 //!
 //! Everything derives from one [`SeedTree`], so a run is a pure function
 //! of `(network, schedule, windows, seed)` — the bench drivers fan
@@ -18,7 +19,8 @@
 use crate::events::{EventQueue, VirtualTime};
 use crate::growth::{rewire_all_peers, OverlayBuilder};
 use crate::network::Network;
-use crate::routing::{run_query_batch, QueryBatchStats, RoutePolicy};
+use crate::peer::PeerIdx;
+use crate::routing::{run_query_batch, run_query_batch_observed, QueryBatchStats, RoutePolicy};
 use oscar_degree::DegreeDistribution;
 use oscar_keydist::{KeyDistribution, QueryWorkload};
 use oscar_types::{Error, Result, SeedTree};
@@ -34,6 +36,56 @@ const LBL_CRASH_PICK: u64 = 5;
 const LBL_DEPART_PICK: u64 = 6;
 const LBL_REWIRE: u64 = 7;
 const LBL_MEASURE: u64 = 8;
+const LBL_REPAIR: u64 = 9;
+
+/// Failure-detection latency of the reactive policies, in ticks: a repair
+/// triggered by a crash/departure/corpse probe fires this much later on
+/// the event queue, after any same-tick measurement (window timers are
+/// pre-scheduled and win FIFO ties).
+const REPAIR_DELAY: u64 = 1;
+
+/// How a continuous-churn run heals churn damage.
+///
+/// The sweep policy is the paper's checkpoint protocol (O(n) per sweep
+/// regardless of how much actually broke); the two reactive policies
+/// model real maintenance traffic — repair work proportional to the
+/// damage observed, O(k) per membership event — which is what makes
+/// steady-state runs at 10⁵+ peers affordable.
+#[derive(Clone, Debug, PartialEq)]
+pub enum RepairPolicy {
+    /// Rewire every live peer's long-range links every this many ticks —
+    /// the engine's original behaviour. `0` disables repair entirely,
+    /// letting dangling-link waste accumulate.
+    SweepEvery(u64),
+    /// On each crash or graceful departure, schedule a rewire of the
+    /// `neighbors_k` nearest live ring successors *and* predecessors of
+    /// the dead peer (the peers whose ring neighbourhood the event
+    /// changed), as repair events [`REPAIR_DELAY`] ticks later. Repair
+    /// work is O(k) per membership event instead of O(n) per sweep.
+    Reactive {
+        /// Live ring successors/predecessors rewired per membership
+        /// event, on each side of the dead peer. Must be >= 1.
+        neighbors_k: usize,
+    },
+    /// A peer that probes a corpse while routing (a timed-out forwarding
+    /// attempt, the paper's wasted traffic) enqueues its *own* rewire —
+    /// failure-detection-driven maintenance: damage is repaired exactly
+    /// where traffic discovers it. The engine's measurement batches are
+    /// the probe traffic, so repairs trail each window's queries.
+    OnProbe,
+}
+
+impl RepairPolicy {
+    /// Checks the policy is runnable.
+    fn validate(&self) -> Result<()> {
+        if let RepairPolicy::Reactive { neighbors_k: 0 } = self {
+            return Err(Error::InvalidConfig(
+                "Reactive repair needs neighbors_k >= 1: k = 0 repairs nothing".into(),
+            ));
+        }
+        Ok(())
+    }
+}
 
 /// Rates and windows of a continuous-churn run.
 ///
@@ -49,10 +101,9 @@ pub struct ChurnSchedule {
     pub crash_rate: f64,
     /// Expected graceful departures (clean link teardown) per tick.
     pub depart_rate: f64,
-    /// Rewire every live peer's long-range links every this many ticks
-    /// (the repair protocol of the paper's checkpoints); `0` disables
-    /// sweeps, which lets dangling-link waste accumulate.
-    pub rewire_every: u64,
+    /// How churn damage is healed: periodic whole-network sweeps,
+    /// reactive per-event neighbour rewires, or probe-triggered rewires.
+    pub repair: RepairPolicy,
     /// Virtual length of one measurement window.
     pub window_ticks: u64,
     /// Queries issued at the end of each window (uniform live targets).
@@ -71,7 +122,7 @@ impl ChurnSchedule {
             join_rate: rate_per_tick,
             crash_rate: rate_per_tick,
             depart_rate: 0.0,
-            rewire_every: 1000,
+            repair: RepairPolicy::SweepEvery(1000),
             window_ticks: 1000,
             queries_per_window: 200,
             min_live: 16,
@@ -107,7 +158,7 @@ impl ChurnSchedule {
                 "min_live must be >= 1: the engine never extinguishes the network".into(),
             ));
         }
-        Ok(())
+        self.repair.validate()
     }
 }
 
@@ -128,6 +179,13 @@ pub struct ChurnWindowStats {
     pub departs: u64,
     /// Rewire-all sweeps during the window.
     pub rewires: u64,
+    /// Individual peer rewires the repair policy executed during the
+    /// window: a sweep contributes one per live peer, the reactive
+    /// policies one per fired repair event whose target was still alive.
+    pub repairs: u64,
+    /// Simulated messages those repairs generated (sampling walks, probes,
+    /// link handshakes) — the window's maintenance traffic.
+    pub repair_cost: u64,
     /// Crash/depart arrivals suppressed by the `min_live` floor.
     pub suppressed: u64,
     /// Live population at the measurement instant.
@@ -147,6 +205,8 @@ impl ChurnWindowStats {
             crashes: 0,
             departs: 0,
             rewires: 0,
+            repairs: 0,
+            repair_cost: 0,
             suppressed: 0,
             live_at_end: 0,
             queries: QueryBatchStats::default(),
@@ -161,6 +221,9 @@ enum EngineEvent {
     Crash,
     Depart,
     Rewire,
+    /// Reactive repair of a single peer (scheduled by the `Reactive` and
+    /// `OnProbe` policies; a no-op if the target died in the meantime).
+    Repair(PeerIdx),
     WindowEnd,
 }
 
@@ -173,6 +236,23 @@ fn exponential_gap(rate: f64, rng: &mut SmallRng) -> u64 {
                             // rate from overflowing the virtual clock.
     let gap = -(1.0 - u).ln() / rate;
     (gap.ceil() as u64).clamp(1, 1 << 40)
+}
+
+/// Under the `Reactive` policy, schedules repair events for the k nearest
+/// live ring neighbours of `victim` on each side — the peers whose ring
+/// neighbourhood the imminent crash/departure changes. Must run *before*
+/// the victim is removed (its live-ring position is what locates them).
+fn schedule_reactive_repairs(
+    net: &Network,
+    queue: &mut EventQueue<EngineEvent>,
+    policy: &RepairPolicy,
+    victim: PeerIdx,
+) {
+    if let RepairPolicy::Reactive { neighbors_k } = *policy {
+        for n in net.live_ring_neighborhood(victim, neighbors_k) {
+            queue.schedule_in(REPAIR_DELAY, EngineEvent::Repair(n));
+        }
+    }
 }
 
 /// Runs `windows` measurement windows of continuous churn on `net`.
@@ -243,14 +323,17 @@ pub fn run_continuous_churn<B: OverlayBuilder + ?Sized>(
             EngineEvent::Depart,
         );
     }
-    if schedule.rewire_every > 0 {
-        queue.schedule_in(schedule.rewire_every, EngineEvent::Rewire);
+    if let RepairPolicy::SweepEvery(every) = schedule.repair {
+        if every > 0 {
+            queue.schedule_in(every, EngineEvent::Rewire);
+        }
     }
 
     // Lifetime counters for per-activity seed derivation; window counters
     // reset at each measurement.
     let mut joins_total = 0u64;
     let mut rewires_total = 0u64;
+    let mut repairs_total = 0u64;
     let mut window_start = VirtualTime(0);
     let mut w = ChurnWindowStats::fresh(0, window_start);
 
@@ -291,6 +374,7 @@ pub fn run_continuous_churn<B: OverlayBuilder + ?Sized>(
                     let victim = net
                         .random_live_peer(&mut crash_pick)
                         .expect("live_count > min_live >= 1");
+                    schedule_reactive_repairs(net, &mut queue, &schedule.repair, victim);
                     net.kill(victim)?;
                     w.crashes += 1;
                 } else {
@@ -306,6 +390,7 @@ pub fn run_continuous_churn<B: OverlayBuilder + ?Sized>(
                     let victim = net
                         .random_live_peer(&mut depart_pick)
                         .expect("live_count > min_live >= 1");
+                    schedule_reactive_repairs(net, &mut queue, &schedule.repair, victim);
                     net.depart(victim)?;
                     w.departs += 1;
                 } else {
@@ -317,10 +402,30 @@ pub fn run_continuous_churn<B: OverlayBuilder + ?Sized>(
                 );
             }
             EngineEvent::Rewire => {
+                let before = net.metrics.total();
+                let swept = net.live_count() as u64;
                 rewire_all_peers(net, builder, seed.child2(LBL_REWIRE, rewires_total))?;
                 rewires_total += 1;
                 w.rewires += 1;
-                queue.schedule_in(schedule.rewire_every, EngineEvent::Rewire);
+                w.repairs += swept;
+                w.repair_cost += net.metrics.total() - before;
+                let RepairPolicy::SweepEvery(every) = schedule.repair else {
+                    unreachable!("Rewire events are only scheduled by SweepEvery")
+                };
+                queue.schedule_in(every, EngineEvent::Rewire);
+            }
+            EngineEvent::Repair(p) => {
+                // The target may have crashed or departed between failure
+                // detection and the repair firing; a corpse has no links
+                // to rebuild.
+                if net.is_alive(p) {
+                    let mut rrng = seed.child2(LBL_REPAIR, repairs_total).rng();
+                    repairs_total += 1;
+                    let before = net.metrics.total();
+                    builder.rewire(net, p, &mut rrng)?;
+                    w.repairs += 1;
+                    w.repair_cost += net.metrics.total() - before;
+                }
             }
             EngineEvent::WindowEnd => {
                 let widx = results.len();
@@ -329,13 +434,33 @@ pub fn run_continuous_churn<B: OverlayBuilder + ?Sized>(
                 w.start = window_start;
                 w.end = now;
                 w.live_at_end = net.live_count();
-                w.queries = run_query_batch(
-                    net,
-                    &QueryWorkload::UniformPeers,
-                    schedule.queries_per_window,
-                    &RoutePolicy::default(),
-                    &mut qrng,
-                );
+                w.queries = if matches!(schedule.repair, RepairPolicy::OnProbe) {
+                    // The measurement batch doubles as the failure
+                    // detector: every peer that probed a corpse schedules
+                    // its own rewire, which lands (after the books close)
+                    // in the next window.
+                    let mut probers = Vec::new();
+                    let stats = run_query_batch_observed(
+                        net,
+                        &QueryWorkload::UniformPeers,
+                        schedule.queries_per_window,
+                        &RoutePolicy::default(),
+                        &mut qrng,
+                        &mut probers,
+                    );
+                    for p in probers {
+                        queue.schedule_in(REPAIR_DELAY, EngineEvent::Repair(p));
+                    }
+                    stats
+                } else {
+                    run_query_batch(
+                        net,
+                        &QueryWorkload::UniformPeers,
+                        schedule.queries_per_window,
+                        &RoutePolicy::default(),
+                        &mut qrng,
+                    )
+                };
                 results.push(w.clone());
                 window_start = now;
                 w = ChurnWindowStats::fresh(widx + 1, window_start);
@@ -497,7 +622,7 @@ mod tests {
             join_rate: 0.0,
             crash_rate: 0.0,
             depart_rate: 0.15,
-            rewire_every: 0,
+            repair: RepairPolicy::SweepEvery(0),
             ..ChurnSchedule::symmetric(0.0)
         };
         let ws = run(&mut net, &depart_only, 3, 17);
@@ -516,7 +641,7 @@ mod tests {
     fn rewire_sweeps_fire_on_schedule() {
         let mut net = grown(100, 7);
         let schedule = ChurnSchedule {
-            rewire_every: 250,
+            repair: RepairPolicy::SweepEvery(250),
             window_ticks: 1000,
             ..ChurnSchedule::symmetric(0.02)
         };
@@ -540,7 +665,7 @@ mod tests {
         // close, i.e. in windows 2, 4, 6.
         let mut net = grown(100, 10);
         let schedule = ChurnSchedule {
-            rewire_every: 200,
+            repair: RepairPolicy::SweepEvery(200),
             window_ticks: 100,
             queries_per_window: 30,
             ..ChurnSchedule::symmetric(0.02)
@@ -572,6 +697,10 @@ mod tests {
             },
             ChurnSchedule {
                 min_live: 0,
+                ..ChurnSchedule::symmetric(0.1)
+            },
+            ChurnSchedule {
+                repair: RepairPolicy::Reactive { neighbors_k: 0 },
                 ..ChurnSchedule::symmetric(0.1)
             },
         ];
@@ -613,6 +742,132 @@ mod tests {
         let ws = run(&mut net, &ChurnSchedule::symmetric(0.1), 0, 21);
         assert!(ws.is_empty());
         assert_eq!(net.live_count(), before, "no windows, no churn applied");
+    }
+
+    #[test]
+    fn sweeps_record_per_peer_repairs_and_cost() {
+        let mut net = grown(100, 30);
+        let schedule = ChurnSchedule {
+            repair: RepairPolicy::SweepEvery(1000),
+            ..ChurnSchedule::symmetric(0.02)
+        };
+        let ws = run(&mut net, &schedule, 2, 31);
+        // Sweep at tick 1000 lands in window 1 (the boundary measurement
+        // wins the FIFO tie); it rewires every peer live at sweep time —
+        // the whole population, give or take the churn since the window
+        // opened.
+        assert_eq!(ws[0].repairs, 0);
+        assert_eq!(ws[0].repair_cost, 0);
+        assert_eq!(ws[1].rewires, 1);
+        assert!(
+            ws[1].repairs > ws[1].live_at_end as u64 / 2,
+            "a sweep rewires the whole population: {} repairs, {} live",
+            ws[1].repairs,
+            ws[1].live_at_end
+        );
+        assert!(ws[1].repair_cost > 0, "a sweep generates link traffic");
+    }
+
+    #[test]
+    fn reactive_repairs_follow_membership_events() {
+        let mut net = grown(150, 32);
+        let schedule = ChurnSchedule {
+            repair: RepairPolicy::Reactive { neighbors_k: 2 },
+            ..ChurnSchedule::symmetric(0.05)
+        };
+        let ws = run(&mut net, &schedule, 3, 33);
+        let events: u64 = ws.iter().map(|w| w.crashes + w.departs).sum();
+        let repairs: u64 = ws.iter().map(|w| w.repairs).sum();
+        assert!(events > 0, "schedule must generate membership events");
+        assert!(repairs > 0, "reactive repairs must fire");
+        // At most 2k repairs per event (fewer when a scheduled target
+        // itself died before its repair fired); never a whole sweep.
+        assert!(
+            repairs <= 4 * events,
+            "repairs {repairs} exceed 2k per membership event ({events} events)"
+        );
+        assert!(
+            ws.iter().all(|w| w.rewires == 0),
+            "no sweeps under Reactive"
+        );
+        assert!(ws.iter().map(|w| w.repair_cost).sum::<u64>() > 0);
+    }
+
+    #[test]
+    fn reactive_repair_is_cheaper_than_sweeping() {
+        // 2%/window turnover on 200 peers (the regime the policy is
+        // for): a sweep rewires all ~200 peers per window while reactive
+        // rewires ~4 per membership event. At extreme turnover (a large
+        // fraction of the population per window) the two converge.
+        let schedule_with = |repair: RepairPolicy| ChurnSchedule {
+            repair,
+            ..ChurnSchedule::symmetric(0.004)
+        };
+        let mut a = grown(200, 34);
+        let sweep = run(
+            &mut a,
+            &schedule_with(RepairPolicy::SweepEvery(1000)),
+            4,
+            35,
+        );
+        let mut b = grown(200, 34);
+        let reactive = run(
+            &mut b,
+            &schedule_with(RepairPolicy::Reactive { neighbors_k: 2 }),
+            4,
+            35,
+        );
+        let total = |ws: &[ChurnWindowStats]| ws.iter().map(|w| w.repair_cost).sum::<u64>();
+        assert!(
+            total(&reactive) * 4 < total(&sweep),
+            "reactive repair should cost a small fraction of sweeping: {} vs {}",
+            total(&reactive),
+            total(&sweep)
+        );
+    }
+
+    #[test]
+    fn on_probe_repairs_trail_corpse_probes() {
+        // Crashes with no sweeps leave dangling links; the window-end
+        // query batches probe them, so under OnProbe the probing peers
+        // rewire themselves early in the *next* window.
+        let mut net = grown(150, 36);
+        let schedule = ChurnSchedule {
+            join_rate: 0.0,
+            crash_rate: 0.08,
+            repair: RepairPolicy::OnProbe,
+            min_live: 40,
+            ..ChurnSchedule::symmetric(0.0)
+        };
+        let ws = run(&mut net, &schedule, 4, 37);
+        assert_eq!(
+            ws[0].repairs, 0,
+            "no probes happened before window 0 closed"
+        );
+        let later: u64 = ws[1..].iter().map(|w| w.repairs).sum();
+        assert!(later > 0, "corpse probes must trigger repairs: {ws:?}");
+        assert!(ws.iter().all(|w| w.rewires == 0), "no sweeps under OnProbe");
+    }
+
+    #[test]
+    fn every_policy_is_deterministic_under_seed() {
+        for repair in [
+            RepairPolicy::SweepEvery(700),
+            RepairPolicy::Reactive { neighbors_k: 2 },
+            RepairPolicy::OnProbe,
+        ] {
+            let schedule = ChurnSchedule {
+                repair: repair.clone(),
+                ..ChurnSchedule::symmetric(0.08)
+            };
+            let mut a = grown(150, 40);
+            let mut b = grown(150, 40);
+            assert_eq!(
+                run(&mut a, &schedule, 3, 41),
+                run(&mut b, &schedule, 3, 41),
+                "{repair:?} must be a pure function of the seed"
+            );
+        }
     }
 
     #[test]

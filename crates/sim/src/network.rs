@@ -348,6 +348,41 @@ impl Network {
         })
     }
 
+    /// The `k` nearest live ring successors and `k` nearest live ring
+    /// predecessors of `idx` in the **stabilised** (live) ring view,
+    /// excluding `idx` itself, deduplicated — the peers whose ring
+    /// neighbourhood changes when `idx` crashes or departs, i.e. the
+    /// repair set of a reactive maintenance policy. Successors first
+    /// (nearest outward), then predecessors; O(k).
+    ///
+    /// # Panics
+    /// If `idx` is not alive (a dead peer's live-ring pointers are stale,
+    /// so its neighbourhood is meaningless).
+    pub fn live_ring_neighborhood(&self, idx: PeerIdx, k: usize) -> Vec<PeerIdx> {
+        assert!(
+            self.is_alive(idx),
+            "live_ring_neighborhood of a dead peer is undefined"
+        );
+        let mut out = Vec::with_capacity(2 * k);
+        let mut cur = idx;
+        for _ in 0..k {
+            cur = self.next_live[cur.as_usize()];
+            if cur == idx || out.contains(&cur) {
+                break; // wrapped around: the whole ring is closer than k
+            }
+            out.push(cur);
+        }
+        cur = idx;
+        for _ in 0..k {
+            cur = self.prev_live[cur.as_usize()];
+            if cur == idx || out.contains(&cur) {
+                break;
+            }
+            out.push(cur);
+        }
+        out
+    }
+
     /// Ring predecessor of peer `idx` under the current fault-model view
     /// (O(1) pointer read).
     pub fn ring_predecessor(&self, idx: PeerIdx) -> Option<PeerIdx> {
@@ -896,6 +931,31 @@ mod tests {
             let p = net.random_live_peer(&mut rng).unwrap();
             assert!(net.is_alive(p));
         }
+    }
+
+    #[test]
+    fn live_ring_neighborhood_walks_both_ways_live_only() {
+        let (mut net, idxs) = net_with(&[10, 20, 30, 40, 50, 60]);
+        // k = 2 around 30: successors 40, 50; predecessors 20, 10.
+        assert_eq!(
+            net.live_ring_neighborhood(idxs[2], 2),
+            vec![idxs[3], idxs[4], idxs[1], idxs[0]]
+        );
+        // Dead peers are skipped: kill 40, the successor side walks on.
+        net.kill(idxs[3]).unwrap();
+        assert_eq!(
+            net.live_ring_neighborhood(idxs[2], 2),
+            vec![idxs[4], idxs[5], idxs[1], idxs[0]]
+        );
+        // k exceeding the ring dedups and never includes the peer itself:
+        // 5 live peers -> at most the 4 others.
+        let hood = net.live_ring_neighborhood(idxs[2], 10);
+        assert_eq!(hood.len(), 4);
+        assert!(!hood.contains(&idxs[2]));
+        assert!(!hood.contains(&idxs[3]), "corpse excluded");
+        // Singleton ring: no neighbours at all.
+        let (single, s_idxs) = net_with(&[7]);
+        assert!(single.live_ring_neighborhood(s_idxs[0], 3).is_empty());
     }
 
     #[test]

@@ -69,6 +69,20 @@ impl RouteOutcome {
 /// a real peer has: its own neighbour list and the probe results the query
 /// accumulated.
 pub fn route_to_owner(net: &Network, src: PeerIdx, key: Id, policy: &RoutePolicy) -> RouteOutcome {
+    route_observed(net, src, key, policy, None)
+}
+
+/// [`route_to_owner`] that additionally reports, into `probers`, every
+/// peer that probed a dead neighbour along the way (possibly repeated) —
+/// the peers that just *detected a failure* and, under a
+/// probe-triggered maintenance policy, would now repair themselves.
+fn route_observed(
+    net: &Network,
+    src: PeerIdx,
+    key: Id,
+    policy: &RoutePolicy,
+    mut probers: Option<&mut Vec<PeerIdx>>,
+) -> RouteOutcome {
     let mut out = RouteOutcome {
         success: false,
         hops: 0,
@@ -142,6 +156,9 @@ pub fn route_to_owner(net: &Network, src: PeerIdx, key: Id, policy: &RoutePolicy
                 // Probe timed out: wasted traffic, remember the corpse.
                 out.wasted += 1;
                 known_dead.insert(c);
+                if let Some(obs) = probers.as_deref_mut() {
+                    obs.push(current);
+                }
                 continue;
             }
             // Forward.
@@ -220,6 +237,36 @@ pub fn run_query_batch(
     policy: &RoutePolicy,
     rng: &mut SmallRng,
 ) -> QueryBatchStats {
+    run_batch_observed(net, workload, n, policy, rng, None)
+}
+
+/// [`run_query_batch`] that additionally collects, into `corpse_probers`,
+/// the distinct peers that probed a dead neighbour during the batch —
+/// sorted by peer index, so the set is deterministic for a given network
+/// and RNG stream. The continuous-churn engine's `OnProbe` repair policy
+/// turns each of them into a scheduled rewire.
+pub fn run_query_batch_observed(
+    net: &mut Network,
+    workload: &QueryWorkload,
+    n: usize,
+    policy: &RoutePolicy,
+    rng: &mut SmallRng,
+    corpse_probers: &mut Vec<PeerIdx>,
+) -> QueryBatchStats {
+    let stats = run_batch_observed(net, workload, n, policy, rng, Some(corpse_probers));
+    corpse_probers.sort_unstable();
+    corpse_probers.dedup();
+    stats
+}
+
+fn run_batch_observed(
+    net: &mut Network,
+    workload: &QueryWorkload,
+    n: usize,
+    policy: &RoutePolicy,
+    rng: &mut SmallRng,
+    mut probers: Option<&mut Vec<PeerIdx>>,
+) -> QueryBatchStats {
     let mut costs: Vec<u32> = Vec::with_capacity(n);
     let mut hops_sum = 0u64;
     let mut wasted_sum = 0u64;
@@ -234,7 +281,7 @@ pub fn run_query_batch(
             QueryTarget::PeerRank(r) => net.peer(net.live_peer_by_rank(r)).id,
             QueryTarget::Key(k) => k,
         };
-        let outcome = route_to_owner(net, src, key, policy);
+        let outcome = route_observed(net, src, key, policy, probers.as_deref_mut());
         net.metrics.add(MsgKind::QueryHop, outcome.hops as u64);
         net.metrics.add(MsgKind::QueryWasted, outcome.wasted as u64);
         // Waste is traffic whether or not the query delivered.
@@ -406,6 +453,58 @@ mod tests {
             any_waste |= o.wasted > 0;
         }
         assert!(any_waste, "33% dead long-links should cause some waste");
+    }
+
+    #[test]
+    fn observed_batch_reports_corpse_probers_without_changing_stats() {
+        let mut net = test_net(128, 5, 8, FaultModel::StabilizedRing);
+        let mut rng = SeedTree::new(9).rng();
+        crate::churn::kill_fraction(&mut net, 0.33, &mut rng).unwrap();
+        let policy = RoutePolicy::default();
+        let workload = QueryWorkload::UniformPeers;
+
+        // Same derived stream for both batches: the observer must be a
+        // pure tap, not a behaviour change.
+        let mut plain_rng = SeedTree::new(77).rng();
+        let plain = run_query_batch(&mut net, &workload, 200, &policy, &mut plain_rng);
+        let mut obs_rng = SeedTree::new(77).rng();
+        let mut probers = Vec::new();
+        let observed = run_query_batch_observed(
+            &mut net,
+            &workload,
+            200,
+            &policy,
+            &mut obs_rng,
+            &mut probers,
+        );
+        assert_eq!(plain, observed);
+
+        // Waste happened, so somebody probed a corpse; each reported
+        // prober is live and actually holds a dangling out-link or a
+        // view-visible dead ring neighbour.
+        assert!(observed.mean_wasted > 0.0);
+        assert!(!probers.is_empty(), "corpse probes imply probers");
+        let mut sorted = probers.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(probers, sorted, "probers are sorted + deduplicated");
+        let mut buf = Vec::new();
+        for &p in &probers {
+            assert!(net.is_alive(p), "a dead peer cannot probe");
+            net.routing_neighbors_into(p, &mut buf);
+            assert!(
+                buf.iter().any(|&c| !net.is_alive(c)),
+                "{p:?} reported as prober but has no dead routing neighbour"
+            );
+        }
+
+        // A fault-free network never reports probers.
+        let clean = test_net(64, 4, 12, FaultModel::StabilizedRing);
+        let mut net = clean;
+        let mut rng = SeedTree::new(13).rng();
+        let mut none = Vec::new();
+        run_query_batch_observed(&mut net, &workload, 100, &policy, &mut rng, &mut none);
+        assert!(none.is_empty());
     }
 
     #[test]

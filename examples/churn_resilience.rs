@@ -49,12 +49,14 @@ fn main() -> Result<()> {
 
     // ~0.33 joins and ~0.25 failures per tick (four-fifths of them
     // crashes, the rest graceful departures): the population climbs
-    // slowly while the engine repairs dangling links every 200 ticks.
+    // slowly while reactive repair rewires the two nearest live ring
+    // neighbours of every casualty — O(k) maintenance per event instead
+    // of the O(n) whole-network sweeps of `RepairPolicy::SweepEvery`.
     let schedule = ChurnSchedule {
         join_rate: 1.0 / 3.0,
         crash_rate: 0.20,
         depart_rate: 0.05,
-        rewire_every: 200,
+        repair: RepairPolicy::Reactive { neighbors_k: 2 },
         window_ticks: 100,
         queries_per_window: 300,
         min_live: 50,
@@ -63,19 +65,29 @@ fn main() -> Result<()> {
     let mut joins = 0u64;
     let mut crashes = 0u64;
     let mut departs = 0u64;
+    let mut repairs = 0u64;
+    let mut repair_cost = 0u64;
     for w in &windows {
         println!(
-            "  t={:>4}  live={:>4}  mean cost {:>6.2}  wasted/query {:>5.2}  success {:>5.1}%",
+            "  t={:>4}  live={:>4}  mean cost {:>6.2}  wasted/query {:>5.2}  success {:>5.1}%  \
+             repairs {:>3} ({} msgs)",
             w.end.0,
             w.live_at_end,
             w.queries.mean_cost,
             w.queries.mean_wasted,
-            w.queries.success_rate * 100.0
+            w.queries.success_rate * 100.0,
+            w.repairs,
+            w.repair_cost,
         );
         joins += w.joins;
         crashes += w.crashes;
         departs += w.departs;
+        repairs += w.repairs;
+        repair_cost += w.repair_cost;
     }
-    println!("  ({joins} joins, {crashes} crashes, {departs} departures processed)");
+    println!(
+        "  ({joins} joins, {crashes} crashes, {departs} departures; \
+         {repairs} reactive repairs costing {repair_cost} messages)"
+    );
     Ok(())
 }

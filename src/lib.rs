@@ -70,7 +70,7 @@ pub mod prelude {
     pub use oscar_mercury::{MercuryBuilder, MercuryConfig, MercuryOverlay};
     pub use oscar_sim::{
         ChurnSchedule, ChurnWindowStats, FaultModel, GrowthConfig, Network, Overlay,
-        OverlayBuilder, QueryBatchStats, RoutePolicy,
+        OverlayBuilder, QueryBatchStats, RepairPolicy, RoutePolicy,
     };
     pub use oscar_types::{Arc, Error, Id, Result, SeedTree};
 }
