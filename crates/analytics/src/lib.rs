@@ -17,8 +17,10 @@ pub mod degree_load;
 pub mod histogram;
 pub mod series;
 pub mod stats;
+pub mod streaming;
 
 pub use degree_load::{degree_load_curve, degree_volume_utilization};
 pub use histogram::Histogram;
 pub use series::Series;
 pub use stats::{mean, percentile, std_dev, Summary};
+pub use streaming::{streamed_quantile, P2Quantile};

@@ -1,0 +1,96 @@
+//! Streaming statistics for measurement windows.
+//!
+//! The estimator itself ([`P2Quantile`]) lives in `oscar-types` so the
+//! simulator's query batches can stream their percentiles without a
+//! dependency cycle (`oscar-analytics` depends on `oscar-sim`); this
+//! module is its analytics-facing home and carries the property tests
+//! against the exact [`percentile`](crate::percentile) oracle.
+
+pub use oscar_types::P2Quantile;
+
+/// Runs a whole sample through a fresh estimator — the one-shot
+/// convenience for code that has the data in hand but wants the same
+/// estimate the streaming path produces.
+pub fn streamed_quantile(xs: &[f64], p: f64) -> f64 {
+    let mut est = P2Quantile::new(p);
+    for &x in xs {
+        est.observe(x);
+    }
+    est.value()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Exact nearest-rank oracle (1-based rank `⌈p·len⌉`), the rule the
+    /// estimator must reproduce verbatim on bootstrap-sized samples.
+    fn nearest_rank(xs: &[f64], p: f64) -> f64 {
+        let mut sorted = xs.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let rank = ((p * sorted.len() as f64).ceil() as usize).max(1);
+        sorted[rank - 1]
+    }
+
+    proptest! {
+        #[test]
+        fn estimate_is_bounded_by_the_sample(
+            xs in prop::collection::vec(0u32..10_000, 1..400),
+            pq in 1u32..100,
+        ) {
+            let xs: Vec<f64> = xs.into_iter().map(f64::from).collect();
+            let p = pq as f64 / 100.0;
+            let v = streamed_quantile(&xs, p);
+            let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+            let hi = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            prop_assert!(v >= lo && v <= hi, "estimate {v} outside [{lo}, {hi}]");
+        }
+
+        #[test]
+        fn bootstrap_samples_match_nearest_rank_exactly(
+            xs in prop::collection::vec(0u32..10_000, 1..6),
+            pq in 1u32..100,
+        ) {
+            let xs: Vec<f64> = xs.into_iter().map(f64::from).collect();
+            let p = pq as f64 / 100.0;
+            prop_assert_eq!(streamed_quantile(&xs, p), nearest_rank(&xs, p));
+        }
+
+        #[test]
+        fn constant_streams_estimate_the_constant(
+            x in 0u32..10_000,
+            n in 1usize..300,
+            pq in 1u32..100,
+        ) {
+            let xs = vec![x as f64; n];
+            prop_assert_eq!(streamed_quantile(&xs, pq as f64 / 100.0), x as f64);
+        }
+
+        #[test]
+        fn count_and_extremes_are_exact(
+            xs in prop::collection::vec(0u32..10_000, 1..400),
+        ) {
+            let mut est = P2Quantile::new(0.5);
+            for &x in &xs {
+                est.observe(x as f64);
+            }
+            prop_assert_eq!(est.count(), xs.len() as u64);
+            let lo = *xs.iter().min().unwrap() as f64;
+            let hi = *xs.iter().max().unwrap() as f64;
+            prop_assert_eq!(est.min(), lo);
+            prop_assert_eq!(est.max(), hi);
+        }
+    }
+
+    #[test]
+    fn permuted_grid_median_converges_close_to_truth() {
+        // A scrambled 0..=2000 grid: the true median is 1000; P² must
+        // land within a few percent of the range.
+        let xs: Vec<f64> = (0..=2000u64)
+            .map(|i| (i.wrapping_mul(977) % 2001) as f64)
+            .collect();
+        let v = streamed_quantile(&xs, 0.5);
+        assert!((v - 1000.0).abs() < 60.0, "median estimate {v}");
+    }
+}

@@ -35,7 +35,7 @@ pub enum Gate {
 /// is on the leaf name, so nested occurrences gate too.
 pub fn gate_for(path: &str) -> Option<Gate> {
     let leaf = path.rsplit('.').next().unwrap_or(path);
-    if leaf == "windows_per_sec" {
+    if leaf == "windows_per_sec" || leaf == "queries_per_sec" {
         Some(Gate::HigherIsBetter)
     } else if leaf.ends_with("_ns_per_join") {
         Some(Gate::LowerIsBetter)
@@ -336,6 +336,7 @@ mod tests {
     #[test]
     fn gates_cover_exactly_the_throughput_keys() {
         assert_eq!(gate_for("windows_per_sec"), Some(Gate::HigherIsBetter));
+        assert_eq!(gate_for("queries_per_sec"), Some(Gate::HigherIsBetter));
         assert_eq!(gate_for("cached_ns_per_join"), Some(Gate::LowerIsBetter));
         assert_eq!(
             gate_for("decades[1].d1000_ns_per_join"),
@@ -344,6 +345,11 @@ mod tests {
         assert_eq!(gate_for("steady_mean_cost"), None);
         assert_eq!(gate_for("grow_secs"), None);
         assert_eq!(gate_for("n_peers"), None);
+        assert_eq!(
+            gate_for("cores_busy"),
+            None,
+            "utilization is machine-bound, not gated"
+        );
     }
 
     #[test]

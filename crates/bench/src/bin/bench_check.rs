@@ -9,8 +9,9 @@
 //! candidates in `results/` (or `$OSCAR_RESULTS_DIR`). For every tracked
 //! baseline a before/after table is printed; the process exits
 //!
-//! * `0` — all gated keys (`windows_per_sec`, `*_ns_per_join`) within
-//!   tolerance (`$OSCAR_BENCH_TOLERANCE`, default 0.30 = 30%),
+//! * `0` — all gated keys (`windows_per_sec`, `queries_per_sec`,
+//!   `*_ns_per_join`) within tolerance (`$OSCAR_BENCH_TOLERANCE`,
+//!   default 0.30 = 30%),
 //! * `1` — at least one gated key regressed past tolerance,
 //! * `2` — a file is missing/unreadable or the tolerance is malformed
 //!   (the bench step did not run; gating would be meaningless).
@@ -20,7 +21,12 @@ use oscar_bench::Report;
 use std::path::PathBuf;
 
 /// The tracked baselines, by file name (repo root and results dir agree).
-const TRACKED: [&str; 3] = ["BENCH_join.json", "BENCH_churn.json", "BENCH_growth.json"];
+const TRACKED: [&str; 4] = [
+    "BENCH_join.json",
+    "BENCH_churn.json",
+    "BENCH_growth.json",
+    "BENCH_saturation.json",
+];
 
 fn read_or_exit(path: &PathBuf) -> String {
     std::fs::read_to_string(path).unwrap_or_else(|e| {

@@ -1,0 +1,154 @@
+//! Wall-clock query saturation of the threaded actor runtime.
+//!
+//! Where every other bench drives the protocol through the virtual-time
+//! DES, this one runs the *same* `oscar-protocol` peer machines under
+//! `oscar-runtime`'s worker pool and measures real queries/second with
+//! every worker busy: bootstrap an n-peer ring, grow long links with the
+//! MH walk protocol, then fire a query storm from all peers at once and
+//! time the drain.
+//!
+//! ```sh
+//! cargo run --release -p oscar-bench --bin repro_saturation          # n = 10^4
+//! OSCAR_SCALE=2000 OSCAR_THREADS=4 cargo run --release -p oscar-bench --bin repro_saturation
+//! OSCAR_SAT_QUERIES=8 cargo run --release -p oscar-bench --bin repro_saturation
+//! ```
+//!
+//! Writes `<results dir>/BENCH_saturation.json`; `queries_per_sec` is a
+//! gated throughput key in `bench_check`, and the committed
+//! `BENCH_saturation.json` at the repository root is the baseline.
+
+use oscar_bench::{Report, Scale};
+use oscar_protocol::{Command, ProtocolEvent};
+use oscar_runtime::{Runtime, RuntimeConfig};
+use oscar_types::{Id, SeedTree};
+use rand::Rng;
+use std::collections::BTreeSet;
+use std::time::Instant;
+
+/// Seed-tree label for the peer-id population.
+const LBL_IDS: u64 = 0x1D5;
+/// Seed-tree label for the query key stream.
+const LBL_KEYS: u64 = 0x4E45;
+
+fn queries_per_peer() -> usize {
+    match std::env::var("OSCAR_SAT_QUERIES") {
+        Ok(s) => s
+            .trim()
+            .parse::<usize>()
+            .ok()
+            .filter(|&q| q >= 1)
+            .unwrap_or_else(|| {
+                eprintln!(
+                    "repro_saturation: OSCAR_SAT_QUERIES must be a positive integer, got {s:?}"
+                );
+                std::process::exit(2);
+            }),
+        Err(_) => 4,
+    }
+}
+
+fn main() -> std::io::Result<()> {
+    let scale = Scale::from_env_or_exit();
+    let n = scale.target;
+    // Saturation is meaningless single-threaded: floor at 2 workers even
+    // on one-core runners (the report's active_workers shows both fed).
+    let workers = scale.thread_count().max(2);
+    let per_peer = queries_per_peer();
+    eprintln!(
+        "[saturation] {n} peers, {workers} workers, {per_peer} queries/peer on the actor runtime..."
+    );
+
+    // Deterministic id population, sorted for ring construction.
+    let mut rng = SeedTree::new(scale.seed).child(LBL_IDS).rng();
+    let mut ids: BTreeSet<Id> = BTreeSet::new();
+    while ids.len() < n {
+        ids.insert(Id::new(rng.gen::<u64>()));
+    }
+    let ids: Vec<Id> = ids.into_iter().collect();
+
+    let rt = Runtime::new(RuntimeConfig::new(scale.seed).with_workers(workers));
+    let succ_len = 8usize;
+    let t_build = Instant::now();
+    for &id in &ids {
+        rt.spawn_peer(id);
+    }
+    for (i, &id) in ids.iter().enumerate() {
+        let pred = ids[(i + n - 1) % n];
+        let succs: Vec<Id> = (1..=succ_len).map(|k| ids[(i + k) % n]).collect();
+        let mut known = succs.clone();
+        known.push(pred);
+        rt.inject(id, Command::Bootstrap { pred, succs, known });
+    }
+    for &id in &ids {
+        rt.inject(id, Command::BuildLinks { walks: 3 });
+    }
+    rt.quiesce();
+    rt.drain_events();
+    let build_secs = t_build.elapsed().as_secs_f64();
+
+    // The storm: every peer fires `per_peer` queries to random keys; the
+    // worker pool drains them concurrently. Only this phase is gated.
+    let mut krng = SeedTree::new(scale.seed).child(LBL_KEYS).rng();
+    let total = n * per_peer;
+    let stats0 = rt.stats();
+    let t_query = Instant::now();
+    let mut qid = 0u64;
+    for &id in &ids {
+        for _ in 0..per_peer {
+            rt.inject(
+                id,
+                Command::StartQuery {
+                    qid,
+                    key: Id::new(krng.gen::<u64>()),
+                },
+            );
+            qid += 1;
+        }
+    }
+    rt.quiesce();
+    let query_secs = t_query.elapsed().as_secs_f64();
+    let stats1 = rt.stats();
+
+    let events = rt.drain_events();
+    let completed = events
+        .iter()
+        .filter(|e| matches!(e, ProtocolEvent::QueryCompleted(_)))
+        .count();
+    let succeeded = events
+        .iter()
+        .filter(|e| matches!(e, ProtocolEvent::QueryCompleted(r) if r.success))
+        .count();
+    assert_eq!(completed, total, "every query must terminate");
+    let success_rate = succeeded as f64 / total as f64;
+    let queries_per_sec = total as f64 / query_secs.max(1e-9);
+    let storm_busy_ns: u64 = stats1
+        .busy_ns
+        .iter()
+        .zip(&stats0.busy_ns)
+        .map(|(a, b)| a - b)
+        .sum();
+    let cores_busy = storm_busy_ns as f64 / (query_secs * 1e9).max(1.0);
+    let active_workers = stats1.active_workers();
+    let delivered = stats1.delivered;
+
+    let json = format!(
+        "{{\n  \"bench\": \"saturation\",\n  \"n_peers\": {n},\n  \"seed\": {},\n  \
+         \"workers\": {workers},\n  \"active_workers\": {active_workers},\n  \
+         \"queries\": {total},\n  \"build_secs\": {build_secs:.2},\n  \
+         \"query_secs\": {query_secs:.3},\n  \"queries_per_sec\": {queries_per_sec:.0},\n  \
+         \"success_rate\": {success_rate:.4},\n  \"cores_busy\": {cores_busy:.2},\n  \
+         \"delivered_msgs\": {delivered}\n}}\n",
+        scale.seed,
+    );
+    let dir = Report::results_dir();
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join("BENCH_saturation.json");
+    std::fs::write(&path, &json)?;
+    println!("json: {}", path.display());
+    eprintln!(
+        "saturation: built in {build_secs:.1}s; {total} queries in {query_secs:.2}s \
+         ({queries_per_sec:.0} q/s, {cores_busy:.2} cores busy, \
+         {active_workers}/{workers} workers active, success {success_rate:.4})"
+    );
+    Ok(())
+}

@@ -7,8 +7,8 @@ use oscar_degree::DegreeDistribution;
 use oscar_keydist::{KeyDistribution, QueryWorkload};
 use oscar_sim::{
     kill_fraction, run_continuous_churn, run_query_batch, ChurnSchedule, ChurnWindowStats,
-    FaultModel, GrowthConfig, GrowthDriver, Network, OverlayBuilder, QueryBatchStats, RepairPolicy,
-    RoutePolicy,
+    FaultModel, GrowthConfig, GrowthDriver, Network, OverlayBuilder, QueryBatchStats, QueryBudget,
+    RepairPolicy, RoutePolicy,
 };
 use oscar_types::{Result, SeedTree};
 
@@ -203,7 +203,7 @@ pub fn churn_schedule_for(turnover: f64, scale: &Scale) -> ChurnSchedule {
         join_rate: rate,
         crash_rate: rate * 0.8,
         depart_rate: rate * 0.2,
-        queries_per_window: (scale.target / 4).max(100),
+        query_budget: QueryBudget::Fixed((scale.target / 4).max(100)),
         min_live: (scale.target / 10).max(16),
         ..base
     }

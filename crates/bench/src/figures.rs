@@ -335,19 +335,26 @@ pub fn steady_churn_reports(results: &[SteadyChurnResult]) -> Vec<(&'static str,
         "window",
     );
     let mut population = Report::new("Continuous churn: live population per window", "window");
+    let mut stderr = Report::new(
+        "Continuous churn: standard error of mean cost per window (batch precision)",
+        "window",
+    );
     for r in results {
         let mut cost_s = Series::new(r.label.clone());
         let mut waste_s = Series::new(r.label.clone());
         let mut pop_s = Series::new(r.label.clone());
+        let mut se_s = Series::new(r.label.clone());
         for w in &r.windows {
             let x = w.window as f64;
             cost_s.push(x, w.queries.mean_cost);
             waste_s.push(x, w.queries.mean_wasted);
             pop_s.push(x, w.live_at_end as f64);
+            se_s.push(x, w.queries.se_cost);
         }
         cost.add_series(cost_s);
         waste.add_series(waste_s);
         population.add_series(pop_s);
+        stderr.add_series(se_s);
         cost.add_note(format!(
             "{}: steady-state mean cost {:.2}, wasted/query {:.2}, success {:.1}%, live {:.0}",
             r.label,
@@ -361,6 +368,7 @@ pub fn steady_churn_reports(results: &[SteadyChurnResult]) -> Vec<(&'static str,
         ("churn_steady_cost", cost),
         ("churn_steady_waste", waste),
         ("churn_steady_population", population),
+        ("churn_steady_cost_stderr", stderr),
     ]
 }
 
@@ -523,7 +531,7 @@ mod tests {
         let results = run_steady_churn_suite(&scale, 2).unwrap();
         assert_eq!(results.len(), 4);
         let reports = steady_churn_reports(&results);
-        assert_eq!(reports.len(), 3);
+        assert_eq!(reports.len(), 4);
         for (name, report) in &reports {
             assert_eq!(report.series().len(), 4, "{name}");
             for s in report.series() {

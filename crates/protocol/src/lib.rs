@@ -1,0 +1,34 @@
+//! # oscar-protocol — the runtime-agnostic protocol core
+//!
+//! Everything Oscar *decides* — Metropolis–Hastings sampling walks,
+//! greedy clockwise routing, ring splicing, long-link negotiation —
+//! extracted from the simulator into pure, side-effect-free per-peer
+//! state machines. A [`PeerMachine`] owns only its local link table and
+//! successor list and advances via
+//! `on_message(&mut self, from, msg, rng) -> Vec<Outbound>`; it has no
+//! global snapshot and no notion of time or transport.
+//!
+//! Two layers:
+//!
+//! * [`logic`] — stateless decision kernels (MH acceptance, progress
+//!   ranking, ownership). The discrete-event simulator in `oscar-sim`
+//!   delegates its hot loops to these functions *without changing a
+//!   single RNG draw*, so all committed baselines stay byte-identical.
+//! * [`machine`] — the full message-driven peer. Driven by two worlds:
+//!   the DES adapter in `oscar-sim` (virtual time, one event queue) and
+//!   the threaded actor runtime in `oscar-runtime` (wall-clock, one
+//!   mailbox per peer, all cores busy).
+//!
+//! Determinism boundary: walk and query tokens carry their own
+//! [`TokenRng`] stream, so a token realises the same random choices no
+//! matter which peer, thread, or driver advances it. Only gossip draws
+//! from the driver-supplied RNG.
+
+pub mod logic;
+pub mod machine;
+pub mod message;
+pub mod token;
+
+pub use machine::{PeerConfig, PeerMachine};
+pub use message::{Command, Message, Outbound, ProtocolEvent, QueryReport};
+pub use token::{QueryToken, TokenRng, WalkToken};

@@ -1,0 +1,157 @@
+//! Pure decision kernels shared by every driver.
+//!
+//! These functions are the protocol's *decisions* stripped of any
+//! transport: the Metropolis–Hastings acceptance rule of the sampling
+//! walk, the clockwise-progress ranking of greedy routing, and ring
+//! ownership. The discrete-event simulator calls them from its global
+//! walk/routing loops (`oscar-sim`), and the message-driven
+//! [`PeerMachine`](crate::PeerMachine) calls the very same code from its
+//! per-peer handlers — one implementation, two worlds.
+//!
+//! Every function here is side-effect free and consumes randomness only
+//! through explicitly passed draws, so callers keep full control of
+//! their RNG streams (the simulator's byte-identical baselines depend
+//! on that).
+
+use oscar_types::Id;
+use rand::Rng;
+
+/// Uniform proposal: an index into the current peer's neighbour table.
+///
+/// Exactly one `gen_range(0..n)` draw — the first half of an MH step.
+/// Panics when `n == 0` (callers must handle isolated peers before
+/// proposing).
+#[inline]
+pub fn uniform_index<R: Rng + ?Sized>(n: usize, rng: &mut R) -> usize {
+    rng.gen_range(0..n)
+}
+
+/// Metropolis–Hastings acceptance for a degree-corrected uniform walk.
+///
+/// A move from a peer of degree `cur_deg` to a candidate of degree
+/// `cand_deg` is accepted with probability `min(1, cur_deg/cand_deg)`,
+/// which makes the walk's stationary distribution uniform over peers
+/// instead of degree-biased.
+///
+/// The unit draw is passed lazily: when the candidate is isolated
+/// (`cand_deg == 0`) the rule short-circuits to "accept" *without
+/// consuming randomness*, which existing simulator streams rely on.
+/// (An accepted move onto an isolated candidate is still a non-move —
+/// the walk cannot continue from a degree-0 peer — so callers treat
+/// `cand_deg == 0` as "stay put, step consumed".)
+#[inline]
+pub fn mh_accept(cur_deg: usize, cand_deg: usize, unit_draw: impl FnOnce() -> f64) -> bool {
+    cand_deg == 0 || unit_draw() < cur_deg as f64 / cand_deg as f64
+}
+
+/// Greedy clockwise progress of `cand` toward `target`.
+///
+/// `cur_potential` is the current position's clockwise distance to the
+/// target. Returns the candidate's remaining potential when it makes
+/// strict progress (`Some`, smaller is better), `None` otherwise.
+///
+/// The simulator ranks candidates against the oracle *owner* of a key;
+/// the distributed peer machine, which has no oracle, ranks against the
+/// *key itself* — both are this one comparison, because "strictly
+/// smaller clockwise distance to the target" is exactly "lies on the
+/// arc `(current, target]`".
+#[inline]
+pub fn progress_toward(cand: Id, target: Id, cur_potential: u64) -> Option<u64> {
+    let p = cand.cw_dist(target);
+    if p < cur_potential {
+        Some(p)
+    } else {
+        None
+    }
+}
+
+/// Ring ownership: does `peer` (whose predecessor is `pred`) own `key`?
+///
+/// A peer owns the half-open arc `(pred, peer]`; a peer that is its own
+/// predecessor is alone on the ring and owns everything.
+#[inline]
+pub fn owns(pred: Id, peer: Id, key: Id) -> bool {
+    if pred == peer {
+        return true;
+    }
+    let d = pred.cw_dist(key);
+    d != 0 && d <= pred.cw_dist(peer)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oscar_types::SeedTree;
+
+    #[test]
+    fn mh_accept_matches_ratio() {
+        // cur 4, cand 2: ratio 2.0 -> always accept
+        assert!(mh_accept(4, 2, || 0.999));
+        // cur 2, cand 4: ratio 0.5 -> accept iff u < 0.5
+        assert!(mh_accept(2, 4, || 0.49));
+        assert!(!mh_accept(2, 4, || 0.51));
+    }
+
+    #[test]
+    fn mh_accept_isolated_candidate_consumes_no_draw() {
+        // The closure must not run when cand_deg == 0.
+        let accepted = mh_accept(3, 0, || panic!("draw consumed for isolated candidate"));
+        assert!(accepted);
+    }
+
+    #[test]
+    fn uniform_index_is_in_range_and_deterministic() {
+        let mut a = SeedTree::new(7).rng();
+        let mut b = SeedTree::new(7).rng();
+        for n in 1..50usize {
+            let ka = uniform_index(n, &mut a);
+            assert_eq!(ka, uniform_index(n, &mut b));
+            assert!(ka < n);
+        }
+    }
+
+    #[test]
+    fn progress_requires_strictly_smaller_potential() {
+        let cur = Id::new(100);
+        let target = Id::new(500);
+        let pot = cur.cw_dist(target);
+        // Candidate between current and target: progress.
+        assert_eq!(progress_toward(Id::new(300), target, pot), Some(200));
+        // The target itself: maximal progress.
+        assert_eq!(progress_toward(Id::new(500), target, pot), Some(0));
+        // The current position: no progress.
+        assert_eq!(progress_toward(cur, target, pot), None);
+        // Behind the current position (wraps past the target): none.
+        assert_eq!(progress_toward(Id::new(600), target, pot), None);
+        assert_eq!(progress_toward(Id::new(50), target, pot), None);
+    }
+
+    #[test]
+    fn progress_is_arc_membership() {
+        // Some(p) iff cand lies on (cur, target], for wrapping arcs too.
+        let cur = Id::new(u64::MAX - 10);
+        let target = Id::new(20);
+        let pot = cur.cw_dist(target); // 31
+        assert_eq!(progress_toward(Id::new(5), target, pot), Some(15));
+        assert_eq!(progress_toward(Id::new(u64::MAX), target, pot), Some(21));
+        assert_eq!(progress_toward(Id::new(21), target, pot), None);
+    }
+
+    #[test]
+    fn ownership_covers_the_predecessor_arc() {
+        let pred = Id::new(100);
+        let peer = Id::new(200);
+        assert!(owns(pred, peer, Id::new(150)));
+        assert!(owns(pred, peer, Id::new(200))); // exact hit
+        assert!(!owns(pred, peer, Id::new(100))); // pred owns its own id
+        assert!(!owns(pred, peer, Id::new(250)));
+        assert!(!owns(pred, peer, Id::new(50)));
+        // Wrapping arc (pred > peer).
+        assert!(owns(peer, pred, Id::new(250)));
+        assert!(owns(peer, pred, Id::new(50)));
+        assert!(!owns(peer, pred, Id::new(150)));
+        // Sole peer owns everything, including its own id.
+        assert!(owns(peer, peer, Id::new(0)));
+        assert!(owns(peer, peer, peer));
+    }
+}

@@ -1,0 +1,938 @@
+//! The per-peer protocol state machine.
+//!
+//! A [`PeerMachine`] owns exactly what a real Oscar node would own — its
+//! ring links (predecessor + successor list), its long links, a bounded
+//! membership view — and advances only by handling one message or one
+//! local command at a time, returning the messages it wants delivered.
+//! It never touches a global snapshot; *who* delivers the messages (the
+//! discrete-event simulator, the threaded actor runtime, or a unit
+//! test's hand pump) is the driver's business.
+//!
+//! Determinism boundary: every stochastic protocol decision (walk
+//! proposals, MH acceptances) draws from the RNG *carried inside the
+//! token*, so outcomes are a pure function of the token seed and the
+//! link tables it traverses — independent of scheduling. The only
+//! handler that uses the driver-supplied RNG is gossip, which is
+//! explicitly outside the deterministic core.
+
+use crate::logic;
+use crate::message::{Command, Message, Outbound, ProtocolEvent, QueryReport};
+use crate::token::{QueryToken, TokenRng, WalkToken};
+use oscar_types::{Id, SeedTree};
+use rand::RngCore;
+
+/// Seed-tree label for walk token streams.
+const LBL_WALK: u64 = 0x57;
+
+/// Seed-tree label for per-peer machine seeds.
+const LBL_PEER: u64 = 0x9E;
+
+/// The canonical per-peer machine seed for a deployment rooted at
+/// `root_seed`. Every driver must use this derivation so that the same
+/// deployment seed yields the same walk-token streams in all worlds —
+/// the cross-driver equivalence test depends on it.
+pub fn peer_seed(root_seed: u64, id: Id) -> u64 {
+    SeedTree::new(root_seed).child2(LBL_PEER, id.raw()).seed()
+}
+
+/// Tunables of one peer (uniform across a deployment in this PR).
+#[derive(Clone, Debug, PartialEq)]
+pub struct PeerConfig {
+    /// Successor-list length (ring resilience).
+    pub succ_len: usize,
+    /// Long out-link budget (links this peer initiates).
+    pub max_long_out: usize,
+    /// Long in-link budget (links this peer accepts).
+    pub max_long_in: usize,
+    /// MH walk length per sample (burn-in of the sampling chain).
+    pub walk_ttl: u32,
+    /// Message budget per query.
+    pub query_budget: u32,
+    /// Peers contacted per gossip round.
+    pub gossip_fanout: usize,
+    /// View entries shipped per gossip message.
+    pub gossip_sample: usize,
+    /// Bound on the membership view.
+    pub view_cap: usize,
+}
+
+impl Default for PeerConfig {
+    fn default() -> Self {
+        PeerConfig {
+            succ_len: 8,
+            max_long_out: 5,
+            max_long_in: 10,
+            walk_ttl: 16,
+            query_budget: 4096,
+            gossip_fanout: 2,
+            gossip_sample: 8,
+            view_cap: 128,
+        }
+    }
+}
+
+/// One walk batch in flight: walks in launch order, samples as they land.
+#[derive(Clone, Debug, Default)]
+struct WalkBatch {
+    pending: Vec<(u64, Option<Id>)>,
+}
+
+/// A pure, side-effect-free Oscar peer.
+#[derive(Clone, Debug)]
+pub struct PeerMachine {
+    id: Id,
+    seed: u64,
+    cfg: PeerConfig,
+    /// Ring predecessor; `id` itself when alone.
+    pred: Id,
+    /// Successor list, nearest first; empty when alone.
+    succs: Vec<Id>,
+    /// Long links this peer initiated (sorted).
+    long_out: Vec<Id>,
+    /// Long links this peer accepted (sorted).
+    long_in: Vec<Id>,
+    /// Bounded gossip membership view (sorted, excludes `id`).
+    known: Vec<Id>,
+    joined: bool,
+    walk_counter: u64,
+    batch: Option<WalkBatch>,
+    events: Vec<ProtocolEvent>,
+}
+
+impl PeerMachine {
+    /// A solo peer: its own predecessor, owning the whole ring.
+    pub fn new(id: Id, seed: u64, cfg: PeerConfig) -> Self {
+        PeerMachine {
+            id,
+            seed,
+            cfg,
+            pred: id,
+            succs: Vec::new(),
+            long_out: Vec::new(),
+            long_in: Vec::new(),
+            known: Vec::new(),
+            joined: false,
+            walk_counter: 0,
+            batch: None,
+            events: Vec::new(),
+        }
+    }
+
+    // --- read-only state access (drivers, tests, fingerprints) -----------
+
+    /// This peer's ring position.
+    pub fn id(&self) -> Id {
+        self.id
+    }
+
+    /// Current ring predecessor (`id()` when alone).
+    pub fn pred(&self) -> Id {
+        self.pred
+    }
+
+    /// Successor list, nearest first.
+    pub fn succs(&self) -> &[Id] {
+        &self.succs
+    }
+
+    /// Long out-links, sorted.
+    pub fn long_out(&self) -> &[Id] {
+        &self.long_out
+    }
+
+    /// Long in-links, sorted.
+    pub fn long_in(&self) -> &[Id] {
+        &self.long_in
+    }
+
+    /// Membership view, sorted.
+    pub fn known(&self) -> &[Id] {
+        &self.known
+    }
+
+    /// True once the peer has spliced into the ring (or was bootstrapped).
+    pub fn joined(&self) -> bool {
+        self.joined
+    }
+
+    /// Canonical neighbour table: predecessor, successors, and long links,
+    /// sorted and de-duplicated. Identical across drivers by construction,
+    /// which is what makes token walks scheduling-independent.
+    pub fn neighbors(&self) -> Vec<Id> {
+        let mut t: Vec<Id> =
+            Vec::with_capacity(1 + self.succs.len() + self.long_out.len() + self.long_in.len());
+        if self.pred != self.id {
+            t.push(self.pred);
+        }
+        t.extend_from_slice(&self.succs);
+        t.extend_from_slice(&self.long_out);
+        t.extend_from_slice(&self.long_in);
+        t.sort_unstable();
+        t.dedup();
+        t.retain(|&x| x != self.id);
+        t
+    }
+
+    /// Walk degree (size of the canonical neighbour table).
+    pub fn degree(&self) -> usize {
+        self.neighbors().len()
+    }
+
+    /// Full link-table fingerprint for equivalence checks:
+    /// `(pred, succs, long_out, long_in)`.
+    pub fn fingerprint(&self) -> (Id, Vec<Id>, Vec<Id>, Vec<Id>) {
+        (
+            self.pred,
+            self.succs.clone(),
+            self.long_out.clone(),
+            self.long_in.clone(),
+        )
+    }
+
+    /// Drains the milestones observed since the last drain.
+    pub fn drain_events(&mut self) -> Vec<ProtocolEvent> {
+        std::mem::take(&mut self.events)
+    }
+
+    // --- command handling --------------------------------------------------
+
+    /// Handles a local driver command.
+    pub fn on_command(&mut self, cmd: Command, rng: &mut dyn RngCore) -> Vec<Outbound> {
+        match cmd {
+            Command::Bootstrap { pred, succs, known } => {
+                self.pred = pred;
+                self.succs = succs;
+                self.succs.truncate(self.cfg.succ_len);
+                for k in known {
+                    self.note_peer(k);
+                }
+                self.joined = true;
+                Vec::new()
+            }
+            Command::Join { contact } => {
+                if self.joined {
+                    return Vec::new();
+                }
+                self.note_peer(contact);
+                vec![Outbound::new(
+                    contact,
+                    Message::JoinRequest { joiner: self.id },
+                )]
+            }
+            Command::BuildLinks { walks } => self.launch_walks(walks),
+            Command::Rewire { walks } => {
+                let mut outs: Vec<Outbound> = self
+                    .long_out
+                    .drain(..)
+                    .map(|t| Outbound::new(t, Message::Unlink))
+                    .collect();
+                outs.extend(self.launch_walks(walks));
+                outs
+            }
+            Command::StartQuery { qid, key } => {
+                let token = QueryToken::new(qid, self.id, key, self.cfg.query_budget);
+                self.process_query(token)
+            }
+            Command::GossipTick => self.gossip_round(rng),
+        }
+    }
+
+    /// Handles one delivered message from `from`.
+    pub fn on_message(&mut self, from: Id, msg: Message, rng: &mut dyn RngCore) -> Vec<Outbound> {
+        match msg {
+            Message::JoinRequest { joiner } => self.handle_join_request(joiner),
+            Message::JoinWelcome { pred, succs } => {
+                self.pred = pred;
+                self.succs = succs;
+                self.succs.truncate(self.cfg.succ_len);
+                self.joined = true;
+                let snapshot: Vec<Id> = self.succs.clone();
+                for s in snapshot {
+                    self.note_peer(s);
+                }
+                self.note_peer(pred);
+                self.events
+                    .push(ProtocolEvent::JoinCompleted { peer: self.id });
+                if self.pred != self.id {
+                    vec![Outbound::new(
+                        self.pred,
+                        Message::NewSuccessor { succ: self.id },
+                    )]
+                } else {
+                    Vec::new()
+                }
+            }
+            Message::NewSuccessor { succ } => {
+                self.note_peer(succ);
+                let closer = self
+                    .succs
+                    .first()
+                    .map(|&s0| succ != s0 && self.id.cw_dist(succ) < self.id.cw_dist(s0))
+                    .unwrap_or(true);
+                if closer && succ != self.id {
+                    self.succs.insert(0, succ);
+                    self.succs.truncate(self.cfg.succ_len);
+                }
+                Vec::new()
+            }
+            Message::WalkProbe(mut token) => {
+                token.remaining = token.remaining.saturating_sub(1);
+                let my_deg = self.degree();
+                let accept = logic::mh_accept(token.holder_deg, my_deg, || token.rng.unit_f64());
+                if accept && my_deg > 0 {
+                    if token.remaining == 0 {
+                        vec![Outbound::new(
+                            token.origin,
+                            Message::WalkDone {
+                                walk_id: token.walk_id,
+                                sample: self.id,
+                            },
+                        )]
+                    } else {
+                        vec![self.step_walk(token)]
+                    }
+                } else {
+                    vec![Outbound::new(from, Message::WalkReject(token))]
+                }
+            }
+            Message::WalkReject(token) => {
+                if token.remaining == 0 {
+                    vec![Outbound::new(
+                        token.origin,
+                        Message::WalkDone {
+                            walk_id: token.walk_id,
+                            sample: self.id,
+                        },
+                    )]
+                } else {
+                    vec![self.step_walk(token)]
+                }
+            }
+            Message::WalkDone { walk_id, sample } => {
+                self.note_peer(sample);
+                self.record_walk_done(walk_id, sample)
+            }
+            Message::LinkRequest => {
+                if from != self.id
+                    && self.long_in.len() < self.cfg.max_long_in
+                    && self.long_in.binary_search(&from).is_err()
+                {
+                    let pos = self.long_in.binary_search(&from).unwrap_err();
+                    self.long_in.insert(pos, from);
+                    self.note_peer(from);
+                    vec![Outbound::new(from, Message::LinkAccept)]
+                } else {
+                    vec![Outbound::new(from, Message::LinkReject)]
+                }
+            }
+            Message::LinkAccept => {
+                self.note_peer(from);
+                if self.long_out.len() < self.cfg.max_long_out {
+                    if let Err(pos) = self.long_out.binary_search(&from) {
+                        self.long_out.insert(pos, from);
+                        return Vec::new();
+                    }
+                }
+                // No room (or duplicate): give the accepted slot back.
+                vec![Outbound::new(from, Message::Unlink)]
+            }
+            Message::LinkReject => Vec::new(),
+            Message::Unlink => {
+                self.long_in.retain(|&x| x != from);
+                self.long_out.retain(|&x| x != from);
+                Vec::new()
+            }
+            Message::Query(token) => self.process_query(token),
+            Message::QueryDone(report) => {
+                self.events.push(ProtocolEvent::QueryCompleted(report));
+                Vec::new()
+            }
+            Message::GossipPush { view } => {
+                for p in view {
+                    self.note_peer(p);
+                }
+                self.note_peer(from);
+                vec![Outbound::new(
+                    from,
+                    Message::GossipPull {
+                        view: self.view_sample(rng),
+                    },
+                )]
+            }
+            Message::GossipPull { view } => {
+                for p in view {
+                    self.note_peer(p);
+                }
+                self.note_peer(from);
+                Vec::new()
+            }
+        }
+    }
+
+    /// Driver callback: a message this peer sent could not be delivered
+    /// (dead or unknown destination). This is the uniform failure model
+    /// across drivers — the DES and the actor runtime report it the same
+    /// way, so recovery behaviour stays identical.
+    pub fn on_delivery_failure(&mut self, to: Id, msg: Message) -> Vec<Outbound> {
+        self.known.retain(|&x| x != to);
+        match msg {
+            Message::Query(mut token) => {
+                // The probe was charged when sent; undo the advance, record
+                // the corpse, and try the next candidate from here.
+                token.hops = token.hops.saturating_sub(1);
+                token.stack.pop();
+                token.mark_dead(to);
+                token.wasted += 1;
+                self.process_query(token)
+            }
+            Message::WalkProbe(mut token) => {
+                // A probe to a corpse is a rejected move: step consumed,
+                // walk stays here.
+                token.remaining = token.remaining.saturating_sub(1);
+                if token.remaining == 0 {
+                    vec![Outbound::new(
+                        token.origin,
+                        Message::WalkDone {
+                            walk_id: token.walk_id,
+                            sample: self.id,
+                        },
+                    )]
+                } else {
+                    vec![self.step_walk(token)]
+                }
+            }
+            Message::LinkAccept => {
+                // The requester died after we granted the slot: reclaim it.
+                self.long_in.retain(|&x| x != to);
+                Vec::new()
+            }
+            // Lost walks, joins, reports, gossip: nothing to recover.
+            _ => Vec::new(),
+        }
+    }
+
+    // --- join routing ------------------------------------------------------
+
+    fn handle_join_request(&mut self, joiner: Id) -> Vec<Outbound> {
+        if logic::owns(self.pred, self.id, joiner) {
+            // Splice: the joiner takes over the head of my arc. Serving a
+            // splice also makes a solo bootstrap peer part of the overlay.
+            let old_pred = self.pred;
+            self.pred = joiner;
+            self.joined = true;
+            self.note_peer(joiner);
+            let mut succs = Vec::with_capacity(self.cfg.succ_len);
+            succs.push(self.id);
+            succs.extend_from_slice(&self.succs);
+            succs.truncate(self.cfg.succ_len);
+            return vec![Outbound::new(
+                joiner,
+                Message::JoinWelcome {
+                    pred: old_pred,
+                    succs,
+                },
+            )];
+        }
+        match self.best_step_toward(joiner, |_| false) {
+            Some(next) => vec![Outbound::new(next, Message::JoinRequest { joiner })],
+            // Unreachable on a consistent ring; drop rather than loop.
+            None => Vec::new(),
+        }
+    }
+
+    // --- MH sampling walks ---------------------------------------------------
+
+    fn launch_walks(&mut self, walks: u32) -> Vec<Outbound> {
+        if walks == 0 || self.degree() == 0 {
+            return Vec::new();
+        }
+        let mut outs = Vec::with_capacity(walks as usize);
+        let batch = self.batch.get_or_insert_with(WalkBatch::default);
+        let mut launched = Vec::with_capacity(walks as usize);
+        for _ in 0..walks {
+            let walk_id = self.walk_counter;
+            self.walk_counter += 1;
+            batch.pending.push((walk_id, None));
+            launched.push(walk_id);
+        }
+        for walk_id in launched {
+            let token = WalkToken {
+                walk_id,
+                origin: self.id,
+                remaining: self.cfg.walk_ttl.max(1),
+                rng: TokenRng::new(SeedTree::new(self.seed).child2(LBL_WALK, walk_id).seed()),
+                holder_deg: 0,
+            };
+            outs.push(self.step_walk(token));
+        }
+        outs
+    }
+
+    /// Proposes the next walk move from this holder.
+    fn step_walk(&self, mut token: WalkToken) -> Outbound {
+        let table = self.neighbors();
+        if table.is_empty() {
+            return Outbound::new(
+                token.origin,
+                Message::WalkDone {
+                    walk_id: token.walk_id,
+                    sample: self.id,
+                },
+            );
+        }
+        let k = token.rng.index(table.len());
+        token.holder_deg = table.len();
+        Outbound::new(table[k], Message::WalkProbe(token))
+    }
+
+    fn record_walk_done(&mut self, walk_id: u64, sample: Id) -> Vec<Outbound> {
+        let Some(batch) = self.batch.as_mut() else {
+            return Vec::new();
+        };
+        if let Some(slot) = batch.pending.iter_mut().find(|(w, _)| *w == walk_id) {
+            slot.1 = Some(sample);
+        }
+        if batch.pending.iter().any(|(_, s)| s.is_none()) {
+            return Vec::new();
+        }
+        // All walks of the batch have landed: issue link requests in launch
+        // order — a deterministic sequence, whatever order the WalkDone
+        // messages arrived in.
+        let batch = self.batch.take().expect("batch present");
+        let mut targets: Vec<Id> = Vec::new();
+        for (_, sample) in &batch.pending {
+            let s = sample.expect("all landed");
+            if s != self.id && !targets.contains(&s) && self.long_out.binary_search(&s).is_err() {
+                targets.push(s);
+            }
+        }
+        let room = self.cfg.max_long_out.saturating_sub(self.long_out.len());
+        targets.truncate(room);
+        self.events.push(ProtocolEvent::WalksSettled {
+            peer: self.id,
+            samples: targets.len(),
+        });
+        targets
+            .into_iter()
+            .map(|t| Outbound::new(t, Message::LinkRequest))
+            .collect()
+    }
+
+    // --- greedy query routing -------------------------------------------------
+
+    /// Advances a query token held at this peer: deliver, forward, or
+    /// backtrack. Shares its progress ranking ([`logic::progress_toward`])
+    /// and ownership test ([`logic::owns`]) with the simulator's router.
+    fn process_query(&mut self, mut token: QueryToken) -> Vec<Outbound> {
+        if logic::owns(self.pred, self.id, token.key) {
+            return self.complete_query(token, true, Some(self.id));
+        }
+        let excluded = |t: &QueryToken, c: Id| t.is_excluded(c);
+        if let Some(next) = self.best_step_toward(token.key, |c| excluded(&token, c)) {
+            if token.budget == 0 {
+                return self.complete_query(token, false, None);
+            }
+            token.budget -= 1;
+            token.hops += 1;
+            token.stack.push(self.id);
+            return vec![Outbound::new(next, Message::Query(token))];
+        }
+        // Dead end: retreat along the forward path.
+        token.mark_exhausted(self.id);
+        token.backtracks += 1;
+        token.wasted += 1;
+        while let Some(prev) = token.stack.pop() {
+            if token.is_excluded(prev) {
+                continue;
+            }
+            if token.budget == 0 {
+                return self.complete_query(token, false, None);
+            }
+            token.budget -= 1;
+            return vec![Outbound::new(prev, Message::Query(token))];
+        }
+        self.complete_query(token, false, None)
+    }
+
+    /// The best next hop toward `key` from this peer's local tables: the
+    /// neighbour with the smallest remaining clockwise distance, or the
+    /// first successor whose arc covers the key (the final overshoot hop
+    /// to the owner), skipping `exclude`d peers.
+    fn best_step_toward(&self, key: Id, exclude: impl Fn(Id) -> bool) -> Option<Id> {
+        let span = self.id.cw_dist(key);
+        let mut best: Option<(u64, Id)> = None;
+        for c in self.neighbors() {
+            if exclude(c) {
+                continue;
+            }
+            if let Some(p) = logic::progress_toward(c, key, span) {
+                if best.map(|(bp, _)| p < bp).unwrap_or(true) {
+                    best = Some((p, c));
+                }
+            }
+        }
+        if let Some((_, c)) = best {
+            return Some(c);
+        }
+        // No neighbour lies on (self, key]: the owner sits just past the
+        // key — the nearest successor whose arc covers it.
+        self.succs
+            .iter()
+            .copied()
+            .find(|&s| !exclude(s) && logic::owns(self.id, s, key))
+    }
+
+    fn complete_query(
+        &mut self,
+        token: QueryToken,
+        success: bool,
+        dest: Option<Id>,
+    ) -> Vec<Outbound> {
+        let report = QueryReport {
+            qid: token.qid,
+            origin: token.origin,
+            key: token.key,
+            success,
+            hops: token.hops,
+            wasted: token.wasted,
+            backtracks: token.backtracks,
+            dest,
+        };
+        if token.origin == self.id {
+            self.events.push(ProtocolEvent::QueryCompleted(report));
+            Vec::new()
+        } else {
+            vec![Outbound::new(token.origin, Message::QueryDone(report))]
+        }
+    }
+
+    // --- gossip membership -----------------------------------------------------
+
+    fn gossip_round(&mut self, rng: &mut dyn RngCore) -> Vec<Outbound> {
+        if self.known.is_empty() {
+            return Vec::new();
+        }
+        let fanout = self.cfg.gossip_fanout.min(self.known.len());
+        let mut idxs: Vec<usize> = (0..self.known.len()).collect();
+        // Partial Fisher–Yates for `fanout` distinct targets.
+        for i in 0..fanout {
+            let j = i + (rng.next_u64() as usize) % (idxs.len() - i);
+            idxs.swap(i, j);
+        }
+        let view = self.view_sample(rng);
+        idxs[..fanout]
+            .iter()
+            .map(|&i| Outbound::new(self.known[i], Message::GossipPush { view: view.clone() }))
+            .collect()
+    }
+
+    /// A bounded sample of the view (always includes this peer).
+    fn view_sample(&self, rng: &mut dyn RngCore) -> Vec<Id> {
+        let mut view = Vec::with_capacity(self.cfg.gossip_sample);
+        view.push(self.id);
+        if self.known.is_empty() {
+            return view;
+        }
+        let want = self
+            .cfg
+            .gossip_sample
+            .saturating_sub(1)
+            .min(self.known.len());
+        let mut idxs: Vec<usize> = (0..self.known.len()).collect();
+        for i in 0..want {
+            let j = i + (rng.next_u64() as usize) % (idxs.len() - i);
+            idxs.swap(i, j);
+        }
+        view.extend(idxs[..want].iter().map(|&i| self.known[i]));
+        view
+    }
+
+    /// Records `p` in the bounded membership view (ignores self).
+    fn note_peer(&mut self, p: Id) {
+        if p == self.id {
+            return;
+        }
+        if let Err(pos) = self.known.binary_search(&p) {
+            self.known.insert(pos, p);
+            if self.known.len() > self.cfg.view_cap {
+                // Deterministic trim: drop the clockwise-farthest entry.
+                let far = (0..self.known.len())
+                    .max_by_key(|&i| self.id.cw_dist(self.known[i]))
+                    .expect("non-empty");
+                self.known.remove(far);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    /// A minimal in-test pump: synchronous message delivery until quiet.
+    struct Pump {
+        peers: BTreeMap<Id, PeerMachine>,
+        queue: std::collections::VecDeque<(Id, Outbound)>,
+        delivered: usize,
+    }
+
+    impl Pump {
+        fn new(peers: Vec<PeerMachine>) -> Self {
+            Pump {
+                peers: peers.into_iter().map(|p| (p.id(), p)).collect(),
+                queue: Default::default(),
+                delivered: 0,
+            }
+        }
+
+        fn command(&mut self, at: Id, cmd: Command) {
+            let mut rng = SeedTree::new(0).rng();
+            let outs = self.peers.get_mut(&at).unwrap().on_command(cmd, &mut rng);
+            for o in outs {
+                self.queue.push_back((at, o));
+            }
+            self.run();
+        }
+
+        fn run(&mut self) {
+            let mut rng = SeedTree::new(1).rng();
+            while let Some((from, out)) = self.queue.pop_front() {
+                self.delivered += 1;
+                assert!(self.delivered < 100_000, "message storm");
+                let outs = if let Some(peer) = self.peers.get_mut(&out.to) {
+                    peer.on_message(from, out.msg, &mut rng)
+                } else {
+                    self.peers
+                        .get_mut(&from)
+                        .unwrap()
+                        .on_delivery_failure(out.to, out.msg)
+                };
+                let at = out.to;
+                for o in outs {
+                    // Failure replies originate at the original sender.
+                    let src = if self.peers.contains_key(&at) {
+                        at
+                    } else {
+                        from
+                    };
+                    self.queue.push_back((src, o));
+                }
+            }
+        }
+    }
+
+    fn machines(ids: &[u64]) -> Vec<PeerMachine> {
+        ids.iter()
+            .map(|&i| PeerMachine::new(Id::new(i), 1000 + i, PeerConfig::default()))
+            .collect()
+    }
+
+    #[test]
+    fn serial_joins_build_a_consistent_ring() {
+        let ids = [100u64, 900, 300, 700, 500, 42, 650];
+        let mut pump = Pump::new(machines(&ids));
+        let contact = Id::new(ids[0]);
+        for &i in &ids[1..] {
+            pump.command(Id::new(i), Command::Join { contact });
+        }
+        // Ring must be exactly the sorted id cycle.
+        let mut sorted: Vec<Id> = ids.iter().map(|&i| Id::new(i)).collect();
+        sorted.sort_unstable();
+        for (k, &id) in sorted.iter().enumerate() {
+            let m = &pump.peers[&id];
+            let succ = sorted[(k + 1) % sorted.len()];
+            let pred = sorted[(k + sorted.len() - 1) % sorted.len()];
+            assert_eq!(m.succs()[0], succ, "succ of {id:?}");
+            assert_eq!(m.pred(), pred, "pred of {id:?}");
+            assert!(m.joined());
+        }
+    }
+
+    #[test]
+    fn walks_settle_and_install_links() {
+        let ids = [10u64, 20, 30, 40, 50, 60, 70, 80];
+        let mut pump = Pump::new(machines(&ids));
+        let contact = Id::new(10);
+        for &i in &ids[1..] {
+            pump.command(Id::new(i), Command::Join { contact });
+        }
+        for &i in &ids {
+            pump.command(Id::new(i), Command::BuildLinks { walks: 3 });
+        }
+        // Every out-link must be mirrored by the target's in-link.
+        let snapshot: Vec<(Id, Vec<Id>)> = pump
+            .peers
+            .values()
+            .map(|m| (m.id(), m.long_out().to_vec()))
+            .collect();
+        let mut total = 0;
+        for (id, outs) in snapshot {
+            for t in outs {
+                total += 1;
+                assert!(
+                    pump.peers[&t].long_in().contains(&id),
+                    "{t:?} missing in-link from {id:?}"
+                );
+            }
+        }
+        assert!(total > 0, "no long links formed");
+        for m in pump.peers.values_mut() {
+            let settled = m
+                .drain_events()
+                .iter()
+                .any(|e| matches!(e, ProtocolEvent::WalksSettled { .. }));
+            assert!(settled, "walk batch never settled");
+        }
+    }
+
+    #[test]
+    fn queries_resolve_to_ring_owners() {
+        let ids = [100u64, 300, 500, 700, 900];
+        let mut pump = Pump::new(machines(&ids));
+        let contact = Id::new(100);
+        for &i in &ids[1..] {
+            pump.command(Id::new(i), Command::Join { contact });
+        }
+        // (key, owner): owner = first peer at-or-after the key, wrapping.
+        let cases = [
+            (150u64, 300u64),
+            (300, 300),
+            (901, 100),
+            (50, 100),
+            (699, 700),
+        ];
+        for (qid, (key, owner)) in cases.iter().enumerate() {
+            let origin = Id::new(500);
+            pump.command(
+                origin,
+                Command::StartQuery {
+                    qid: qid as u64,
+                    key: Id::new(*key),
+                },
+            );
+            let events = pump.peers.get_mut(&origin).unwrap().drain_events();
+            let report = events
+                .iter()
+                .find_map(|e| match e {
+                    ProtocolEvent::QueryCompleted(r) if r.qid == qid as u64 => Some(r.clone()),
+                    _ => None,
+                })
+                .expect("query completed");
+            assert!(report.success, "query {qid} failed");
+            assert_eq!(report.dest, Some(Id::new(*owner)), "key {key}");
+        }
+    }
+
+    #[test]
+    fn self_owned_query_costs_nothing() {
+        let ids = [100u64, 200];
+        let mut pump = Pump::new(machines(&ids));
+        pump.command(
+            Id::new(200),
+            Command::Join {
+                contact: Id::new(100),
+            },
+        );
+        let origin = Id::new(200);
+        pump.command(
+            origin,
+            Command::StartQuery {
+                qid: 9,
+                key: Id::new(150),
+            },
+        );
+        let events = pump.peers.get_mut(&origin).unwrap().drain_events();
+        let r = events
+            .iter()
+            .find_map(|e| match e {
+                ProtocolEvent::QueryCompleted(r) => Some(r.clone()),
+                _ => None,
+            })
+            .expect("completed");
+        assert!(r.success);
+        assert_eq!(r.hops, 0);
+        assert_eq!(r.cost(), 0);
+    }
+
+    #[test]
+    fn gossip_spreads_membership() {
+        let ids = [1u64, 2, 3, 4, 5, 6];
+        let mut pump = Pump::new(machines(&ids));
+        let contact = Id::new(1);
+        for &i in &ids[1..] {
+            pump.command(Id::new(i), Command::Join { contact });
+        }
+        for _ in 0..6 {
+            for &i in &ids {
+                pump.command(Id::new(i), Command::GossipTick);
+            }
+        }
+        for m in pump.peers.values() {
+            assert!(
+                m.known().len() >= ids.len() - 2,
+                "{:?} knows only {:?}",
+                m.id(),
+                m.known()
+            );
+        }
+    }
+
+    #[test]
+    fn dead_destination_querying_backtracks_or_fails_cleanly() {
+        // Build a 4-ring, then delete a machine outright; queries routed
+        // through the hole must still terminate with a report.
+        let ids = [100u64, 200, 300, 400];
+        let mut pump = Pump::new(machines(&ids));
+        for &i in &ids[1..] {
+            pump.command(
+                Id::new(i),
+                Command::Join {
+                    contact: Id::new(100),
+                },
+            );
+        }
+        pump.peers.remove(&Id::new(300));
+        let origin = Id::new(100);
+        pump.command(
+            origin,
+            Command::StartQuery {
+                qid: 1,
+                key: Id::new(250),
+            },
+        );
+        let events = pump.peers.get_mut(&origin).unwrap().drain_events();
+        let r = events
+            .iter()
+            .find_map(|e| match e {
+                ProtocolEvent::QueryCompleted(r) => Some(r.clone()),
+                _ => None,
+            })
+            .expect("query must terminate despite the corpse");
+        assert!(r.wasted > 0, "corpse probe must be charged");
+    }
+
+    #[test]
+    fn rewire_dissolves_and_rebuilds_long_links() {
+        let ids = [10u64, 20, 30, 40, 50, 60];
+        let mut pump = Pump::new(machines(&ids));
+        for &i in &ids[1..] {
+            pump.command(
+                Id::new(i),
+                Command::Join {
+                    contact: Id::new(10),
+                },
+            );
+        }
+        pump.command(Id::new(10), Command::BuildLinks { walks: 2 });
+        let before = pump.peers[&Id::new(10)].long_out().to_vec();
+        pump.command(Id::new(10), Command::Rewire { walks: 2 });
+        let after = pump.peers[&Id::new(10)].long_out().to_vec();
+        // Old partners must have dropped the in-link unless re-chosen.
+        for t in before {
+            if !after.contains(&t) {
+                assert!(!pump.peers[&t].long_in().contains(&Id::new(10)));
+            }
+        }
+    }
+}

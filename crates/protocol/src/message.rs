@@ -1,0 +1,177 @@
+//! The protocol's message taxonomy and driver-facing envelopes.
+//!
+//! A [`PeerMachine`](crate::PeerMachine) communicates with the world
+//! exclusively through these types: it receives a [`Message`] (or a local
+//! [`Command`] from its driver) and returns [`Outbound`] messages plus
+//! locally observable [`ProtocolEvent`]s. Drivers — the discrete-event
+//! simulator and the threaded actor runtime — only move envelopes; they
+//! never inspect or mutate peer state.
+
+use crate::token::{QueryToken, WalkToken};
+use oscar_types::Id;
+
+/// A protocol message between two peers.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Message {
+    // --- ring membership -------------------------------------------------
+    /// Routed greedily toward `joiner`'s position; the owner splices.
+    JoinRequest {
+        /// The joining peer (also the routing key).
+        joiner: Id,
+    },
+    /// Owner → joiner: your predecessor and successor list.
+    JoinWelcome {
+        /// The joiner's new predecessor (the owner's old one).
+        pred: Id,
+        /// The joiner's successor list, nearest first (head = the owner).
+        succs: Vec<Id>,
+    },
+    /// Joiner → its predecessor: "your immediate successor is now me".
+    NewSuccessor {
+        /// The new successor (the joiner).
+        succ: Id,
+    },
+
+    // --- Metropolis–Hastings sampling walk -------------------------------
+    /// Holder → candidate: one walk step proposal.
+    WalkProbe(WalkToken),
+    /// Candidate → holder: proposal rejected, walk stays (step consumed).
+    WalkReject(WalkToken),
+    /// Final holder → origin: the walk's sample.
+    WalkDone {
+        /// Which of the origin's walks finished.
+        walk_id: u64,
+        /// The sampled peer.
+        sample: Id,
+    },
+
+    // --- long links -------------------------------------------------------
+    /// Origin → sampled peer: request a long link.
+    LinkRequest,
+    /// Target accepted; the requester installs the out-link.
+    LinkAccept,
+    /// Target at capacity (or duplicate); the requester drops the sample.
+    LinkReject,
+    /// Either endpoint dissolves the link (rewire, shutdown).
+    Unlink,
+
+    // --- queries ----------------------------------------------------------
+    /// A greedy-routed query token, forwarded toward its key.
+    Query(QueryToken),
+    /// Final peer → origin: the query's outcome.
+    QueryDone(QueryReport),
+
+    // --- gossip membership -------------------------------------------------
+    /// Push a sample of the sender's membership view.
+    GossipPush {
+        /// Peer ids known to the sender (a bounded sample).
+        view: Vec<Id>,
+    },
+    /// Reply to a push with the receiver's own sample (one round, no echo).
+    GossipPull {
+        /// Peer ids known to the replier (a bounded sample).
+        view: Vec<Id>,
+    },
+}
+
+/// A message queued for delivery: the driver owns *how* it travels.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Outbound {
+    /// Destination peer.
+    pub to: Id,
+    /// Payload.
+    pub msg: Message,
+}
+
+impl Outbound {
+    /// Convenience constructor.
+    pub fn new(to: Id, msg: Message) -> Self {
+        Outbound { to, msg }
+    }
+}
+
+/// A local instruction from the driver (or harness) to one peer.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Command {
+    /// Install ring state directly (pre-seeded topologies, bench bootstrap).
+    Bootstrap {
+        /// Predecessor on the ring.
+        pred: Id,
+        /// Successor list, nearest first.
+        succs: Vec<Id>,
+        /// Initial membership view.
+        known: Vec<Id>,
+    },
+    /// Join the overlay through `contact`.
+    Join {
+        /// Any live peer already in the overlay.
+        contact: Id,
+    },
+    /// Launch `walks` MH sampling walks and link to the samples.
+    BuildLinks {
+        /// Number of walks (= long links wanted).
+        walks: u32,
+    },
+    /// Drop all long out-links and rebuild them with fresh walks.
+    Rewire {
+        /// Number of replacement walks.
+        walks: u32,
+    },
+    /// Resolve `key`: route a query and report the outcome.
+    StartQuery {
+        /// Harness-assigned id, echoed in the report.
+        qid: u64,
+        /// The key to resolve.
+        key: Id,
+    },
+    /// One round of anti-entropy gossip (uses the driver's RNG — the only
+    /// protocol activity outside the deterministic token core).
+    GossipTick,
+}
+
+/// Outcome of one query, reported back to its origin.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct QueryReport {
+    /// Harness-assigned query id.
+    pub qid: u64,
+    /// The issuing peer.
+    pub origin: Id,
+    /// The key that was resolved.
+    pub key: Id,
+    /// True iff the key's owner was reached within budget.
+    pub success: bool,
+    /// Useful forward hops.
+    pub hops: u32,
+    /// Non-advancing messages (dead probes, backtracks).
+    pub wasted: u32,
+    /// Dead-end retreats.
+    pub backtracks: u32,
+    /// The owner that answered, when successful.
+    pub dest: Option<Id>,
+}
+
+impl QueryReport {
+    /// Total message cost (useful + wasted), the paper's cost metric.
+    pub fn cost(&self) -> u32 {
+        self.hops + self.wasted
+    }
+}
+
+/// Locally observable protocol milestones, drained by the driver.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ProtocolEvent {
+    /// The peer spliced into the ring (welcome processed).
+    JoinCompleted {
+        /// The joined peer.
+        peer: Id,
+    },
+    /// All outstanding walks finished and link requests were issued.
+    WalksSettled {
+        /// The walking peer.
+        peer: Id,
+        /// Samples collected by the finished walk batch.
+        samples: usize,
+    },
+    /// A query this peer issued has completed.
+    QueryCompleted(QueryReport),
+}

@@ -1,0 +1,576 @@
+//! # oscar-runtime — a threaded actor driver for the protocol core
+//!
+//! The second world the [`oscar_protocol::PeerMachine`] runs in: every
+//! peer is an actor behind its own FIFO mailbox, executed by a pool of
+//! OS worker threads against wall-clock time. Where the discrete-event
+//! simulator (`oscar-sim`) delivers envelopes one at a time in virtual
+//! time, this runtime delivers them concurrently with all cores busy —
+//! the same state machines, zero protocol code duplicated.
+//!
+//! Scheduling model (no async runtime — the workspace is offline and
+//! dependency-free by construction):
+//!
+//! * each actor has a `Mutex<VecDeque>` mailbox and a `scheduled` flag;
+//! * a shared run queue + condvar feeds worker threads; an actor is
+//!   enqueued when its mailbox goes non-empty and re-armed when drained;
+//! * an atomic in-flight message counter backs [`Runtime::quiesce`],
+//!   which blocks until the network has gone silent;
+//! * sends to unknown/removed peers synchronously invoke the sender's
+//!   `on_delivery_failure` — the same failure surface the DES presents.
+//!
+//! Determinism: the protocol's token-carried RNG makes walk and query
+//! outcomes scheduling-independent, so a serialized command sequence
+//! (join, build links, quiesce between) produces *identical* link tables
+//! here and in the DES — asserted by the cross-driver equivalence test
+//! in the workspace root.
+
+use oscar_protocol::{
+    machine::peer_seed, Command, Message, Outbound, PeerConfig, PeerMachine, ProtocolEvent,
+};
+use oscar_types::{Id, SeedTree};
+use rand::rngs::SmallRng;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Seed-tree label for worker-thread RNGs (gossip only).
+const LBL_WORKER: u64 = 0xB0;
+/// Seed-tree label for gossip-round RNGs.
+const LBL_GOSSIP: u64 = 0xB1;
+
+/// Runtime construction parameters.
+#[derive(Clone, Debug)]
+pub struct RuntimeConfig {
+    /// Worker threads (0 = all available parallelism).
+    pub workers: usize,
+    /// Root seed: peer machines and worker RNGs derive from it.
+    pub seed: u64,
+    /// Per-peer protocol tunables.
+    pub peer_cfg: PeerConfig,
+}
+
+impl RuntimeConfig {
+    /// Default config at a given seed.
+    pub fn new(seed: u64) -> Self {
+        RuntimeConfig {
+            workers: 0,
+            seed,
+            peer_cfg: PeerConfig::default(),
+        }
+    }
+
+    /// Overrides the worker count.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Overrides the peer tunables.
+    pub fn with_peer_cfg(mut self, cfg: PeerConfig) -> Self {
+        self.peer_cfg = cfg;
+        self
+    }
+}
+
+/// One peer actor: machine + mailbox + scheduling flag.
+struct Actor {
+    id: Id,
+    machine: Mutex<PeerMachine>,
+    mailbox: Mutex<VecDeque<(Id, Message)>>,
+    scheduled: AtomicBool,
+}
+
+/// State shared between the handle and the worker threads.
+struct Shared {
+    actors: RwLock<HashMap<Id, Arc<Actor>>>,
+    runq: Mutex<VecDeque<Id>>,
+    runq_cv: Condvar,
+    /// Messages enqueued but not yet fully processed.
+    pending: AtomicUsize,
+    quiesce_mx: Mutex<()>,
+    quiesce_cv: Condvar,
+    stop: AtomicBool,
+    inject_nonce: AtomicU64,
+    events: Mutex<Vec<ProtocolEvent>>,
+    delivered: AtomicU64,
+    failed: AtomicU64,
+    busy_ns: Vec<AtomicU64>,
+    per_worker_msgs: Vec<AtomicU64>,
+}
+
+/// Aggregate counters for throughput reporting.
+#[derive(Clone, Debug)]
+pub struct RuntimeStats {
+    /// Messages delivered to mailboxes and processed.
+    pub delivered: u64,
+    /// Sends that hit a missing peer (delivery failures).
+    pub failed: u64,
+    /// Per-worker busy time in nanoseconds.
+    pub busy_ns: Vec<u64>,
+    /// Per-worker processed-message counts.
+    pub per_worker_msgs: Vec<u64>,
+}
+
+impl RuntimeStats {
+    /// Mean number of cores kept busy over a wall-clock interval.
+    pub fn cores_busy(&self, wall_ns: u64) -> f64 {
+        if wall_ns == 0 {
+            return 0.0;
+        }
+        self.busy_ns.iter().sum::<u64>() as f64 / wall_ns as f64
+    }
+
+    /// Number of workers that processed at least one message.
+    pub fn active_workers(&self) -> usize {
+        self.per_worker_msgs.iter().filter(|&&m| m > 0).count()
+    }
+}
+
+/// The actor runtime handle. Dropping it shuts the worker pool down.
+pub struct Runtime {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+    cfg: RuntimeConfig,
+}
+
+impl Runtime {
+    /// Starts the worker pool.
+    pub fn new(cfg: RuntimeConfig) -> Self {
+        let workers = if cfg.workers == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            cfg.workers
+        };
+        let shared = Arc::new(Shared {
+            actors: RwLock::new(HashMap::new()),
+            runq: Mutex::new(VecDeque::new()),
+            runq_cv: Condvar::new(),
+            pending: AtomicUsize::new(0),
+            quiesce_mx: Mutex::new(()),
+            quiesce_cv: Condvar::new(),
+            stop: AtomicBool::new(false),
+            inject_nonce: AtomicU64::new(0),
+            events: Mutex::new(Vec::new()),
+            delivered: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+            busy_ns: (0..workers).map(|_| AtomicU64::new(0)).collect(),
+            per_worker_msgs: (0..workers).map(|_| AtomicU64::new(0)).collect(),
+        });
+        let handles = (0..workers)
+            .map(|w| {
+                let sh = Arc::clone(&shared);
+                let rng = SeedTree::new(cfg.seed).child2(LBL_WORKER, w as u64).rng();
+                std::thread::Builder::new()
+                    .name(format!("oscar-worker-{w}"))
+                    .spawn(move || worker_loop(sh, w, rng))
+                    .expect("spawn worker")
+            })
+            .collect();
+        Runtime {
+            shared,
+            workers: handles,
+            cfg,
+        }
+    }
+
+    /// The runtime's root seed.
+    pub fn seed(&self) -> u64 {
+        self.cfg.seed
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Registers a pre-built machine as an actor.
+    pub fn spawn_machine(&self, machine: PeerMachine) {
+        let actor = Arc::new(Actor {
+            id: machine.id(),
+            machine: Mutex::new(machine),
+            mailbox: Mutex::new(VecDeque::new()),
+            scheduled: AtomicBool::new(false),
+        });
+        self.shared.actors.write().unwrap().insert(actor.id, actor);
+    }
+
+    /// Spawns a fresh solo peer with the canonical derived seed (the DES
+    /// driver uses the same derivation, which the equivalence test relies
+    /// on).
+    pub fn spawn_peer(&self, id: Id) {
+        self.spawn_machine(PeerMachine::new(
+            id,
+            peer_seed(self.cfg.seed, id),
+            self.cfg.peer_cfg.clone(),
+        ));
+    }
+
+    /// Removes a peer outright (a crash): queued mail is discarded, and
+    /// future sends to it surface as delivery failures at the senders.
+    pub fn remove_peer(&self, id: Id) -> bool {
+        let removed = self.shared.actors.write().unwrap().remove(&id);
+        if let Some(actor) = removed {
+            let dropped = actor.mailbox.lock().unwrap().len();
+            for _ in 0..dropped {
+                self.shared.dec_pending();
+            }
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Live peer ids, sorted.
+    pub fn peer_ids(&self) -> Vec<Id> {
+        let mut ids: Vec<Id> = self.shared.actors.read().unwrap().keys().copied().collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Runs `f` against one peer's machine (read-only access pattern).
+    pub fn with_peer<T>(&self, id: Id, f: impl FnOnce(&PeerMachine) -> T) -> Option<T> {
+        let actor = self.shared.actors.read().unwrap().get(&id).cloned()?;
+        let machine = actor.machine.lock().unwrap();
+        Some(f(&machine))
+    }
+
+    /// Delivers a command to one peer on the calling thread; resulting
+    /// messages flow through the worker pool.
+    pub fn inject(&self, id: Id, cmd: Command) -> bool {
+        let Some(actor) = self.shared.actors.read().unwrap().get(&id).cloned() else {
+            return false;
+        };
+        // Fresh per-call stream: commands (gossip in particular) must not
+        // replay the same draws every round.
+        let nonce = self.shared.inject_nonce.fetch_add(1, Ordering::Relaxed);
+        let mut rng = SeedTree::new(self.cfg.seed).child2(LBL_GOSSIP, nonce).rng();
+        let outs = {
+            let mut m = actor.machine.lock().unwrap();
+            let outs = m.on_command(cmd, &mut rng);
+            self.shared.collect_events(&mut m);
+            outs
+        };
+        for o in outs {
+            self.shared.send(&actor, o);
+        }
+        true
+    }
+
+    /// Blocks until no message is in flight anywhere.
+    pub fn quiesce(&self) {
+        let mut g = self.shared.quiesce_mx.lock().unwrap();
+        while self.shared.pending.load(Ordering::SeqCst) != 0 {
+            g = self.shared.quiesce_cv.wait(g).unwrap();
+        }
+    }
+
+    /// Spawns `joiner`, joins it through `contact`, and waits for the
+    /// splice to settle. Returns true iff the join completed.
+    pub fn join_and_wait(&self, joiner: Id, contact: Id) -> bool {
+        self.spawn_peer(joiner);
+        self.inject(joiner, Command::Join { contact });
+        self.quiesce();
+        self.drain_events()
+            .iter()
+            .any(|e| matches!(e, ProtocolEvent::JoinCompleted { peer } if *peer == joiner))
+    }
+
+    /// One anti-entropy gossip round across all peers.
+    pub fn gossip_round(&self) {
+        for id in self.peer_ids() {
+            self.inject(id, Command::GossipTick);
+        }
+    }
+
+    /// Drains protocol milestones collected since the last drain.
+    pub fn drain_events(&self) -> Vec<ProtocolEvent> {
+        std::mem::take(&mut *self.shared.events.lock().unwrap())
+    }
+
+    /// Aggregate counters.
+    pub fn stats(&self) -> RuntimeStats {
+        RuntimeStats {
+            delivered: self.shared.delivered.load(Ordering::Relaxed),
+            failed: self.shared.failed.load(Ordering::Relaxed),
+            busy_ns: self
+                .shared
+                .busy_ns
+                .iter()
+                .map(|a| a.load(Ordering::Relaxed))
+                .collect(),
+            per_worker_msgs: self
+                .shared
+                .per_worker_msgs
+                .iter()
+                .map(|a| a.load(Ordering::Relaxed))
+                .collect(),
+        }
+    }
+
+    /// Stops the worker pool and joins every thread. In-flight messages
+    /// are discarded; idempotent.
+    pub fn shutdown(&mut self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        {
+            let _g = self.shared.runq.lock().unwrap();
+            self.shared.runq_cv.notify_all();
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+        // Unblock any quiesce() stuck behind discarded messages.
+        self.shared.pending.store(0, Ordering::SeqCst);
+        let _g = self.shared.quiesce_mx.lock().unwrap();
+        self.shared.quiesce_cv.notify_all();
+    }
+}
+
+impl Drop for Runtime {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl Shared {
+    /// Routes one outbound from `from`; missing targets bounce back as
+    /// delivery failures on the sender, recursively.
+    fn send(&self, from: &Arc<Actor>, out: Outbound) {
+        let target = self.actors.read().unwrap().get(&out.to).cloned();
+        match target {
+            Some(target) => {
+                self.pending.fetch_add(1, Ordering::SeqCst);
+                target.mailbox.lock().unwrap().push_back((from.id, out.msg));
+                self.schedule(&target);
+            }
+            None => {
+                self.failed.fetch_add(1, Ordering::Relaxed);
+                let outs = {
+                    let mut m = from.machine.lock().unwrap();
+                    let outs = m.on_delivery_failure(out.to, out.msg);
+                    self.collect_events(&mut m);
+                    outs
+                };
+                for o in outs {
+                    self.send(from, o);
+                }
+            }
+        }
+    }
+
+    /// Puts an actor on the run queue unless it is already scheduled.
+    fn schedule(&self, actor: &Arc<Actor>) {
+        if !actor.scheduled.swap(true, Ordering::SeqCst) {
+            self.runq.lock().unwrap().push_back(actor.id);
+            self.runq_cv.notify_one();
+        }
+    }
+
+    fn collect_events(&self, m: &mut PeerMachine) {
+        let evs = m.drain_events();
+        if !evs.is_empty() {
+            self.events.lock().unwrap().extend(evs);
+        }
+    }
+
+    fn dec_pending(&self) {
+        if self.pending.fetch_sub(1, Ordering::SeqCst) == 1 {
+            let _g = self.quiesce_mx.lock().unwrap();
+            self.quiesce_cv.notify_all();
+        }
+    }
+}
+
+/// The worker thread body: pop actors, drain mailboxes, route replies.
+fn worker_loop(shared: Arc<Shared>, widx: usize, mut rng: SmallRng) {
+    loop {
+        let id = {
+            let mut q = shared.runq.lock().unwrap();
+            loop {
+                if shared.stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                if let Some(id) = q.pop_front() {
+                    break id;
+                }
+                q = shared.runq_cv.wait(q).unwrap();
+            }
+        };
+        let Some(actor) = shared.actors.read().unwrap().get(&id).cloned() else {
+            continue; // removed while queued; its pending was reclaimed
+        };
+        let t0 = Instant::now();
+        let mut processed = 0u64;
+        loop {
+            if shared.stop.load(Ordering::SeqCst) {
+                break;
+            }
+            let batch: Vec<(Id, Message)> = {
+                let mut mb = actor.mailbox.lock().unwrap();
+                mb.drain(..).collect()
+            };
+            if batch.is_empty() {
+                actor.scheduled.store(false, Ordering::SeqCst);
+                // Re-arm race: mail may have landed between drain and store.
+                let refill = !actor.mailbox.lock().unwrap().is_empty();
+                if refill && !actor.scheduled.swap(true, Ordering::SeqCst) {
+                    continue;
+                }
+                break;
+            }
+            for (from, msg) in batch {
+                let outs = {
+                    let mut m = actor.machine.lock().unwrap();
+                    let outs = m.on_message(from, msg, &mut rng);
+                    shared.collect_events(&mut m);
+                    outs
+                };
+                for o in outs {
+                    shared.send(&actor, o);
+                }
+                shared.dec_pending();
+                processed += 1;
+            }
+        }
+        if processed > 0 {
+            shared.delivered.fetch_add(processed, Ordering::Relaxed);
+            shared.per_worker_msgs[widx].fetch_add(processed, Ordering::Relaxed);
+            shared.busy_ns[widx].fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn runtime(workers: usize, seed: u64) -> Runtime {
+        Runtime::new(RuntimeConfig::new(seed).with_workers(workers))
+    }
+
+    #[test]
+    fn serial_joins_form_the_sorted_ring() {
+        let rt = runtime(4, 7);
+        let ids: Vec<Id> = [500u64, 100, 900, 300, 700]
+            .iter()
+            .map(|&i| Id::new(i))
+            .collect();
+        rt.spawn_peer(ids[0]);
+        for &id in &ids[1..] {
+            assert!(rt.join_and_wait(id, ids[0]), "join of {id:?} timed out");
+        }
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        for (k, &id) in sorted.iter().enumerate() {
+            let succ = sorted[(k + 1) % sorted.len()];
+            let got = rt.with_peer(id, |m| m.succs()[0]).unwrap();
+            assert_eq!(got, succ, "succ of {id:?}");
+        }
+    }
+
+    #[test]
+    fn quiesce_observes_silence() {
+        let rt = runtime(2, 1);
+        rt.spawn_peer(Id::new(10));
+        assert!(rt.join_and_wait(Id::new(20), Id::new(10)));
+        rt.quiesce(); // immediately satisfiable
+        assert_eq!(rt.stats().failed, 0);
+    }
+
+    #[test]
+    fn queries_resolve_in_parallel() {
+        let rt = runtime(4, 3);
+        let ids: Vec<Id> = (0..64u64).map(|i| Id::new(i * 1_000_003)).collect();
+        rt.spawn_peer(ids[0]);
+        for &id in &ids[1..] {
+            assert!(rt.join_and_wait(id, ids[0]));
+        }
+        for &id in &ids {
+            rt.inject(id, Command::BuildLinks { walks: 2 });
+        }
+        rt.quiesce();
+        rt.drain_events();
+        // A storm of queries from every peer at once.
+        let mut qid = 0u64;
+        for &id in &ids {
+            for k in 0..4u64 {
+                rt.inject(
+                    id,
+                    Command::StartQuery {
+                        qid,
+                        key: Id::new(k.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+                    },
+                );
+                qid += 1;
+            }
+        }
+        rt.quiesce();
+        let events = rt.drain_events();
+        let done = events
+            .iter()
+            .filter(|e| matches!(e, ProtocolEvent::QueryCompleted(r) if r.success))
+            .count();
+        assert_eq!(
+            done, qid as usize,
+            "all queries must succeed on a clean ring"
+        );
+    }
+
+    #[test]
+    fn gossip_rounds_spread_membership() {
+        let rt = runtime(4, 11);
+        let ids: Vec<Id> = (0..16u64).map(|i| Id::new((i + 1) << 32)).collect();
+        rt.spawn_peer(ids[0]);
+        for &id in &ids[1..] {
+            assert!(rt.join_and_wait(id, ids[0]));
+        }
+        for _ in 0..8 {
+            rt.gossip_round();
+            rt.quiesce();
+        }
+        let min_known = ids
+            .iter()
+            .map(|&id| rt.with_peer(id, |m| m.known().len()).unwrap())
+            .min()
+            .unwrap();
+        assert!(min_known >= ids.len() / 2, "gossip stalled: {min_known}");
+    }
+
+    #[test]
+    fn dead_peer_sends_surface_as_failures_not_hangs() {
+        let rt = runtime(2, 5);
+        let ids: Vec<Id> = (1..=8u64).map(|i| Id::new(i * 1_000)).collect();
+        rt.spawn_peer(ids[0]);
+        for &id in &ids[1..] {
+            assert!(rt.join_and_wait(id, ids[0]));
+        }
+        assert!(rt.remove_peer(ids[3]));
+        // Route queries across the corpse's arc; they must all terminate.
+        rt.drain_events();
+        for (q, &id) in ids.iter().enumerate() {
+            if id == ids[3] {
+                continue;
+            }
+            rt.inject(
+                id,
+                Command::StartQuery {
+                    qid: q as u64,
+                    key: Id::new(3_500),
+                },
+            );
+        }
+        rt.quiesce();
+        let events = rt.drain_events();
+        assert_eq!(
+            events
+                .iter()
+                .filter(|e| matches!(e, ProtocolEvent::QueryCompleted(_)))
+                .count(),
+            ids.len() - 1
+        );
+        assert!(rt.stats().failed > 0, "corpse probes must be counted");
+    }
+}

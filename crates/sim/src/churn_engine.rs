@@ -87,6 +87,77 @@ impl RepairPolicy {
     }
 }
 
+/// How many measurement queries a window issues, as a function of the
+/// live population at the window's end.
+///
+/// At paper scale a fixed batch is fine, but the measurement cost of a
+/// `Fixed(n/4)` batch scales linearly with the network and becomes the
+/// bottleneck of million-peer runs. Sublinear budgets trade per-window
+/// precision for scale; the per-window standard error
+/// ([`QueryBatchStats::se_cost`]) quantifies exactly what was traded.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum QueryBudget {
+    /// The classic fixed batch, independent of population.
+    Fixed(usize),
+    /// `ceil(sqrt(live))`, floored at `min`: sublinear sampling for big
+    /// networks while small ones keep a usable sample.
+    SqrtLive {
+        /// Lower bound on the resolved batch size.
+        min: usize,
+    },
+    /// `live * fraction`, capped at `cap`: linear at small scale, flat
+    /// once the population crosses `cap / fraction`.
+    FractionCapped {
+        /// Fraction of the live population queried per window.
+        fraction: f64,
+        /// Hard ceiling on the resolved batch size.
+        cap: usize,
+    },
+}
+
+impl QueryBudget {
+    /// The number of queries a window with `live` peers issues. Always
+    /// at least 1 for a validated budget (a window without queries has
+    /// no data point).
+    pub fn resolve(&self, live: usize) -> usize {
+        match *self {
+            QueryBudget::Fixed(q) => q,
+            QueryBudget::SqrtLive { min } => ((live as f64).sqrt().ceil() as usize).max(min),
+            QueryBudget::FractionCapped { fraction, cap } => {
+                ((live as f64 * fraction).ceil() as usize).clamp(1, cap)
+            }
+        }
+    }
+
+    /// Checks the budget can never resolve to zero queries.
+    fn validate(&self) -> Result<()> {
+        match *self {
+            QueryBudget::Fixed(0) => Err(Error::InvalidConfig(
+                "QueryBudget::Fixed must be >= 1: a window without queries has no data point"
+                    .into(),
+            )),
+            QueryBudget::SqrtLive { min: 0 } => Err(Error::InvalidConfig(
+                "QueryBudget::SqrtLive needs min >= 1: an empty window has no data point".into(),
+            )),
+            QueryBudget::FractionCapped { fraction, cap } => {
+                if !fraction.is_finite() || fraction <= 0.0 {
+                    return Err(Error::InvalidConfig(format!(
+                        "QueryBudget::FractionCapped needs a finite positive fraction, got \
+                         {fraction}"
+                    )));
+                }
+                if cap == 0 {
+                    return Err(Error::InvalidConfig(
+                        "QueryBudget::FractionCapped needs cap >= 1".into(),
+                    ));
+                }
+                Ok(())
+            }
+            _ => Ok(()),
+        }
+    }
+}
+
 /// Rates and windows of a continuous-churn run.
 ///
 /// Rates are expected events per virtual tick; each membership process is
@@ -106,8 +177,9 @@ pub struct ChurnSchedule {
     pub repair: RepairPolicy,
     /// Virtual length of one measurement window.
     pub window_ticks: u64,
-    /// Queries issued at the end of each window (uniform live targets).
-    pub queries_per_window: usize,
+    /// Queries issued at the end of each window (uniform live targets),
+    /// resolved against the live population at measurement time.
+    pub query_budget: QueryBudget,
     /// Crash/depart events fizzle while the live population is at or
     /// below this floor, so a crash-heavy schedule cannot extinguish the
     /// network mid-experiment.
@@ -124,7 +196,7 @@ impl ChurnSchedule {
             depart_rate: 0.0,
             repair: RepairPolicy::SweepEvery(1000),
             window_ticks: 1000,
-            queries_per_window: 200,
+            query_budget: QueryBudget::Fixed(200),
             min_live: 16,
         }
     }
@@ -147,12 +219,7 @@ impl ChurnSchedule {
                 "window_ticks must be >= 1: zero-length windows measure nothing".into(),
             ));
         }
-        if self.queries_per_window == 0 {
-            return Err(Error::InvalidConfig(
-                "queries_per_window must be >= 1: a window without queries has no data point"
-                    .into(),
-            ));
-        }
+        self.query_budget.validate()?;
         if self.min_live < 1 {
             return Err(Error::InvalidConfig(
                 "min_live must be >= 1: the engine never extinguishes the network".into(),
@@ -434,6 +501,7 @@ pub fn run_continuous_churn<B: OverlayBuilder + ?Sized>(
                 w.start = window_start;
                 w.end = now;
                 w.live_at_end = net.live_count();
+                let batch = schedule.query_budget.resolve(w.live_at_end);
                 w.queries = if matches!(schedule.repair, RepairPolicy::OnProbe) {
                     // The measurement batch doubles as the failure
                     // detector: every peer that probed a corpse schedules
@@ -443,7 +511,7 @@ pub fn run_continuous_churn<B: OverlayBuilder + ?Sized>(
                     let stats = run_query_batch_observed(
                         net,
                         &QueryWorkload::UniformPeers,
-                        schedule.queries_per_window,
+                        batch,
                         &RoutePolicy::default(),
                         &mut qrng,
                         &mut probers,
@@ -456,7 +524,7 @@ pub fn run_continuous_churn<B: OverlayBuilder + ?Sized>(
                     run_query_batch(
                         net,
                         &QueryWorkload::UniformPeers,
-                        schedule.queries_per_window,
+                        batch,
                         &RoutePolicy::default(),
                         &mut qrng,
                     )
@@ -548,7 +616,7 @@ mod tests {
         let mut net = grown(120, 1);
         let schedule = ChurnSchedule {
             window_ticks: 500,
-            queries_per_window: 50,
+            query_budget: QueryBudget::Fixed(50),
             ..ChurnSchedule::symmetric(0.05)
         };
         let ws = run(&mut net, &schedule, 4, 9);
@@ -667,12 +735,44 @@ mod tests {
         let schedule = ChurnSchedule {
             repair: RepairPolicy::SweepEvery(200),
             window_ticks: 100,
-            queries_per_window: 30,
+            query_budget: QueryBudget::Fixed(30),
             ..ChurnSchedule::symmetric(0.02)
         };
         let ws = run(&mut net, &schedule, 7, 23);
         let rewires: Vec<u64> = ws.iter().map(|w| w.rewires).collect();
         assert_eq!(rewires, vec![0, 0, 1, 0, 1, 0, 1]);
+    }
+
+    #[test]
+    fn query_budgets_resolve_against_the_live_population() {
+        assert_eq!(QueryBudget::Fixed(200).resolve(10), 200);
+        assert_eq!(QueryBudget::Fixed(200).resolve(1_000_000), 200);
+        let sqrt = QueryBudget::SqrtLive { min: 32 };
+        assert_eq!(sqrt.resolve(4), 32, "floored below min^2");
+        assert_eq!(sqrt.resolve(10_000), 100);
+        assert_eq!(sqrt.resolve(1_000_000), 1_000);
+        let frac = QueryBudget::FractionCapped {
+            fraction: 0.25,
+            cap: 500,
+        };
+        assert_eq!(frac.resolve(100), 25);
+        assert_eq!(frac.resolve(2_000), 500, "capped");
+        assert_eq!(frac.resolve(0), 1, "never resolves to zero");
+    }
+
+    #[test]
+    fn sublinear_budgets_drive_real_windows() {
+        let mut net = grown(150, 77);
+        let schedule = ChurnSchedule {
+            query_budget: QueryBudget::SqrtLive { min: 8 },
+            ..ChurnSchedule::symmetric(0.02)
+        };
+        let ws = run(&mut net, &schedule, 3, 78);
+        for w in &ws {
+            let expect = schedule.query_budget.resolve(w.live_at_end);
+            assert_eq!(w.queries.queries, expect, "window {}", w.window);
+            assert!(w.queries.queries < 150, "sublinear at this scale");
+        }
     }
 
     #[test]
@@ -692,7 +792,25 @@ mod tests {
                 ..ChurnSchedule::symmetric(0.1)
             },
             ChurnSchedule {
-                queries_per_window: 0,
+                query_budget: QueryBudget::Fixed(0),
+                ..ChurnSchedule::symmetric(0.1)
+            },
+            ChurnSchedule {
+                query_budget: QueryBudget::SqrtLive { min: 0 },
+                ..ChurnSchedule::symmetric(0.1)
+            },
+            ChurnSchedule {
+                query_budget: QueryBudget::FractionCapped {
+                    fraction: 0.0,
+                    cap: 100,
+                },
+                ..ChurnSchedule::symmetric(0.1)
+            },
+            ChurnSchedule {
+                query_budget: QueryBudget::FractionCapped {
+                    fraction: 0.25,
+                    cap: 0,
+                },
                 ..ChurnSchedule::symmetric(0.1)
             },
             ChurnSchedule {

@@ -41,17 +41,21 @@ pub mod metrics;
 pub mod network;
 pub mod overlay;
 pub mod peer;
+pub mod protocol_des;
 pub mod routing;
 pub mod walker;
 
 pub use churn::{kill_fraction, FaultModel};
-pub use churn_engine::{run_continuous_churn, ChurnSchedule, ChurnWindowStats, RepairPolicy};
+pub use churn_engine::{
+    run_continuous_churn, ChurnSchedule, ChurnWindowStats, QueryBudget, RepairPolicy,
+};
 pub use events::{Event, EventQueue, VirtualTime};
 pub use growth::{rewire_all_peers, Checkpoint, GrowthConfig, GrowthDriver, OverlayBuilder};
 pub use metrics::{Metrics, MsgKind};
 pub use network::Network;
 pub use overlay::Overlay;
 pub use peer::{LinkError, Peer, PeerIdx};
+pub use protocol_des::{DesDriver, Envelope};
 pub use routing::{
     route_to_owner, run_query_batch, run_query_batch_observed, QueryBatchStats, RouteOutcome,
     RoutePolicy,

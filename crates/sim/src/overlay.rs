@@ -320,9 +320,9 @@ mod tests {
 
     #[test]
     fn continuous_churn_runs_are_independent_but_reproducible() {
-        use crate::churn_engine::ChurnSchedule;
+        use crate::churn_engine::{ChurnSchedule, QueryBudget};
         let schedule = ChurnSchedule {
-            queries_per_window: 50,
+            query_budget: QueryBudget::Fixed(50),
             ..ChurnSchedule::symmetric(0.05)
         };
         let run = || {

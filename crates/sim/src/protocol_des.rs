@@ -1,0 +1,279 @@
+//! Discrete-event driver for the `oscar-protocol` peer machines.
+//!
+//! The thin adapter that runs [`PeerMachine`]s in virtual time: every
+//! [`Outbound`] becomes an envelope on the simulator's [`EventQueue`]
+//! with one tick of delivery latency, and a delivery to a missing peer
+//! bounces back to the sender as `on_delivery_failure` — the identical
+//! failure surface the threaded actor runtime (`oscar-runtime`)
+//! presents, which is what makes the two drivers interchangeable.
+//!
+//! This driver is intentionally sequential and deterministic: it is the
+//! reference world for the cross-driver equivalence test, and doubles
+//! as a protocol debugging harness (single-stepped, inspectable,
+//! reproducible).
+
+use crate::events::EventQueue;
+use oscar_protocol::machine::peer_seed;
+use oscar_protocol::{Command, Message, Outbound, PeerConfig, PeerMachine, ProtocolEvent};
+use oscar_types::{Id, SeedTree};
+use std::collections::BTreeMap;
+
+/// Seed-tree label for the driver's command RNG (gossip only).
+const LBL_CMD: u64 = 0xDE5;
+
+/// A protocol message in flight through virtual time.
+#[derive(Clone, Debug)]
+pub struct Envelope {
+    /// Sending peer.
+    pub from: Id,
+    /// Destination peer.
+    pub to: Id,
+    /// Payload.
+    pub msg: Message,
+}
+
+/// The DES world: peer machines plus one event queue of envelopes.
+pub struct DesDriver {
+    peers: BTreeMap<Id, PeerMachine>,
+    queue: EventQueue<Envelope>,
+    seed: u64,
+    peer_cfg: PeerConfig,
+    events: Vec<ProtocolEvent>,
+    cmd_nonce: u64,
+    delivered: u64,
+    failed: u64,
+}
+
+impl DesDriver {
+    /// An empty world rooted at `seed` (same peer-seed derivation as the
+    /// actor runtime).
+    pub fn new(seed: u64, peer_cfg: PeerConfig) -> Self {
+        DesDriver {
+            peers: BTreeMap::new(),
+            queue: EventQueue::new(),
+            seed,
+            peer_cfg,
+            events: Vec::new(),
+            cmd_nonce: 0,
+            delivered: 0,
+            failed: 0,
+        }
+    }
+
+    /// The root seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Registers a fresh solo peer with the canonical derived seed.
+    pub fn spawn_peer(&mut self, id: Id) {
+        self.peers.insert(
+            id,
+            PeerMachine::new(id, peer_seed(self.seed, id), self.peer_cfg.clone()),
+        );
+    }
+
+    /// Registers a pre-built machine.
+    pub fn spawn_machine(&mut self, machine: PeerMachine) {
+        self.peers.insert(machine.id(), machine);
+    }
+
+    /// Removes a peer outright (a crash). Mail already queued to it will
+    /// bounce at delivery time.
+    pub fn remove_peer(&mut self, id: Id) -> bool {
+        self.peers.remove(&id).is_some()
+    }
+
+    /// Live peer ids, sorted.
+    pub fn peer_ids(&self) -> Vec<Id> {
+        self.peers.keys().copied().collect()
+    }
+
+    /// Read access to one peer's machine.
+    pub fn peer(&self, id: Id) -> Option<&PeerMachine> {
+        self.peers.get(&id)
+    }
+
+    /// Messages delivered so far.
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Delivery failures so far.
+    pub fn failed(&self) -> u64 {
+        self.failed
+    }
+
+    /// Hands a command to one peer and queues its replies.
+    pub fn inject(&mut self, id: Id, cmd: Command) -> bool {
+        // Fresh per-command stream, mirroring the runtime's inject nonce.
+        self.cmd_nonce += 1;
+        let mut rng = SeedTree::new(self.seed)
+            .child2(LBL_CMD, self.cmd_nonce)
+            .rng();
+        let Some(peer) = self.peers.get_mut(&id) else {
+            return false;
+        };
+        let outs = peer.on_command(cmd, &mut rng);
+        self.events.extend(peer.drain_events());
+        self.enqueue_all(id, outs);
+        true
+    }
+
+    /// Delivers queued envelopes until the world goes silent (the DES
+    /// analogue of the runtime's `quiesce`). Returns messages delivered.
+    pub fn run_until_idle(&mut self) -> u64 {
+        let mut n = 0;
+        while let Some((_, env)) = self.queue.pop() {
+            n += 1;
+            self.deliver(env);
+        }
+        self.delivered += n;
+        n
+    }
+
+    /// Spawns `joiner`, joins it through `contact`, and settles the
+    /// splice. Returns true iff the join completed.
+    pub fn join_and_wait(&mut self, joiner: Id, contact: Id) -> bool {
+        self.spawn_peer(joiner);
+        self.inject(joiner, Command::Join { contact });
+        self.run_until_idle();
+        let done = self
+            .events
+            .iter()
+            .any(|e| matches!(e, ProtocolEvent::JoinCompleted { peer } if *peer == joiner));
+        done
+    }
+
+    /// Drains protocol milestones observed since the last drain.
+    pub fn drain_events(&mut self) -> Vec<ProtocolEvent> {
+        std::mem::take(&mut self.events)
+    }
+
+    fn enqueue_all(&mut self, from: Id, outs: Vec<Outbound>) {
+        for o in outs {
+            // One tick of delivery latency per message.
+            self.queue.schedule_in(
+                1,
+                Envelope {
+                    from,
+                    to: o.to,
+                    msg: o.msg,
+                },
+            );
+        }
+    }
+
+    fn deliver(&mut self, env: Envelope) {
+        self.cmd_nonce += 1;
+        if let Some(peer) = self.peers.get_mut(&env.to) {
+            let mut rng = SeedTree::new(self.seed)
+                .child2(LBL_CMD, self.cmd_nonce)
+                .rng();
+            let outs = peer.on_message(env.from, env.msg, &mut rng);
+            self.events.extend(peer.drain_events());
+            self.enqueue_all(env.to, outs);
+        } else {
+            // Bounce: the sender learns about the corpse, exactly like the
+            // actor runtime's failed send.
+            self.failed += 1;
+            let Some(sender) = self.peers.get_mut(&env.from) else {
+                return; // both ends gone; the message evaporates
+            };
+            let outs = sender.on_delivery_failure(env.to, env.msg);
+            self.events.extend(sender.drain_events());
+            self.enqueue_all(env.from, outs);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn driver(seed: u64) -> DesDriver {
+        DesDriver::new(seed, PeerConfig::default())
+    }
+
+    #[test]
+    fn joins_splice_the_virtual_time_ring() {
+        let mut des = driver(42);
+        let ids: Vec<Id> = [7u64, 900, 100, 300, 550]
+            .iter()
+            .map(|&i| Id::new(i))
+            .collect();
+        des.spawn_peer(ids[0]);
+        for &id in &ids[1..] {
+            assert!(des.join_and_wait(id, ids[0]), "join {id:?}");
+        }
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        for (k, &id) in sorted.iter().enumerate() {
+            let succ = sorted[(k + 1) % sorted.len()];
+            assert_eq!(des.peer(id).unwrap().succs()[0], succ);
+        }
+    }
+
+    #[test]
+    fn queries_resolve_and_report_through_virtual_time() {
+        let mut des = driver(9);
+        let ids: Vec<Id> = (1..=10u64).map(|i| Id::new(i * 1_000)).collect();
+        des.spawn_peer(ids[0]);
+        for &id in &ids[1..] {
+            assert!(des.join_and_wait(id, ids[0]));
+        }
+        for &id in &ids {
+            des.inject(id, Command::BuildLinks { walks: 2 });
+        }
+        des.run_until_idle();
+        des.drain_events();
+        des.inject(
+            ids[0],
+            Command::StartQuery {
+                qid: 77,
+                key: Id::new(4_500),
+            },
+        );
+        des.run_until_idle();
+        let report = des
+            .drain_events()
+            .into_iter()
+            .find_map(|e| match e {
+                ProtocolEvent::QueryCompleted(r) => Some(r),
+                _ => None,
+            })
+            .expect("query completed");
+        assert!(report.success);
+        assert_eq!(report.dest, Some(Id::new(5_000)));
+    }
+
+    #[test]
+    fn removed_peer_bounces_mail_to_sender() {
+        let mut des = driver(5);
+        let ids: Vec<Id> = (1..=6u64).map(|i| Id::new(i * 100)).collect();
+        des.spawn_peer(ids[0]);
+        for &id in &ids[1..] {
+            assert!(des.join_and_wait(id, ids[0]));
+        }
+        assert!(des.remove_peer(Id::new(300)));
+        des.drain_events();
+        des.inject(
+            Id::new(100),
+            Command::StartQuery {
+                qid: 1,
+                key: Id::new(250),
+            },
+        );
+        des.run_until_idle();
+        let report = des
+            .drain_events()
+            .into_iter()
+            .find_map(|e| match e {
+                ProtocolEvent::QueryCompleted(r) => Some(r),
+                _ => None,
+            })
+            .expect("query must terminate");
+        assert!(report.wasted > 0, "corpse probe must be charged");
+        assert!(des.failed() > 0);
+    }
+}

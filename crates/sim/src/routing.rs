@@ -16,7 +16,8 @@ use crate::metrics::MsgKind;
 use crate::network::Network;
 use crate::peer::PeerIdx;
 use oscar_keydist::{QueryTarget, QueryWorkload};
-use oscar_types::Id;
+use oscar_protocol::logic;
+use oscar_types::{Id, P2Quantile};
 use rand::rngs::SmallRng;
 use std::collections::HashSet;
 
@@ -137,8 +138,9 @@ fn route_observed(
             if exhausted.contains(&c) {
                 continue;
             }
-            let p = net.peer(c).id.cw_dist(owner_id);
-            if p < cur_potential {
+            // Shared kernel: the same progress ranking drives the
+            // distributed PeerMachine's per-hop forwarding decision.
+            if let Some(p) = logic::progress_toward(net.peer(c).id, owner_id, cur_potential) {
                 candidates.push((p, c));
             }
         }
@@ -206,23 +208,19 @@ pub struct QueryBatchStats {
     pub mean_wasted: f64,
     /// Fraction of issued queries that reached the owner.
     pub success_rate: f64,
+    /// Standard error of `mean_cost` (`s / √m` over the m successful
+    /// queries) — the error bar that makes sublinear
+    /// [`QueryBudget`](crate::churn_engine::QueryBudget) batches
+    /// honest about their precision. Zero with fewer than two samples.
+    pub se_cost: f64,
     /// Maximum observed cost among successful queries.
     pub max_cost: u32,
-    /// Median cost (nearest-rank), successful queries only.
+    /// Median cost, successful queries only: exact nearest-rank for
+    /// batches of ≤ 5 successes, streaming P² estimate beyond
+    /// ([`P2Quantile`]) — the batch is never buffered or sorted.
     pub p50_cost: f64,
-    /// 95th-percentile cost (nearest-rank), successful queries only.
+    /// 95th-percentile cost, successful queries only (same estimator).
     pub p95_cost: f64,
-}
-
-/// Nearest-rank percentile of an ascending-sorted sample: the value at
-/// 1-based rank `⌈p/100 · len⌉`. For `len = 4`, p50 picks rank 2 (the
-/// lower median) and p95 picks rank 4 — unlike the former `len·p/100`
-/// index, which returned the upper median and, for `len ≤ 20`, the
-/// maximum.
-fn nearest_rank(sorted: &[u32], pct: usize) -> f64 {
-    debug_assert!(!sorted.is_empty() && pct <= 100);
-    let rank = (pct * sorted.len()).div_ceil(100).max(1);
-    sorted[rank - 1] as f64
 }
 
 /// Issues `n` queries from uniformly random live sources with targets
@@ -267,7 +265,13 @@ fn run_batch_observed(
     rng: &mut SmallRng,
     mut probers: Option<&mut Vec<PeerIdx>>,
 ) -> QueryBatchStats {
-    let mut costs: Vec<u32> = Vec::with_capacity(n);
+    // Everything streams: O(1) state regardless of batch size, which is
+    // what lets a million-peer window afford its measurement batch.
+    let mut p50 = P2Quantile::new(0.50);
+    let mut p95 = P2Quantile::new(0.95);
+    let mut cost_sum = 0.0f64;
+    let mut cost_sumsq = 0.0f64;
+    let mut max_cost = 0u32;
     let mut hops_sum = 0u64;
     let mut wasted_sum = 0u64;
     let mut issued = 0usize;
@@ -288,7 +292,13 @@ fn run_batch_observed(
         wasted_sum += outcome.wasted as u64;
         if outcome.success {
             successes += 1;
-            costs.push(outcome.cost());
+            let c = outcome.cost();
+            let cf = c as f64;
+            cost_sum += cf;
+            cost_sumsq += cf * cf;
+            max_cost = max_cost.max(c);
+            p50.observe(cf);
+            p95.observe(cf);
             hops_sum += outcome.hops as u64;
         }
     }
@@ -298,14 +308,17 @@ fn run_batch_observed(
     };
     stats.success_rate = successes as f64 / issued.max(1) as f64;
     stats.mean_wasted = wasted_sum as f64 / issued.max(1) as f64;
-    if !costs.is_empty() {
-        let m = costs.len() as f64;
-        stats.mean_cost = costs.iter().map(|&c| c as f64).sum::<f64>() / m;
+    if successes > 0 {
+        let m = successes as f64;
+        stats.mean_cost = cost_sum / m;
         stats.mean_hops = hops_sum as f64 / m;
-        stats.max_cost = *costs.iter().max().expect("non-empty");
-        costs.sort_unstable();
-        stats.p50_cost = nearest_rank(&costs, 50);
-        stats.p95_cost = nearest_rank(&costs, 95);
+        stats.max_cost = max_cost;
+        stats.p50_cost = p50.value();
+        stats.p95_cost = p95.value();
+        if successes > 1 {
+            let var = ((cost_sumsq - cost_sum * cost_sum / m) / (m - 1.0)).max(0.0);
+            stats.se_cost = (var / m).sqrt();
+        }
     }
     stats
 }
@@ -643,18 +656,43 @@ mod tests {
     }
 
     #[test]
-    fn percentiles_use_nearest_rank_on_small_batches() {
-        // len 4, p50: rank ⌈0.5·4⌉ = 2 — the lower median, where the old
-        // costs[len/2] picked the upper one.
-        assert_eq!(nearest_rank(&[1, 2, 3, 4], 50), 2.0);
-        assert_eq!(nearest_rank(&[1, 2, 3, 4, 5], 50), 3.0);
-        // len 20, p95: rank ⌈0.95·20⌉ = 19 — the old len·95/100 index
-        // returned the maximum for every batch of 20 or fewer.
-        let v: Vec<u32> = (1..=20).collect();
-        assert_eq!(nearest_rank(&v, 95), 19.0);
-        assert_eq!(nearest_rank(&v, 100), 20.0);
+    fn streaming_percentiles_keep_small_batches_exact() {
+        // The P² estimators behind p50/p95 are exact nearest-rank for up
+        // to five observations: len 4 p50 is the lower median (rank
+        // ⌈0.5·4⌉ = 2), matching the sorted-buffer behaviour they
+        // replaced.
+        let feed = |p: f64, xs: &[u32]| {
+            let mut est = P2Quantile::new(p);
+            for &x in xs {
+                est.observe(x as f64);
+            }
+            est.value()
+        };
+        assert_eq!(feed(0.50, &[4, 2, 1, 3]), 2.0);
+        assert_eq!(feed(0.50, &[5, 1, 4, 2, 3]), 3.0);
         // singletons: every percentile is the one sample
-        assert_eq!(nearest_rank(&[7], 50), 7.0);
-        assert_eq!(nearest_rank(&[7], 95), 7.0);
+        assert_eq!(feed(0.50, &[7]), 7.0);
+        assert_eq!(feed(0.95, &[7]), 7.0);
+        // Beyond the bootstrap the estimate is approximate but stays
+        // inside the observed range.
+        let v: Vec<u32> = (1..=20).collect();
+        let p95 = feed(0.95, &v);
+        assert!((1.0..=20.0).contains(&p95), "p95 {p95} escaped the sample");
+    }
+
+    #[test]
+    fn se_cost_reports_the_batch_standard_error() {
+        let mut net = test_net(128, 5, 14, FaultModel::StabilizedRing);
+        let mut rng = SeedTree::new(23).rng();
+        let stats = run_query_batch(
+            &mut net,
+            &QueryWorkload::UniformPeers,
+            200,
+            &RoutePolicy::default(),
+            &mut rng,
+        );
+        assert!(stats.se_cost > 0.0, "non-degenerate costs have spread");
+        // s/√m is far below the spread itself for a 200-query batch.
+        assert!(stats.se_cost < stats.mean_cost);
     }
 }

@@ -24,6 +24,7 @@
 use crate::metrics::MsgKind;
 use crate::network::Network;
 use crate::peer::PeerIdx;
+use oscar_protocol::logic;
 use oscar_types::{Arc, Error, Result};
 use rand::rngs::SmallRng;
 use rand::Rng;
@@ -174,13 +175,14 @@ impl<'a> Walker<'a> {
                 // the walk stays put; the sample is `current` itself.
                 continue;
             }
-            let k = rng.gen_range(0..runs.count);
+            let k = logic::uniform_index(runs.count, rng);
             let cand = self.net.walk_neighbor_at(current, runs, k);
             let cand_runs = self.net.walk_runs(cand, arc);
             let accept = if self.cfg.metropolis_hastings {
                 // min(1, deg(u)/deg(v)) — uniform stationary distribution.
-                cand_runs.count == 0
-                    || rng.gen::<f64>() < runs.count as f64 / cand_runs.count as f64
+                // Shared kernel: the protocol crate's PeerMachine applies
+                // the same rule to its token walks.
+                logic::mh_accept(runs.count, cand_runs.count, || rng.gen::<f64>())
             } else {
                 true
             };
@@ -207,11 +209,11 @@ impl<'a> Walker<'a> {
             if cur_deg == 0 {
                 continue;
             }
-            let k = rng.gen_range(0..cur_deg);
+            let k = logic::uniform_index(cur_deg, rng);
             let cand = self.buf_cur[k];
             let cand_deg = Self::collect_restricted(self.net, cand, arc, &mut self.buf_deg);
             let accept = if self.cfg.metropolis_hastings {
-                cand_deg == 0 || rng.gen::<f64>() < cur_deg as f64 / cand_deg as f64
+                logic::mh_accept(cur_deg, cand_deg, || rng.gen::<f64>())
             } else {
                 true
             };

@@ -38,6 +38,53 @@ pub struct LoadBalance {
     pub gini: f64,
 }
 
+impl LoadBalance {
+    /// Computes the balance statistics from a raw per-peer load vector
+    /// (`items` is the corpus size, reported even when no peer is live).
+    ///
+    /// Shared by [`ItemStore::balance`] (full placement) and
+    /// [`LoadTracker::balance`](crate::LoadTracker::balance) (incremental
+    /// loads), so both paths produce bit-identical statistics.
+    pub fn from_loads(mut xs: Vec<usize>, items: usize) -> Self {
+        let n = xs.len();
+        if n == 0 {
+            return LoadBalance {
+                peers: 0,
+                items,
+                max: 0,
+                mean: 0.0,
+                max_over_mean: 0.0,
+                empty_fraction: 0.0,
+                gini: 0.0,
+            };
+        }
+        xs.sort_unstable();
+        let total: usize = xs.iter().sum();
+        let mean = total as f64 / n as f64;
+        let max = *xs.last().expect("non-empty");
+        let empty = xs.iter().filter(|&&l| l == 0).count();
+        let gini = if total == 0 {
+            0.0
+        } else {
+            let weighted: f64 = xs
+                .iter()
+                .enumerate()
+                .map(|(i, &x)| (i as f64 + 1.0) * x as f64)
+                .sum();
+            (2.0 * weighted) / (n as f64 * total as f64) - (n as f64 + 1.0) / n as f64
+        };
+        LoadBalance {
+            peers: n,
+            items,
+            max,
+            mean,
+            max_over_mean: if mean > 0.0 { max as f64 / mean } else { 0.0 },
+            empty_fraction: empty as f64 / n as f64,
+            gini,
+        }
+    }
+}
+
 impl ItemStore {
     /// Builds a store from explicit keys.
     pub fn from_keys(mut items: Vec<Id>) -> Self {
@@ -118,44 +165,12 @@ impl ItemStore {
 
     /// Balance statistics over live peers.
     pub fn balance(&self, net: &Network) -> LoadBalance {
-        let loads = self.load_per_peer(net);
-        let n = loads.len();
-        if n == 0 {
-            return LoadBalance {
-                peers: 0,
-                items: self.items.len(),
-                max: 0,
-                mean: 0.0,
-                max_over_mean: 0.0,
-                empty_fraction: 0.0,
-                gini: 0.0,
-            };
-        }
-        let mut xs: Vec<usize> = loads.iter().map(|&(_, l)| l).collect();
-        xs.sort_unstable();
-        let total: usize = xs.iter().sum();
-        let mean = total as f64 / n as f64;
-        let max = *xs.last().expect("non-empty");
-        let empty = xs.iter().filter(|&&l| l == 0).count();
-        let gini = if total == 0 {
-            0.0
-        } else {
-            let weighted: f64 = xs
-                .iter()
-                .enumerate()
-                .map(|(i, &x)| (i as f64 + 1.0) * x as f64)
-                .sum();
-            (2.0 * weighted) / (n as f64 * total as f64) - (n as f64 + 1.0) / n as f64
-        };
-        LoadBalance {
-            peers: n,
-            items: self.items.len(),
-            max,
-            mean,
-            max_over_mean: if mean > 0.0 { max as f64 / mean } else { 0.0 },
-            empty_fraction: empty as f64 / n as f64,
-            gini,
-        }
+        let loads = self
+            .load_per_peer(net)
+            .into_iter()
+            .map(|(_, l)| l)
+            .collect();
+        LoadBalance::from_loads(loads, self.items.len())
     }
 }
 

@@ -6,6 +6,9 @@
 //!
 //! * [`ItemStore`] — a corpus of data items (keys) placed at their ring
 //!   owners, with per-peer load accounting and balance statistics;
+//! * [`LoadTracker`] — the same per-peer loads maintained incrementally
+//!   under churn: each join/leave touches only the affected arc instead
+//!   of recomputing the full placement;
 //! * [`JoinPolicy`] — how a joining peer picks its identifier:
 //!   * `UniformId` — ignore the data (what a hash-based DHT does):
 //!     under skewed items a few peers drown in data;
@@ -22,6 +25,8 @@
 
 pub mod items;
 pub mod policy;
+pub mod tracker;
 
 pub use items::{ItemStore, LoadBalance};
 pub use policy::{choose_join_id, JoinPolicy};
+pub use tracker::LoadTracker;

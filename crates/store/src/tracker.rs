@@ -1,0 +1,314 @@
+//! Incremental per-peer storage-load maintenance.
+//!
+//! [`ItemStore::load_per_peer`] recomputes the full item placement from
+//! scratch — O(items + peers) — which is the right tool for a one-shot
+//! snapshot but wasteful inside a churn loop where each membership event
+//! moves exactly one arc of the ring. [`LoadTracker`] keeps the per-peer
+//! loads live across joins and leaves by touching only the affected arc:
+//!
+//! * **join** — the newcomer takes over the clockwise slice
+//!   `(predecessor, newcomer]` of its successor's arc; two binary searches
+//!   over the sorted item keys count the slice, the successor's load drops
+//!   by that much, nothing else changes;
+//! * **leave** — the leaver's whole load folds into its successor.
+//!
+//! Both updates are O(log items + peers) (the `peers` term is the sorted
+//! insert/remove memmove) instead of a full placement merge, and the
+//! property tests in this module pin the tracker against the full
+//! recompute over arbitrary join/leave interleavings.
+
+use crate::items::{ItemStore, LoadBalance};
+use oscar_sim::Network;
+use oscar_types::Id;
+
+/// Live per-peer storage loads, maintained incrementally under churn.
+///
+/// The tracker mirrors the membership the caller drives through
+/// [`on_join`](LoadTracker::on_join) / [`on_leave`](LoadTracker::on_leave);
+/// ownership follows the same rule as the store (owner = first live peer
+/// at-or-after the key, wrapping), so at every step the tracked loads
+/// equal what [`ItemStore::load_per_peer`] would recompute.
+///
+/// Feeding it an event the membership cannot have produced (a duplicate
+/// join, a leave of an untracked peer) is a caller bug and panics.
+#[derive(Clone, Debug)]
+pub struct LoadTracker {
+    /// Sorted item keys — a snapshot of the corpus (items are immutable
+    /// for the lifetime of a storage experiment).
+    items: Vec<Id>,
+    /// Sorted live peer identifiers.
+    peers: Vec<Id>,
+    /// `loads[i]` = items owned by `peers[i]`; same order as `peers`.
+    loads: Vec<usize>,
+}
+
+impl LoadTracker {
+    /// Tracker over `store`'s corpus with no live peers yet.
+    pub fn new(store: &ItemStore) -> Self {
+        LoadTracker {
+            items: store.keys().to_vec(),
+            peers: Vec::new(),
+            loads: Vec::new(),
+        }
+    }
+
+    /// Tracker seeded from the live ring of an existing network — each
+    /// peer's load is counted with the two-binary-search arc rule, not a
+    /// full placement pass.
+    pub fn of_network(store: &ItemStore, net: &Network) -> Self {
+        let mut tracker = Self::new(store);
+        let peers: Vec<Id> = net.ring_live().ids().collect();
+        tracker.loads = (0..peers.len())
+            .map(|i| {
+                let pred = peers[if i == 0 { peers.len() - 1 } else { i - 1 }];
+                tracker.count_in(pred, peers[i])
+            })
+            .collect();
+        tracker.peers = peers;
+        tracker
+    }
+
+    /// Items in the clockwise arc `(pred, peer]` — the slice `peer` owns.
+    /// `pred == peer` means a sole live peer, which owns the full ring.
+    fn count_in(&self, pred: Id, peer: Id) -> usize {
+        let le = |x: Id| self.items.partition_point(|&k| k <= x);
+        if pred == peer {
+            self.items.len()
+        } else if pred < peer {
+            le(peer) - le(pred)
+        } else {
+            // wrapping arc: (pred, MAX] ∪ [0, peer]
+            self.items.len() - le(pred) + le(peer)
+        }
+    }
+
+    /// A peer joined at `id`: it takes the slice `(predecessor, id]` out
+    /// of its successor's arc. Panics on a duplicate identifier.
+    pub fn on_join(&mut self, id: Id) {
+        let pos = self.peers.partition_point(|&p| p < id);
+        assert!(
+            pos == self.peers.len() || self.peers[pos] != id,
+            "duplicate join of {id:?}"
+        );
+        if self.peers.is_empty() {
+            self.peers.push(id);
+            self.loads.push(self.items.len());
+            return;
+        }
+        let pred = if pos == 0 {
+            *self.peers.last().expect("non-empty")
+        } else {
+            self.peers[pos - 1]
+        };
+        let taken = self.count_in(pred, id);
+        // Successor before insertion: the peer at `pos` (wrapping to 0).
+        self.loads[pos % self.peers.len()] -= taken;
+        self.peers.insert(pos, id);
+        self.loads.insert(pos, taken);
+    }
+
+    /// The peer at `id` left: its load folds into its ring successor.
+    /// Panics if `id` is not currently tracked.
+    pub fn on_leave(&mut self, id: Id) {
+        let pos = self.peers.partition_point(|&p| p < id);
+        assert!(
+            pos < self.peers.len() && self.peers[pos] == id,
+            "leave of untracked peer {id:?}"
+        );
+        self.peers.remove(pos);
+        let freed = self.loads.remove(pos);
+        if self.peers.is_empty() {
+            return;
+        }
+        let succ = if pos == self.peers.len() { 0 } else { pos };
+        self.loads[succ] += freed;
+    }
+
+    /// Current load of the peer at `id`, or `None` if it is not tracked.
+    pub fn load_of(&self, id: Id) -> Option<usize> {
+        let pos = self.peers.partition_point(|&p| p < id);
+        (pos < self.peers.len() && self.peers[pos] == id).then(|| self.loads[pos])
+    }
+
+    /// `(peer id, load)` pairs in ascending id order.
+    pub fn loads(&self) -> impl Iterator<Item = (Id, usize)> + '_ {
+        self.peers.iter().copied().zip(self.loads.iter().copied())
+    }
+
+    /// Number of tracked peers.
+    pub fn peer_count(&self) -> usize {
+        self.peers.len()
+    }
+
+    /// Sum of all tracked loads (equals the corpus size whenever at least
+    /// one peer is live — an invariant the tests lean on).
+    pub fn total(&self) -> usize {
+        self.loads.iter().sum()
+    }
+
+    /// Balance statistics over the tracked loads; bit-identical to
+    /// [`ItemStore::balance`] on the same membership.
+    pub fn balance(&self) -> LoadBalance {
+        LoadBalance::from_loads(self.loads.clone(), self.items.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oscar_degree::DegreeCaps;
+    use oscar_sim::FaultModel;
+    use oscar_types::{mix64, SeedTree};
+    use proptest::prelude::*;
+
+    fn oracle(store: &ItemStore, net: &Network) -> Vec<(Id, usize)> {
+        store
+            .load_per_peer(net)
+            .into_iter()
+            .map(|(p, l)| (net.peer(p).id, l))
+            .collect()
+    }
+
+    #[test]
+    fn join_and_leave_move_only_the_affected_arc() {
+        let store = ItemStore::from_keys(vec![
+            Id::new(150),
+            Id::new(200),
+            Id::new(250),
+            Id::new(999),
+            Id::new(50),
+        ]);
+        let mut t = LoadTracker::new(&store);
+        t.on_join(Id::new(100)); // sole peer owns everything
+        assert_eq!(t.load_of(Id::new(100)), Some(5));
+        t.on_join(Id::new(200)); // takes (100, 200]: keys 150, 200
+        assert_eq!(t.load_of(Id::new(200)), Some(2));
+        assert_eq!(t.load_of(Id::new(100)), Some(3));
+        t.on_join(Id::new(300)); // takes (200, 300]: key 250
+        assert_eq!(t.load_of(Id::new(300)), Some(1));
+        assert_eq!(t.load_of(Id::new(100)), Some(2)); // wrap owner: 999, 50
+        t.on_leave(Id::new(100)); // folds into successor 200
+        assert_eq!(t.load_of(Id::new(200)), Some(4));
+        t.on_leave(Id::new(300)); // wraps around into 200
+        assert_eq!(t.load_of(Id::new(200)), Some(5));
+        t.on_leave(Id::new(200));
+        assert_eq!(t.peer_count(), 0);
+        assert_eq!(t.total(), 0);
+    }
+
+    #[test]
+    fn exact_key_hits_stay_with_their_peer() {
+        // An item at exactly a peer's id belongs to that peer, so a join
+        // *at* an item key takes it over.
+        let store = ItemStore::from_keys(vec![Id::new(500)]);
+        let mut t = LoadTracker::new(&store);
+        t.on_join(Id::new(900));
+        assert_eq!(t.load_of(Id::new(900)), Some(1));
+        t.on_join(Id::new(500));
+        assert_eq!(t.load_of(Id::new(500)), Some(1));
+        assert_eq!(t.load_of(Id::new(900)), Some(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate join")]
+    fn duplicate_joins_are_caller_bugs() {
+        let mut t = LoadTracker::new(&ItemStore::from_keys(vec![]));
+        t.on_join(Id::new(7));
+        t.on_join(Id::new(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "untracked peer")]
+    fn leaving_an_untracked_peer_is_a_caller_bug() {
+        let mut t = LoadTracker::new(&ItemStore::from_keys(vec![]));
+        t.on_join(Id::new(7));
+        t.on_leave(Id::new(8));
+    }
+
+    proptest! {
+        /// The headline property: after every single membership event the
+        /// tracker equals the full placement recompute — ids drawn via
+        /// `mix64` so wrap-around arcs are routinely exercised.
+        #[test]
+        fn tracker_matches_full_recompute_under_churn(
+            keys in prop::collection::vec(any::<u64>(), 0..80),
+            ops in prop::collection::vec((any::<u64>(), 0u8..4), 1..60),
+        ) {
+            let store = ItemStore::from_keys(keys.into_iter().map(Id::new).collect());
+            let mut net = Network::new(FaultModel::StabilizedRing);
+            let mut tracker = LoadTracker::new(&store);
+            let mut live: Vec<Id> = Vec::new();
+            for (salt, kind) in ops {
+                if kind == 0 && !live.is_empty() {
+                    let idx = (mix64(salt) as usize) % live.len();
+                    let id = live.swap_remove(idx);
+                    net.kill(net.idx_of(id).unwrap()).unwrap();
+                    tracker.on_leave(id);
+                } else {
+                    let id = Id::new(mix64(salt));
+                    if net.idx_of(id).is_some() {
+                        continue; // id already used (possibly by a dead peer)
+                    }
+                    net.add_peer(id, DegreeCaps::symmetric(4)).unwrap();
+                    live.push(id);
+                    tracker.on_join(id);
+                }
+                let got: Vec<(Id, usize)> = tracker.loads().collect();
+                prop_assert_eq!(&got, &oracle(&store, &net));
+                let expect_total = if live.is_empty() { 0 } else { store.len() };
+                prop_assert_eq!(tracker.total(), expect_total);
+            }
+        }
+
+        /// Seeding from an existing live ring matches the recompute, and
+        /// the shared-stats path makes the balances bit-identical.
+        #[test]
+        fn network_seeding_and_balance_match_the_store(
+            keys in prop::collection::vec(any::<u64>(), 0..60),
+            ids in prop::collection::vec(any::<u64>(), 1..40),
+        ) {
+            let store = ItemStore::from_keys(keys.into_iter().map(Id::new).collect());
+            let mut net = Network::new(FaultModel::StabilizedRing);
+            for salt in ids {
+                let id = Id::new(mix64(salt));
+                if net.idx_of(id).is_none() {
+                    net.add_peer(id, DegreeCaps::symmetric(4)).unwrap();
+                }
+            }
+            let tracker = LoadTracker::of_network(&store, &net);
+            let got: Vec<(Id, usize)> = tracker.loads().collect();
+            prop_assert_eq!(&got, &oracle(&store, &net));
+            prop_assert_eq!(tracker.balance(), store.balance(&net));
+        }
+    }
+
+    #[test]
+    fn tracked_churn_matches_on_a_generated_corpus() {
+        // A denser, deterministic end-to-end pass: grow to 64 peers over a
+        // 5000-item clustered corpus, then shrink back down to one.
+        use oscar_keydist::ClusteredKeys;
+        let mut rng = SeedTree::new(41).rng();
+        let store = ItemStore::generate(&ClusteredKeys::new(4, 1e-3, 1.0, 3), 5_000, &mut rng);
+        let mut net = Network::new(FaultModel::StabilizedRing);
+        let mut tracker = LoadTracker::new(&store);
+        let mut live = Vec::new();
+        for i in 0..64u64 {
+            let id = Id::new(mix64(i) | 1);
+            net.add_peer(id, DegreeCaps::symmetric(4)).unwrap();
+            tracker.on_join(id);
+            live.push(id);
+        }
+        assert_eq!(tracker.loads().collect::<Vec<_>>(), oracle(&store, &net));
+        while live.len() > 1 {
+            let id = live.swap_remove(live.len() / 2);
+            net.kill(net.idx_of(id).unwrap()).unwrap();
+            tracker.on_leave(id);
+            assert_eq!(tracker.loads().collect::<Vec<_>>(), oracle(&store, &net));
+        }
+        assert_eq!(
+            tracker.total(),
+            store.len(),
+            "sole survivor owns the corpus"
+        );
+    }
+}

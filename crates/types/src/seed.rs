@@ -20,8 +20,12 @@ pub struct SeedTree {
 }
 
 /// SplitMix64 finaliser: bijective, strong avalanche.
+///
+/// Public because the protocol crate's token-carried RNG streams use the
+/// same mixer (a walk token must realise the same random sequence no
+/// matter which peer, thread, or driver advances it).
 #[inline]
-fn splitmix64(mut z: u64) -> u64 {
+pub fn mix64(mut z: u64) -> u64 {
     z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
@@ -32,7 +36,7 @@ impl SeedTree {
     /// Root of a seed tree for one experiment.
     pub fn new(root_seed: u64) -> Self {
         SeedTree {
-            state: splitmix64(root_seed),
+            state: mix64(root_seed),
         }
     }
 
@@ -42,7 +46,7 @@ impl SeedTree {
     /// yields the same child.
     pub fn child(&self, label: u64) -> SeedTree {
         SeedTree {
-            state: splitmix64(self.state ^ splitmix64(label.wrapping_add(0xA5A5_A5A5_A5A5_A5A5))),
+            state: mix64(self.state ^ mix64(label.wrapping_add(0xA5A5_A5A5_A5A5_A5A5))),
         }
     }
 

@@ -58,7 +58,7 @@ fn main() -> Result<()> {
         depart_rate: 0.05,
         repair: RepairPolicy::Reactive { neighbors_k: 2 },
         window_ticks: 100,
-        queries_per_window: 300,
+        query_budget: QueryBudget::Fixed(300),
         min_live: 50,
     };
     let windows = overlay.run_continuous_churn(&keys, &degrees, &schedule, 10)?;

@@ -16,7 +16,7 @@
 //! ```
 
 use oscar::prelude::*;
-use oscar::store::{choose_join_id, ItemStore, JoinPolicy};
+use oscar::store::{choose_join_id, ItemStore, JoinPolicy, LoadTracker};
 
 fn main() -> Result<()> {
     let corpus_keys = GnutellaKeys::default();
@@ -36,15 +36,21 @@ fn main() -> Result<()> {
         // point here, so the network is membership-only).
         let mut net = Network::new(FaultModel::StabilizedRing);
         let mut rng = SeedTree::new(77).child(policy.name().len() as u64).rng();
+        // Per-peer loads ride along incrementally: each join charges only
+        // the affected arc instead of replaying the full placement.
+        let mut tracker = LoadTracker::new(&store);
         // seed peers so probing has someone to ask
         for i in 0..8u64 {
-            net.add_peer(Id::new(i * (u64::MAX / 8) + 5), DegreeCaps::symmetric(27))?;
+            let id = Id::new(i * (u64::MAX / 8) + 5);
+            net.add_peer(id, DegreeCaps::symmetric(27))?;
+            tracker.on_join(id);
         }
         for _ in 8..500 {
             let id = choose_join_id(&net, &store, &policy, usize::MAX, &mut rng);
             net.add_peer(id, DegreeCaps::symmetric(27))?;
+            tracker.on_join(id);
         }
-        let b = store.balance(&net);
+        let b = tracker.balance();
         println!(
             "  {:<14} max/mean {:>7.2}   gini {:>5.3}   empty peers {:>5.1}%   heaviest peer {:>6} items",
             policy.name(),

@@ -37,6 +37,8 @@
 //! | [`degree`] | degree-cap distributions (constant / stepped / spiky-realistic) |
 //! | [`ring`] | the sorted identifier ring and stabilisation |
 //! | [`sim`] | the network simulator: walks, routing, churn, growth |
+//! | [`protocol`] | runtime-agnostic protocol core: decision kernels + per-peer state machines |
+//! | [`runtime`] | threaded actor driver for the protocol core (wall-clock, all cores) |
 //! | [`core`] | **the paper's contribution**: Oscar partition estimation + link acquisition |
 //! | [`mercury`] | the Mercury baseline |
 //! | [`chord`] | the Chord finger-table baseline (skew-oblivious control) |
@@ -49,7 +51,9 @@ pub use oscar_core as core;
 pub use oscar_degree as degree;
 pub use oscar_keydist as keydist;
 pub use oscar_mercury as mercury;
+pub use oscar_protocol as protocol;
 pub use oscar_ring as ring;
+pub use oscar_runtime as runtime;
 pub use oscar_sim as sim;
 pub use oscar_store as store;
 pub use oscar_types as types;
@@ -68,9 +72,11 @@ pub mod prelude {
         ClusteredKeys, GnutellaKeys, KeyDistribution, QueryWorkload, UniformKeys, ZipfKeys,
     };
     pub use oscar_mercury::{MercuryBuilder, MercuryConfig, MercuryOverlay};
+    pub use oscar_protocol::{Command, PeerConfig, PeerMachine, ProtocolEvent};
+    pub use oscar_runtime::{Runtime, RuntimeConfig};
     pub use oscar_sim::{
-        ChurnSchedule, ChurnWindowStats, FaultModel, GrowthConfig, Network, Overlay,
-        OverlayBuilder, QueryBatchStats, RepairPolicy, RoutePolicy,
+        ChurnSchedule, ChurnWindowStats, DesDriver, FaultModel, GrowthConfig, Network, Overlay,
+        OverlayBuilder, QueryBatchStats, QueryBudget, RepairPolicy, RoutePolicy,
     };
     pub use oscar_types::{Arc, Error, Id, Result, SeedTree};
 }

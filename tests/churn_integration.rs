@@ -150,7 +150,7 @@ fn churn_engine_under_unstabilized_ring_degrades_monotonically_in_succ_list() {
         depart_rate: 0.0,
         repair: RepairPolicy::SweepEvery(0),
         window_ticks: 500,
-        queries_per_window: 300,
+        query_budget: QueryBudget::Fixed(300),
         min_live: 60,
     };
     let run = |fm: FaultModel, succ_list_len: usize| {
@@ -240,7 +240,7 @@ fn reactive_repair_matches_sweep_delivery_at_strictly_lower_cost() {
             depart_rate: rate * 0.2,
             repair,
             window_ticks: 1000,
-            queries_per_window: 150,
+            query_budget: QueryBudget::Fixed(150),
             min_live: 60,
         };
         oscar::sim::run_continuous_churn(

@@ -1,0 +1,148 @@
+//! Cross-driver equivalence: the discrete-event simulator and the
+//! threaded actor runtime must build the *same overlay* from the same
+//! seed and command trace.
+//!
+//! This is the load-bearing test for the protocol-core refactor: all
+//! randomness that decides protocol outcomes is carried in tokens
+//! seeded from (peer seed, walk id), so link tables and routing results
+//! are a function of the command trace alone — not of scheduling, not
+//! of which driver delivers the envelopes. Gossip views are the one
+//! deliberately scheduling-dependent piece of state and are excluded
+//! from the fingerprint.
+
+use oscar::protocol::{Command, PeerConfig, ProtocolEvent, QueryReport};
+use oscar::runtime::{Runtime, RuntimeConfig};
+use oscar::sim::DesDriver;
+use oscar::types::Id;
+use std::collections::BTreeMap;
+
+const SEED: u64 = 0xE0_1234;
+
+/// The shared trace: peer ids (join order), then per-peer link walks,
+/// then a deterministic query set.
+fn peer_ids(n: u64) -> Vec<Id> {
+    // Scrambled insertion order exercises non-trivial splices.
+    (0..n)
+        .map(|i| Id::new(i.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1))
+        .collect()
+}
+
+fn query_trace(ids: &[Id]) -> Vec<(Id, u64, Id)> {
+    ids.iter()
+        .enumerate()
+        .flat_map(|(k, &origin)| {
+            (0..3u64).map(move |j| {
+                let qid = (k as u64) * 3 + j;
+                (
+                    origin,
+                    qid,
+                    Id::new(qid.wrapping_mul(0xD1B5_4A32_D192_ED03)),
+                )
+            })
+        })
+        .collect()
+}
+
+/// Per-peer link-table fingerprints: id -> (pred, succs, long_out, long_in).
+type LinkTables = BTreeMap<Id, (Id, Vec<Id>, Vec<Id>, Vec<Id>)>;
+
+fn run_des(ids: &[Id]) -> (LinkTables, Vec<QueryReport>) {
+    let mut des = DesDriver::new(SEED, PeerConfig::default());
+    des.spawn_peer(ids[0]);
+    for &id in &ids[1..] {
+        assert!(des.join_and_wait(id, ids[0]), "DES join {id:?}");
+    }
+    for &id in ids {
+        des.inject(id, Command::BuildLinks { walks: 3 });
+        des.run_until_idle();
+    }
+    des.drain_events();
+    let mut reports = Vec::new();
+    for &(origin, qid, key) in &query_trace(ids) {
+        des.inject(origin, Command::StartQuery { qid, key });
+        des.run_until_idle();
+        for e in des.drain_events() {
+            if let ProtocolEvent::QueryCompleted(r) = e {
+                reports.push(r);
+            }
+        }
+    }
+    let tables = ids
+        .iter()
+        .map(|&id| (id, des.peer(id).unwrap().fingerprint()))
+        .collect();
+    reports.sort_by_key(|r| r.qid);
+    (tables, reports)
+}
+
+fn run_actor(ids: &[Id], workers: usize) -> (LinkTables, Vec<QueryReport>) {
+    let mut rt = Runtime::new(RuntimeConfig::new(SEED).with_workers(workers));
+    rt.spawn_peer(ids[0]);
+    for &id in &ids[1..] {
+        assert!(rt.join_and_wait(id, ids[0]), "runtime join {id:?}");
+    }
+    for &id in ids {
+        rt.inject(id, Command::BuildLinks { walks: 3 });
+        rt.quiesce();
+    }
+    rt.drain_events();
+    let mut reports = Vec::new();
+    for &(origin, qid, key) in &query_trace(ids) {
+        rt.inject(origin, Command::StartQuery { qid, key });
+        rt.quiesce();
+        for e in rt.drain_events() {
+            if let ProtocolEvent::QueryCompleted(r) = e {
+                reports.push(r);
+            }
+        }
+    }
+    let tables = ids
+        .iter()
+        .map(|&id| (id, rt.with_peer(id, |m| m.fingerprint()).unwrap()))
+        .collect();
+    reports.sort_by_key(|r| r.qid);
+    rt.shutdown();
+    (tables, reports)
+}
+
+#[test]
+fn des_and_actor_runtime_build_identical_overlays() {
+    let ids = peer_ids(48);
+    let (des_tables, des_reports) = run_des(&ids);
+    let (rt_tables, rt_reports) = run_actor(&ids, 4);
+
+    assert_eq!(des_tables.len(), rt_tables.len());
+    for (id, des_fp) in &des_tables {
+        let rt_fp = &rt_tables[id];
+        assert_eq!(des_fp, rt_fp, "link tables diverge at {id:?}");
+    }
+
+    assert_eq!(des_reports.len(), rt_reports.len(), "query report counts");
+    for (d, r) in des_reports.iter().zip(&rt_reports) {
+        assert_eq!(d.qid, r.qid);
+        assert_eq!(d.origin, r.origin);
+        assert_eq!(d.key, r.key);
+        assert_eq!(d.success, r.success, "qid {} success", d.qid);
+        assert_eq!(d.dest, r.dest, "qid {} destination", d.qid);
+        assert_eq!(d.hops, r.hops, "qid {} hops", d.qid);
+        assert_eq!(d.wasted, r.wasted, "qid {} wasted", d.qid);
+        assert_eq!(d.backtracks, r.backtracks, "qid {} backtracks", d.qid);
+    }
+}
+
+#[test]
+fn actor_runtime_is_worker_count_invariant() {
+    // The same trace under 1 worker and 4 workers: scheduling changes
+    // completely, outcomes must not.
+    let ids = peer_ids(24);
+    let (t1, r1) = run_actor(&ids, 1);
+    let (t4, r4) = run_actor(&ids, 4);
+    assert_eq!(t1, t4, "link tables depend on worker count");
+    assert_eq!(r1.len(), r4.len());
+    for (a, b) in r1.iter().zip(&r4) {
+        assert_eq!(
+            (a.qid, a.success, a.dest, a.hops, a.wasted),
+            (b.qid, b.success, b.dest, b.hops, b.wasted)
+        );
+    }
+}
