@@ -20,15 +20,11 @@
 use oscar_bench::{Report, Scale};
 use oscar_protocol::{Command, ProtocolEvent};
 use oscar_runtime::{Runtime, RuntimeConfig};
+use oscar_types::labels::bench_repro_saturation::{LBL_IDS, LBL_KEYS};
 use oscar_types::{Id, SeedTree};
 use rand::Rng;
 use std::collections::BTreeSet;
 use std::time::Instant;
-
-/// Seed-tree label for the peer-id population.
-const LBL_IDS: u64 = 0x1D5;
-/// Seed-tree label for the query key stream.
-const LBL_KEYS: u64 = 0x4E45;
 
 fn queries_per_peer() -> usize {
     match std::env::var("OSCAR_SAT_QUERIES") {

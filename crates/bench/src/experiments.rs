@@ -10,14 +10,10 @@ use oscar_sim::{
     FaultModel, GrowthConfig, GrowthDriver, Network, OverlayBuilder, QueryBatchStats, QueryBudget,
     RepairPolicy, RoutePolicy,
 };
+use oscar_types::labels::bench_experiments::{
+    LBL_CHURN, LBL_GROWTH, LBL_PHASE, LBL_QUERIES, LBL_STEADY,
+};
 use oscar_types::{Result, SeedTree};
-
-/// Seed-tree labels.
-const LBL_GROWTH: u64 = 1;
-const LBL_QUERIES: u64 = 2;
-const LBL_CHURN: u64 = 3;
-const LBL_STEADY: u64 = 4;
-const LBL_PHASE: u64 = 5;
 
 /// Everything one growth run produces.
 pub struct GrowthRunResult {

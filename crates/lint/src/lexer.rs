@@ -1,0 +1,478 @@
+//! A lightweight Rust tokenizer — strings, comments, idents, punctuation.
+//!
+//! Deliberately **not** a parser: the lint rules only need to know which
+//! identifiers appear where, with string literals and comments taken out
+//! of play so `"SeedTree::new"` inside a message can never fire a rule.
+//! Same hand-rolled philosophy as `oscar_bench::baseline`'s JSON reader —
+//! the workspace builds offline with zero external dependencies.
+
+/// What a token is, as far as the rules care.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`SeedTree`, `for`, `const`, …).
+    Ident,
+    /// A single punctuation character (`:`, `(`, `#`, …).
+    Punct(char),
+    /// String, raw-string, byte-string or char literal (content dropped).
+    Literal,
+    /// Numeric literal (text kept — label values are parsed from it).
+    Num,
+    /// A lifetime (`'a`); distinct from char literals.
+    Lifetime,
+}
+
+/// One token with its source position.
+#[derive(Clone, Debug)]
+pub struct Tok {
+    /// Token class.
+    pub kind: TokKind,
+    /// Source text for idents and numbers; empty for literals.
+    pub text: String,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+impl Tok {
+    /// True iff this is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// True iff this is the punctuation char `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct(c)
+    }
+}
+
+/// A comment, kept out of the token stream but retained for
+/// `lint:allow` annotation parsing.
+#[derive(Clone, Debug)]
+pub struct Comment {
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// Comment body (without the `//` / `/*` markers).
+    pub text: String,
+    /// True when nothing but whitespace precedes the comment on its line
+    /// (such a comment annotates the next code line, not its own).
+    pub own_line: bool,
+}
+
+/// Lexer output: tokens plus the comment side-channel.
+#[derive(Clone, Debug, Default)]
+pub struct Lexed {
+    /// Code tokens in source order.
+    pub toks: Vec<Tok>,
+    /// Comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+/// Tokenizes `src`. Unterminated constructs are tolerated (the lexer is
+/// a lint aid, not a compiler front-end): they consume to end of input.
+pub fn lex(src: &str) -> Lexed {
+    let b: Vec<char> = src.chars().collect();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let mut line_has_code = false;
+    let mut out = Lexed::default();
+
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            '\n' => {
+                line += 1;
+                line_has_code = false;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if i + 1 < b.len() && b[i + 1] == '/' => {
+                let start = i + 2;
+                let mut j = start;
+                while j < b.len() && b[j] != '\n' {
+                    j += 1;
+                }
+                out.comments.push(Comment {
+                    line,
+                    text: b[start..j].iter().collect(),
+                    own_line: !line_has_code,
+                });
+                i = j;
+            }
+            '/' if i + 1 < b.len() && b[i + 1] == '*' => {
+                let cline = line;
+                let own = !line_has_code;
+                let start = i + 2;
+                let mut j = start;
+                let mut depth = 1usize;
+                while j < b.len() && depth > 0 {
+                    if b[j] == '\n' {
+                        line += 1;
+                    }
+                    if j + 1 < b.len() && b[j] == '/' && b[j + 1] == '*' {
+                        depth += 1;
+                        j += 2;
+                    } else if j + 1 < b.len() && b[j] == '*' && b[j + 1] == '/' {
+                        depth -= 1;
+                        j += 2;
+                    } else {
+                        j += 1;
+                    }
+                }
+                let end = j.saturating_sub(2).max(start);
+                out.comments.push(Comment {
+                    line: cline,
+                    text: b[start..end].iter().collect(),
+                    own_line: own,
+                });
+                i = j;
+            }
+            '"' => {
+                i = skip_string(&b, i, &mut line);
+                out.toks.push(tok_lit(line));
+                line_has_code = true;
+            }
+            'r' | 'b' if starts_raw_or_byte_string(&b, i) => {
+                i = skip_raw_or_byte_string(&b, i, &mut line);
+                out.toks.push(tok_lit(line));
+                line_has_code = true;
+            }
+            '\'' => {
+                // Lifetime (`'a`) vs char literal (`'x'`, `'\n'`).
+                let is_char = i + 1 < b.len()
+                    && (b[i + 1] == '\\'
+                        || (i + 2 < b.len() && b[i + 2] == '\'' && b[i + 1] != '\'')
+                        || !(b[i + 1].is_alphanumeric() || b[i + 1] == '_'));
+                if is_char {
+                    i = skip_char_literal(&b, i);
+                    out.toks.push(tok_lit(line));
+                } else {
+                    let mut j = i + 1;
+                    while j < b.len() && (b[j].is_alphanumeric() || b[j] == '_') {
+                        j += 1;
+                    }
+                    out.toks.push(Tok {
+                        kind: TokKind::Lifetime,
+                        text: b[i + 1..j].iter().collect(),
+                        line,
+                    });
+                    i = j;
+                }
+                line_has_code = true;
+            }
+            c if c.is_ascii_digit() => {
+                let mut j = i + 1;
+                while j < b.len() && (b[j].is_alphanumeric() || b[j] == '_') {
+                    j += 1;
+                }
+                out.toks.push(Tok {
+                    kind: TokKind::Num,
+                    text: b[i..j].iter().collect(),
+                    line,
+                });
+                i = j;
+                line_has_code = true;
+            }
+            c if c.is_alphanumeric() || c == '_' => {
+                let mut j = i + 1;
+                while j < b.len() && (b[j].is_alphanumeric() || b[j] == '_') {
+                    j += 1;
+                }
+                out.toks.push(Tok {
+                    kind: TokKind::Ident,
+                    text: b[i..j].iter().collect(),
+                    line,
+                });
+                i = j;
+                line_has_code = true;
+            }
+            c => {
+                out.toks.push(Tok {
+                    kind: TokKind::Punct(c),
+                    text: String::new(),
+                    line,
+                });
+                i += 1;
+                line_has_code = true;
+            }
+        }
+    }
+    out
+}
+
+fn tok_lit(line: u32) -> Tok {
+    Tok {
+        kind: TokKind::Literal,
+        text: String::new(),
+        line,
+    }
+}
+
+/// Skips a `"…"` string starting at `i`; returns the index past it.
+fn skip_string(b: &[char], mut i: usize, line: &mut u32) -> usize {
+    i += 1;
+    while i < b.len() {
+        match b[i] {
+            '\\' => i += 2,
+            '\n' => {
+                *line += 1;
+                i += 1;
+            }
+            '"' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// True iff `r"`, `r#`, `b"`, `br"`, `b'`, or `br#` starts at `i` —
+/// i.e. the `r`/`b` opens a literal rather than an identifier.
+fn starts_raw_or_byte_string(b: &[char], i: usize) -> bool {
+    // Not a literal prefix when glued to a preceding ident char (`for`,
+    // `attr`): callers only reach here on ident-start boundaries, so a
+    // lookahead on the next chars is sufficient.
+    let mut j = i;
+    if b[j] == 'b' {
+        j += 1;
+        if j < b.len() && b[j] == '\'' {
+            return true; // byte char b'x'
+        }
+    }
+    if j < b.len() && b[j] == 'r' {
+        j += 1;
+        while j < b.len() && b[j] == '#' {
+            j += 1;
+        }
+    }
+    j < b.len() && b[j] == '"'
+}
+
+/// Skips `r"…"`, `r#"…"#`, `b"…"`, `br##"…"##`, `b'x'` from `i`.
+fn skip_raw_or_byte_string(b: &[char], mut i: usize, line: &mut u32) -> usize {
+    if b[i] == 'b' {
+        i += 1;
+        if i < b.len() && b[i] == '\'' {
+            return skip_char_literal(b, i);
+        }
+    }
+    let mut hashes = 0usize;
+    if i < b.len() && b[i] == 'r' {
+        i += 1;
+        while i < b.len() && b[i] == '#' {
+            hashes += 1;
+            i += 1;
+        }
+    }
+    if i < b.len() && b[i] == '"' {
+        if hashes == 0 && b[i.saturating_sub(1)] != 'r' {
+            // plain b"…": normal escape rules
+            return skip_string(b, i, line);
+        }
+        i += 1;
+        while i < b.len() {
+            if b[i] == '\n' {
+                *line += 1;
+            }
+            if b[i] == '"' {
+                let mut k = 0usize;
+                while k < hashes && i + 1 + k < b.len() && b[i + 1 + k] == '#' {
+                    k += 1;
+                }
+                if k == hashes {
+                    return i + 1 + hashes;
+                }
+            }
+            i += 1;
+        }
+    }
+    i
+}
+
+/// Skips `'x'` / `'\n'` / `b'x'`-tail starting at the `'`.
+fn skip_char_literal(b: &[char], mut i: usize) -> usize {
+    i += 1; // opening quote
+    if i < b.len() && b[i] == '\\' {
+        i += 2;
+    } else {
+        i += 1;
+    }
+    // hex/unicode escapes are longer; scan to the closing quote.
+    while i < b.len() && b[i] != '\'' {
+        i += 1;
+    }
+    i + 1
+}
+
+/// Spans of `#[cfg(test)]` items and `#[test]` functions, as inclusive
+/// line ranges. Rules skip findings inside these: test harnesses are
+/// exactly where ad-hoc seeding and unwraps are fine.
+pub fn test_regions(toks: &[Tok]) -> Vec<(u32, u32)> {
+    let mut regions = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        if is_test_attr_at(toks, i) {
+            let start_line = toks[i].line;
+            // Skip this attribute and any stacked ones.
+            let mut j = skip_attr(toks, i);
+            while j < toks.len() && toks[j].is_punct('#') {
+                j = skip_attr(toks, j);
+            }
+            // The annotated item runs to the matching `}` of its first
+            // top-level `{`, or to a `;` if none opens first.
+            let mut depth = 0i32;
+            let mut end_line = start_line;
+            while j < toks.len() {
+                let t = &toks[j];
+                end_line = t.line;
+                if t.is_punct('{') {
+                    depth += 1;
+                } else if t.is_punct('}') {
+                    depth -= 1;
+                    if depth <= 0 {
+                        break;
+                    }
+                } else if t.is_punct(';') && depth == 0 {
+                    break;
+                }
+                j += 1;
+            }
+            regions.push((start_line, end_line));
+            i = j + 1;
+        } else {
+            i += 1;
+        }
+    }
+    regions
+}
+
+/// True iff `#[cfg(test)]` or `#[test]` starts at token `i`.
+fn is_test_attr_at(toks: &[Tok], i: usize) -> bool {
+    if !toks[i].is_punct('#') || i + 1 >= toks.len() || !toks[i + 1].is_punct('[') {
+        return false;
+    }
+    if toks.len() > i + 3 && toks[i + 2].is_ident("test") && toks[i + 3].is_punct(']') {
+        return true;
+    }
+    toks.len() > i + 6
+        && toks[i + 2].is_ident("cfg")
+        && toks[i + 3].is_punct('(')
+        && toks[i + 4].is_ident("test")
+        && toks[i + 5].is_punct(')')
+        && toks[i + 6].is_punct(']')
+}
+
+/// Returns the index past the `#[…]` attribute starting at `i`.
+fn skip_attr(toks: &[Tok], i: usize) -> usize {
+    let mut j = i + 1; // at '['
+    let mut depth = 0i32;
+    while j < toks.len() {
+        if toks[j].is_punct('[') {
+            depth += 1;
+        } else if toks[j].is_punct(']') {
+            depth -= 1;
+            if depth == 0 {
+                return j + 1;
+            }
+        }
+        j += 1;
+    }
+    j
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.clone())
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_hide_idents() {
+        let src = r##"
+            // SeedTree::new in a comment
+            /* HashMap::iter in a block */
+            let s = "SeedTree::new(7)";
+            let r = r#"Instant::now"#;
+            let real = SeedTree::new(7);
+        "##;
+        let ids = idents(src);
+        assert_eq!(ids.iter().filter(|s| *s == "SeedTree").count(), 1);
+        assert!(!ids.contains(&"HashMap".to_string()));
+        assert!(!ids.contains(&"Instant".to_string()));
+    }
+
+    #[test]
+    fn comments_are_captured_with_ownership() {
+        let src = "let x = 1; // trailing\n// own line\nlet y = 2;\n";
+        let lx = lex(src);
+        assert_eq!(lx.comments.len(), 2);
+        assert!(!lx.comments[0].own_line);
+        assert!(lx.comments[1].own_line);
+        assert_eq!(lx.comments[1].text.trim(), "own line");
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let lx = lex("fn f<'a>(x: &'a str) -> char { 'x' }");
+        let lifetimes = lx
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .count();
+        let chars = lx
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Literal)
+            .count();
+        assert_eq!(lifetimes, 2);
+        assert_eq!(chars, 1);
+    }
+
+    #[test]
+    fn line_numbers_track_newlines() {
+        let lx = lex("a\nb\n\nc");
+        let lines: Vec<u32> = lx.toks.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn cfg_test_regions_span_the_module() {
+        let src = "\
+fn prod() {}
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() { let x = 1; }
+}
+fn prod2() {}
+";
+        let lx = lex(src);
+        let regions = test_regions(&lx.toks);
+        assert_eq!(regions[0], (2, 6));
+    }
+
+    #[test]
+    fn test_fn_region_is_bounded() {
+        let src = "\
+#[test]
+fn t() {
+    body();
+}
+fn prod() {}
+";
+        let lx = lex(src);
+        let regions = test_regions(&lx.toks);
+        assert_eq!(regions[0], (1, 4));
+    }
+
+    #[test]
+    fn numbers_keep_their_text() {
+        let lx = lex("const LBL_X: u64 = 0xDE5;");
+        let num = lx.toks.iter().find(|t| t.kind == TokKind::Num).unwrap();
+        assert_eq!(num.text, "0xDE5");
+    }
+}

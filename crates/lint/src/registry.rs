@@ -1,0 +1,296 @@
+//! The seed-label registry: parse, check, regenerate.
+//!
+//! `crates/types/src/labels.rs` is the single home of every `LBL_*`
+//! seed-derivation label in the workspace, grouped into **derivation
+//! scopes** (one module per deriving file). Within a scope, label
+//! values address children of one `SeedTree` node, so a duplicated
+//! value silently correlates two "independent" random streams — the
+//! exact bug class the registry exists to make structurally impossible.
+//! Across scopes, equal values are fine: the parent seeds differ.
+//!
+//! The file is generated: `oscar-lint --write-registry` collects any
+//! stray `const LBL_*` declarations left in the workspace, merges them
+//! into the registry under their file's scope, and rewrites the file
+//! canonically (scopes sorted by name, labels by value, literals kept
+//! as written).
+
+use crate::lexer::{lex, Tok, TokKind};
+use crate::rules::{Finding, REGISTRY_PATH};
+
+/// One label: name, parsed value, and the literal as written.
+#[derive(Clone, Debug)]
+pub struct Label {
+    /// Constant name (`LBL_REWIRE`).
+    pub name: String,
+    /// Parsed numeric value.
+    pub value: u64,
+    /// Source literal (`0xDE5`, `11`), preserved on rewrite.
+    pub literal: String,
+    /// 1-based line of the declaration.
+    pub line: u32,
+}
+
+/// One derivation scope (a `pub mod` in the registry).
+#[derive(Clone, Debug)]
+pub struct Scope {
+    /// Module name (`sim_overlay`, `protocol_machine`, …).
+    pub name: String,
+    /// Labels in source order.
+    pub labels: Vec<Label>,
+    /// 1-based line of the `mod` item.
+    pub line: u32,
+}
+
+/// The parsed registry.
+#[derive(Clone, Debug, Default)]
+pub struct Registry {
+    /// Scopes in source order.
+    pub scopes: Vec<Scope>,
+}
+
+/// Parses the registry source. Structural surprises (a label outside a
+/// scope, an unparsable value) come back as findings, not panics.
+pub fn parse_registry(src: &str) -> (Registry, Vec<Finding>) {
+    let toks = lex(src).toks;
+    let mut reg = Registry::default();
+    let mut findings = Vec::new();
+    let mut i = 0usize;
+    let mut current: Option<Scope> = None;
+    let mut depth = 0i32;
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct('}') {
+            depth -= 1;
+            if depth == 0 {
+                if let Some(s) = current.take() {
+                    reg.scopes.push(s);
+                }
+            }
+        } else if t.is_ident("mod") && depth == 0 {
+            if let Some(name) = toks.get(i + 1) {
+                current = Some(Scope {
+                    name: name.text.clone(),
+                    labels: Vec::new(),
+                    line: t.line,
+                });
+                i += 2;
+                continue;
+            }
+        } else if t.is_ident("const") {
+            let name = toks.get(i + 1);
+            let val = find_value(&toks, i);
+            match (name, val, current.as_mut()) {
+                (Some(n), Some((value, literal)), Some(scope)) => {
+                    scope.labels.push(Label {
+                        name: n.text.clone(),
+                        value,
+                        literal,
+                        line: t.line,
+                    });
+                }
+                (Some(n), _, None) => findings.push(reg_finding(
+                    t.line,
+                    format!("label `{}` declared outside any scope module", n.text),
+                )),
+                (Some(n), None, Some(_)) => findings.push(reg_finding(
+                    t.line,
+                    format!("label `{}` has no parsable integer value", n.text),
+                )),
+                _ => findings.push(reg_finding(t.line, "malformed const item".to_string())),
+            }
+        }
+        i += 1;
+    }
+    (reg, findings)
+}
+
+/// The `= <int literal>` of a const starting at token `i`.
+fn find_value(toks: &[Tok], i: usize) -> Option<(u64, String)> {
+    let mut j = i;
+    while j < toks.len() && !toks[j].is_punct(';') {
+        if toks[j].is_punct('=') && j + 1 < toks.len() && toks[j + 1].kind == TokKind::Num {
+            let lit = toks[j + 1].text.clone();
+            return parse_int(&lit).map(|v| (v, lit));
+        }
+        j += 1;
+    }
+    None
+}
+
+/// Parses `42`, `0xDE5`, `0b101`, with `_` separators and type suffixes.
+pub fn parse_int(s: &str) -> Option<u64> {
+    let s = s.replace('_', "");
+    let s = s
+        .strip_suffix("u64")
+        .or_else(|| s.strip_suffix("u32"))
+        .unwrap_or(&s);
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else if let Some(bin) = s.strip_prefix("0b") {
+        u64::from_str_radix(bin, 2).ok()
+    } else {
+        s.parse().ok()
+    }
+}
+
+fn reg_finding(line: u32, message: String) -> Finding {
+    Finding {
+        rule: "label-registry",
+        file: REGISTRY_PATH.to_string(),
+        line,
+        snippet: String::new(),
+        message,
+    }
+}
+
+/// Registry self-consistency: no duplicate value and no duplicate name
+/// within one derivation scope, no duplicate scope names.
+pub fn check_registry(src: &str) -> Vec<Finding> {
+    let (reg, mut findings) = parse_registry(src);
+    let mut scope_names: Vec<&str> = Vec::new();
+    for scope in &reg.scopes {
+        if scope_names.contains(&scope.name.as_str()) {
+            findings.push(reg_finding(
+                scope.line,
+                format!("duplicate derivation scope `{}`", scope.name),
+            ));
+        }
+        scope_names.push(&scope.name);
+        for (k, a) in scope.labels.iter().enumerate() {
+            for b in &scope.labels[k + 1..] {
+                if a.value == b.value {
+                    findings.push(reg_finding(
+                        b.line,
+                        format!(
+                            "scope `{}`: labels `{}` and `{}` share value {} — their derived \
+                             streams would be identical",
+                            scope.name, a.name, b.name, a.value
+                        ),
+                    ));
+                }
+                if a.name == b.name {
+                    findings.push(reg_finding(
+                        b.line,
+                        format!("scope `{}`: label `{}` declared twice", scope.name, a.name),
+                    ));
+                }
+            }
+        }
+    }
+    findings
+}
+
+/// Renders the canonical registry source for `reg` (stray labels already
+/// merged by the caller). Deterministic: scopes sorted by name, labels
+/// by value; literals preserved.
+pub fn render_registry(reg: &Registry) -> String {
+    let mut scopes = reg.scopes.clone();
+    scopes.sort_by(|a, b| a.name.cmp(&b.name));
+    let mut out = String::new();
+    out.push_str(
+        "//! GENERATED — the workspace seed-label registry.\n\
+         //!\n\
+         //! Regenerate with `cargo run -p oscar-lint -- --write-registry`; the\n\
+         //! lint gate (`oscar-lint`) rejects `const LBL_*` declarations anywhere\n\
+         //! else and duplicate values within a scope. One module = one\n\
+         //! **derivation scope** (the labels address children of a single\n\
+         //! `SeedTree` node, so equal values within a module would correlate\n\
+         //! streams; across modules the parents differ and reuse is harmless).\n\
+         //!\n\
+         //! Values are part of the reproduction contract: changing one changes\n\
+         //! every committed seeded artifact downstream of its stream.\n",
+    );
+    for scope in &scopes {
+        let mut labels = scope.labels.clone();
+        labels.sort_by_key(|l| l.value);
+        out.push_str(&format!(
+            "\n/// Seed-tree labels of derivation scope `{}`.\npub mod {} {{\n",
+            scope.name, scope.name
+        ));
+        for l in &labels {
+            out.push_str(&format!(
+                "    /// Label `{}` (= {}).\n    pub const {}: u64 = {};\n",
+                l.name, l.value, l.name, l.literal
+            ));
+        }
+        out.push_str("}\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GOOD: &str = "\
+//! docs
+pub mod alpha {
+    /// one
+    pub const LBL_A: u64 = 1;
+    pub const LBL_B: u64 = 0x2;
+}
+pub mod beta {
+    pub const LBL_A: u64 = 1;
+}
+";
+
+    #[test]
+    fn parses_scopes_and_values() {
+        let (reg, errs) = parse_registry(GOOD);
+        assert!(errs.is_empty());
+        assert_eq!(reg.scopes.len(), 2);
+        assert_eq!(reg.scopes[0].name, "alpha");
+        assert_eq!(reg.scopes[0].labels[1].value, 2);
+        assert_eq!(reg.scopes[0].labels[1].literal, "0x2");
+    }
+
+    #[test]
+    fn cross_scope_value_reuse_is_fine() {
+        assert!(check_registry(GOOD).is_empty());
+    }
+
+    #[test]
+    fn duplicate_value_in_scope_is_an_error() {
+        let bad = "pub mod s { pub const LBL_A: u64 = 7; pub const LBL_B: u64 = 0x7; }";
+        let errs = check_registry(bad);
+        assert_eq!(errs.len(), 1);
+        assert!(errs[0].message.contains("share value 7"));
+    }
+
+    #[test]
+    fn duplicate_name_in_scope_is_an_error() {
+        let bad = "pub mod s { pub const LBL_A: u64 = 1; pub const LBL_A: u64 = 2; }";
+        let errs = check_registry(bad);
+        assert!(errs.iter().any(|f| f.message.contains("declared twice")));
+    }
+
+    #[test]
+    fn label_outside_scope_is_an_error() {
+        let bad = "pub const LBL_LOOSE: u64 = 3;";
+        let (_, errs) = parse_registry(bad);
+        assert!(errs[0].message.contains("outside any scope"));
+    }
+
+    #[test]
+    fn render_is_canonical_and_reparsable() {
+        let (reg, _) = parse_registry(GOOD);
+        let rendered = render_registry(&reg);
+        let (reg2, errs) = parse_registry(&rendered);
+        assert!(errs.is_empty());
+        assert_eq!(reg2.scopes.len(), 2);
+        // Idempotent: rendering the reparse reproduces the bytes.
+        assert_eq!(render_registry(&reg2), rendered);
+    }
+
+    #[test]
+    fn int_literals_parse() {
+        assert_eq!(parse_int("42"), Some(42));
+        assert_eq!(parse_int("0xDE5"), Some(0xDE5));
+        assert_eq!(parse_int("1_000"), Some(1000));
+        assert_eq!(parse_int("0x4E_45"), Some(0x4E45));
+        assert_eq!(parse_int("7u64"), Some(7));
+        assert_eq!(parse_int("abc"), None);
+    }
+}

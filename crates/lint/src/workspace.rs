@@ -1,0 +1,151 @@
+//! Workspace walking: find the repo root, enumerate lintable `.rs`
+//! files, and classify each into a [`FileCtx`].
+//!
+//! The layout is fixed by convention, not read from Cargo metadata:
+//! `crates/<dir>/{src,tests,benches}` plus the root facade's
+//! `src`/`tests`/`examples`. `vendor/` (dependency stubs), `target/`,
+//! and the lint fixture corpus are never linted.
+
+use crate::rules::{FileCtx, FileKind};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Finds the workspace root: the nearest ancestor of `start` holding a
+/// `Cargo.toml` with a `[workspace]` table.
+pub fn find_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d);
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}
+
+/// All lintable files under `root`, each with its scoping context,
+/// sorted by path so output and JSON are stable.
+pub fn workspace_files(root: &Path) -> Vec<(FileCtx, PathBuf)> {
+    let mut out = Vec::new();
+    // Crate members.
+    if let Ok(entries) = fs::read_dir(root.join("crates")) {
+        let mut dirs: Vec<PathBuf> = entries
+            .flatten()
+            .map(|e| e.path())
+            .filter(|p| p.is_dir())
+            .collect();
+        dirs.sort();
+        for dir in dirs {
+            let dir_name = match dir.file_name().and_then(|n| n.to_str()) {
+                Some(n) => n.to_string(),
+                None => continue,
+            };
+            let crate_name = format!("oscar-{dir_name}");
+            collect_tree(root, &dir.join("src"), &crate_name, &mut out);
+            collect_tree(root, &dir.join("tests"), &crate_name, &mut out);
+            collect_tree(root, &dir.join("benches"), &crate_name, &mut out);
+        }
+    }
+    // Root facade package.
+    collect_tree(root, &root.join("src"), "oscar", &mut out);
+    collect_tree(root, &root.join("tests"), "oscar", &mut out);
+    collect_tree(root, &root.join("examples"), "oscar", &mut out);
+    out.sort_by(|a, b| a.0.rel_path.cmp(&b.0.rel_path));
+    out
+}
+
+/// Recursively collects `.rs` files under `base` (a src/tests/benches
+/// dir) into `out`, skipping the fixture corpus.
+fn collect_tree(root: &Path, base: &Path, crate_name: &str, out: &mut Vec<(FileCtx, PathBuf)>) {
+    let mut stack = vec![base.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let Ok(entries) = fs::read_dir(&dir) else {
+            continue;
+        };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if path.is_dir() {
+                stack.push(path);
+            } else if path.extension().and_then(|e| e.to_str()) == Some("rs") {
+                let rel = rel_path(root, &path);
+                if rel.contains("/fixtures/") {
+                    continue;
+                }
+                let ctx = FileCtx {
+                    crate_name: crate_name.to_string(),
+                    rel_path: rel.clone(),
+                    kind: classify(&rel),
+                };
+                out.push((ctx, path));
+            }
+        }
+    }
+}
+
+/// Repo-relative path with `/` separators.
+fn rel_path(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// Path-convention classification (see [`FileKind`]).
+pub fn classify(rel: &str) -> FileKind {
+    if rel.contains("/src/bin/") {
+        FileKind::Bin
+    } else if rel.contains("/benches/") {
+        FileKind::Bench
+    } else if rel.starts_with("examples/") || rel.contains("/examples/") {
+        FileKind::Example
+    } else if rel.starts_with("tests/") || rel.contains("/tests/") {
+        FileKind::TestHarness
+    } else {
+        FileKind::Lib
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_by_path() {
+        assert_eq!(classify("crates/sim/src/overlay.rs"), FileKind::Lib);
+        assert_eq!(
+            classify("crates/bench/src/bin/repro_fig1a.rs"),
+            FileKind::Bin
+        );
+        assert_eq!(
+            classify("crates/runtime/tests/shutdown_stress.rs"),
+            FileKind::TestHarness
+        );
+        assert_eq!(classify("tests/determinism.rs"), FileKind::TestHarness);
+        assert_eq!(classify("crates/bench/benches/figures.rs"), FileKind::Bench);
+        assert_eq!(classify("examples/quickstart.rs"), FileKind::Example);
+        assert_eq!(classify("src/lib.rs"), FileKind::Lib);
+    }
+
+    #[test]
+    fn finds_this_workspace() {
+        let here = Path::new(env!("CARGO_MANIFEST_DIR"));
+        let root = find_root(here).expect("workspace root");
+        assert!(root.join("Cargo.toml").exists());
+        let files = workspace_files(&root);
+        let rels: Vec<&str> = files.iter().map(|(c, _)| c.rel_path.as_str()).collect();
+        assert!(rels.contains(&"crates/sim/src/overlay.rs"));
+        assert!(rels.contains(&"crates/lint/src/lexer.rs"));
+        // Fixtures and vendor stubs are never linted.
+        assert!(rels.iter().all(|r| !r.contains("/fixtures/")));
+        assert!(rels.iter().all(|r| !r.starts_with("vendor/")));
+        // Sorted for stable output.
+        let mut sorted = rels.clone();
+        sorted.sort();
+        assert_eq!(rels, sorted);
+    }
+}

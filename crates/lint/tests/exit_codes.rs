@@ -1,0 +1,103 @@
+//! Binary contract: exit 0 on a clean workspace, 1 on findings, and
+//! `--json` emits the findings artifact CI uploads.
+//!
+//! Each case materialises a miniature workspace under
+//! `CARGO_TARGET_TMPDIR`, drops one fixture into a crate whose name
+//! puts it in scope, and runs the real `oscar-lint` binary against it.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+const CLEAN_REGISTRY: &str = "pub mod demo {\n    pub const LBL_DEMO: u64 = 1;\n}\n";
+
+/// Builds `tmp/<name>` as `[workspace]` + `crates/<krate>/src/lib.rs`
+/// holding `fixture`, plus a valid seed-label registry.
+fn mini_workspace(name: &str, krate: &str, fixture: &str) -> PathBuf {
+    let root = Path::new(env!("CARGO_TARGET_TMPDIR")).join(name);
+    let _ = std::fs::remove_dir_all(&root);
+    let src = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
+    std::fs::create_dir_all(root.join(format!("crates/{krate}/src"))).unwrap();
+    std::fs::create_dir_all(root.join("crates/types/src")).unwrap();
+    std::fs::write(root.join("Cargo.toml"), "[workspace]\nmembers = []\n").unwrap();
+    std::fs::write(root.join("crates/types/src/labels.rs"), CLEAN_REGISTRY).unwrap();
+    std::fs::copy(
+        src.join(fixture),
+        root.join(format!("crates/{krate}/src/lib.rs")),
+    )
+    .unwrap();
+    root
+}
+
+fn run_lint(root: &Path, extra: &[&str]) -> (i32, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_oscar-lint"))
+        .arg("--root")
+        .arg(root)
+        .args(extra)
+        .output()
+        .expect("spawn oscar-lint");
+    (
+        out.status.code().unwrap_or(-1),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+    )
+}
+
+#[test]
+fn clean_workspace_exits_zero() {
+    let root = mini_workspace("lint_clean", "sim", "iter_order_good.rs");
+    let (code, out) = run_lint(&root, &[]);
+    assert_eq!(code, 0, "stdout:\n{out}");
+    assert!(out.contains("clean"));
+}
+
+#[test]
+fn each_bad_fixture_exits_nonzero() {
+    // (fixture, crate dir that puts the rule in scope, expected rule)
+    let cases = [
+        ("rng_discipline_bad.rs", "protocol", "rng-discipline"),
+        ("label_registry_bad.rs", "sim", "label-registry"),
+        ("iter_order_bad.rs", "sim", "iter-order"),
+        ("wall_clock_bad.rs", "sim", "wall-clock"),
+        ("panic_policy_bad.rs", "protocol", "panic-policy"),
+        ("allow_missing_reason.rs", "sim", "allow-syntax"),
+        ("allow_stale.rs", "sim", "allow-syntax"),
+    ];
+    for (fixture, krate, rule) in cases {
+        let name = format!("lint_{}", fixture.trim_end_matches(".rs"));
+        let root = mini_workspace(&name, krate, fixture);
+        let (code, out) = run_lint(&root, &[]);
+        assert_eq!(code, 1, "{fixture} must fail the gate; stdout:\n{out}");
+        assert!(out.contains(rule), "{fixture} must report {rule}:\n{out}");
+    }
+}
+
+#[test]
+fn json_output_is_machine_readable() {
+    let root = mini_workspace("lint_json", "sim", "iter_order_bad.rs");
+    let (code, out) = run_lint(&root, &["--json"]);
+    assert_eq!(code, 1);
+    assert!(out.trim_start().starts_with('{'), "JSON object:\n{out}");
+    assert!(out.contains("\"rule\": \"iter-order\""));
+    assert!(out.contains("\"findings\""));
+    assert!(out.contains("\"count\""));
+}
+
+#[test]
+fn missing_registry_is_a_finding() {
+    let root = mini_workspace("lint_no_registry", "sim", "iter_order_good.rs");
+    std::fs::remove_file(root.join("crates/types/src/labels.rs")).unwrap();
+    let (code, out) = run_lint(&root, &[]);
+    assert_eq!(code, 1, "stdout:\n{out}");
+    assert!(out.contains("missing seed-label registry"), "{out}");
+}
+
+#[test]
+fn write_registry_adopts_stray_labels_and_cleans_the_gate() {
+    let root = mini_workspace("lint_adopt", "sim", "label_registry_bad.rs");
+    let (code, _) = run_lint(&root, &[]);
+    assert_eq!(code, 1, "stray label must fail first");
+    let (code, out) = run_lint(&root, &["--write-registry"]);
+    assert_eq!(code, 1, "stray decl still present after adoption:\n{out}");
+    let registry = std::fs::read_to_string(root.join("crates/types/src/labels.rs")).unwrap();
+    assert!(registry.contains("LBL_ROGUE"), "{registry}");
+    assert!(registry.contains("mod sim "), "{registry}");
+}

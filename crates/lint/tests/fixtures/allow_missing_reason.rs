@@ -1,0 +1,13 @@
+//! BAD: the allow annotation has no reason string.
+use std::collections::HashMap;
+
+pub struct Table {
+    routes: HashMap<u64, u64>,
+}
+
+impl Table {
+    pub fn sum(&self) -> u64 {
+        // lint:allow(iter-order)
+        self.routes.values().sum()
+    }
+}

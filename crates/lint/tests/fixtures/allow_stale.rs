@@ -1,0 +1,13 @@
+//! BAD: a reasoned allow that suppresses nothing (stale after refactor).
+use std::collections::BTreeMap;
+
+pub struct Table {
+    routes: BTreeMap<u64, u64>,
+}
+
+impl Table {
+    pub fn sum(&self) -> u64 {
+        // lint:allow(iter-order, BTreeMap iterates in key order)
+        self.routes.values().sum()
+    }
+}

@@ -1,0 +1,24 @@
+//! BAD: iterates hash containers in a deterministic crate.
+use std::collections::{HashMap, HashSet};
+
+pub struct Table {
+    routes: HashMap<u64, u64>,
+}
+
+impl Table {
+    pub fn sum(&self) -> u64 {
+        let mut acc = 0;
+        for (_, v) in self.routes.iter() {
+            acc += v;
+        }
+        acc
+    }
+
+    pub fn first_key(&self) -> Option<u64> {
+        let seen: HashSet<u64> = HashSet::new();
+        for k in &seen {
+            return Some(*k);
+        }
+        self.routes.keys().next().copied()
+    }
+}

@@ -1,0 +1,23 @@
+//! GOOD: ordered containers iterate deterministically; lookup-only hash
+//! maps are fine; one justified hash walk carries an allow.
+use std::collections::{BTreeMap, HashMap};
+
+pub struct Table {
+    routes: BTreeMap<u64, u64>,
+    cache: HashMap<u64, u64>,
+}
+
+impl Table {
+    pub fn sum(&self) -> u64 {
+        self.routes.values().sum()
+    }
+
+    pub fn hit(&self, k: u64) -> Option<u64> {
+        self.cache.get(&k).copied()
+    }
+
+    pub fn cache_load(&self) -> usize {
+        // lint:allow(iter-order, count is order-independent — no artifact consumes the walk order)
+        self.cache.iter().count()
+    }
+}

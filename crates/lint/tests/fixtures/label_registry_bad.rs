@@ -1,0 +1,6 @@
+//! BAD: declares a seed label outside the generated registry.
+const LBL_ROGUE: u64 = 99;
+
+pub fn stream(tree: &oscar_types::SeedTree) -> u64 {
+    tree.child(LBL_ROGUE).seed()
+}

@@ -1,0 +1,9 @@
+//! BAD: protocol paths that can kill a worker thread.
+pub fn handle(slot: Option<u64>, table: &[u64]) -> u64 {
+    let v = slot.unwrap();
+    let w = table.first().expect("non-empty table");
+    if v > *w {
+        panic!("inconsistent state");
+    }
+    v
+}

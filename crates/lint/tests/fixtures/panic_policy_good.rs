@@ -1,0 +1,14 @@
+//! GOOD: impossible states degrade into fault events, not panics.
+pub enum Event {
+    Fault { context: &'static str },
+}
+
+pub fn handle(slot: Option<u64>, events: &mut Vec<Event>) -> u64 {
+    let Some(v) = slot else {
+        events.push(Event::Fault {
+            context: "slot vanished",
+        });
+        return 0;
+    };
+    v
+}

@@ -1,0 +1,5 @@
+//! BAD registry: two labels in one derivation scope share a value.
+pub mod demo_scope {
+    pub const LBL_ONE: u64 = 5;
+    pub const LBL_TWO: u64 = 0x5;
+}

@@ -1,0 +1,12 @@
+//! BAD: roots a fresh SeedTree in library code and draws from the
+//! driver RNG inside protocol logic.
+use oscar_types::SeedTree;
+
+pub fn ad_hoc_stream(seed: u64) -> u64 {
+    let tree = SeedTree::new(seed);
+    tree.child(1).seed()
+}
+
+pub fn driver_draw(rng: &mut dyn rand::RngCore) -> u64 {
+    rng.next_u64()
+}

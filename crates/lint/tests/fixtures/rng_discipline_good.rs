@@ -1,0 +1,12 @@
+//! GOOD: derives from a caller-supplied tree; the one sanctioned root
+//! carries a reasoned allow.
+use oscar_types::SeedTree;
+
+pub fn derived_stream(tree: &SeedTree) -> u64 {
+    tree.child(7).seed()
+}
+
+pub fn deployment_root(seed: u64) -> SeedTree {
+    // lint:allow(rng-discipline, this fixture models the canonical deployment entry point)
+    SeedTree::new(seed)
+}

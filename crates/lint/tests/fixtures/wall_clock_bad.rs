@@ -1,0 +1,8 @@
+//! BAD: reads the wall clock in deterministic library code.
+use std::time::{Instant, SystemTime};
+
+pub fn stamp() -> u128 {
+    let t0 = Instant::now();
+    let _ = SystemTime::now();
+    t0.elapsed().as_nanos()
+}

@@ -1,0 +1,134 @@
+//! Fixture corpus: every rule has a positive (bad) and negative (good)
+//! fixture, plus annotation-syntax cases, and the real workspace must
+//! lint clean.
+
+use oscar_lint::registry::check_registry;
+use oscar_lint::rules::{lint_file, FileCtx, FileKind, Finding};
+use oscar_lint::workspace::find_root;
+use std::path::Path;
+
+fn fixture(name: &str) -> String {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
+    std::fs::read_to_string(dir.join(name)).unwrap_or_else(|e| panic!("fixture {name}: {e}"))
+}
+
+fn lint_fixture(name: &str, crate_name: &str) -> Vec<Finding> {
+    let ctx = FileCtx {
+        crate_name: crate_name.to_string(),
+        rel_path: format!("crates/x/src/{name}"),
+        kind: FileKind::Lib,
+    };
+    lint_file(&ctx, &fixture(name))
+}
+
+fn rules_of(findings: &[Finding]) -> Vec<&'static str> {
+    findings.iter().map(|f| f.rule).collect()
+}
+
+#[test]
+fn rng_discipline_fixtures() {
+    let bad = lint_fixture("rng_discipline_bad.rs", "oscar-protocol");
+    assert!(
+        rules_of(&bad).contains(&"rng-discipline"),
+        "bad fixture must trip rng-discipline: {bad:?}"
+    );
+    // Both halves: the ad-hoc root and the driver draw.
+    assert_eq!(
+        rules_of(&bad)
+            .iter()
+            .filter(|r| **r == "rng-discipline")
+            .count(),
+        2
+    );
+    let good = lint_fixture("rng_discipline_good.rs", "oscar-protocol");
+    assert!(good.is_empty(), "good fixture must be clean: {good:?}");
+}
+
+#[test]
+fn label_registry_fixtures() {
+    let bad = lint_fixture("label_registry_bad.rs", "oscar-sim");
+    assert_eq!(rules_of(&bad), vec!["label-registry"]);
+    let good = lint_fixture("label_registry_good.rs", "oscar-sim");
+    assert!(good.is_empty(), "{good:?}");
+}
+
+#[test]
+fn iter_order_fixtures() {
+    let bad = lint_fixture("iter_order_bad.rs", "oscar-sim");
+    let rules = rules_of(&bad);
+    assert!(rules.iter().all(|r| *r == "iter-order"), "{bad:?}");
+    // The for-loop over the map, the for-loop over the set, and `.keys()`.
+    assert!(rules.len() >= 3, "{bad:?}");
+    let good = lint_fixture("iter_order_good.rs", "oscar-sim");
+    assert!(good.is_empty(), "{good:?}");
+}
+
+#[test]
+fn iter_order_is_scoped_to_deterministic_crates() {
+    // The same bad source is fine in a crate whose iteration order is
+    // not observable in artifacts.
+    let elsewhere = lint_fixture("iter_order_bad.rs", "oscar-analytics");
+    assert!(elsewhere.is_empty(), "{elsewhere:?}");
+}
+
+#[test]
+fn wall_clock_fixtures() {
+    let bad = lint_fixture("wall_clock_bad.rs", "oscar-sim");
+    assert_eq!(rules_of(&bad), vec!["wall-clock", "wall-clock"]);
+    let good = lint_fixture("wall_clock_good.rs", "oscar-sim");
+    assert!(good.is_empty(), "{good:?}");
+    // oscar-runtime owns its stats clock.
+    let runtime = lint_fixture("wall_clock_bad.rs", "oscar-runtime");
+    assert!(runtime.is_empty(), "{runtime:?}");
+}
+
+#[test]
+fn panic_policy_fixtures() {
+    let bad = lint_fixture("panic_policy_bad.rs", "oscar-protocol");
+    assert_eq!(rules_of(&bad), vec!["panic-policy"; 3]);
+    let good = lint_fixture("panic_policy_good.rs", "oscar-protocol");
+    assert!(good.is_empty(), "{good:?}");
+    // The policy is protocol-only: a driver crate may unwrap.
+    let sim = lint_fixture("panic_policy_bad.rs", "oscar-sim");
+    assert!(sim.is_empty(), "{sim:?}");
+}
+
+#[test]
+fn allow_without_reason_fails() {
+    let findings = lint_fixture("allow_missing_reason.rs", "oscar-sim");
+    let rules = rules_of(&findings);
+    // The annotation itself errors AND the violation it failed to waive
+    // still stands.
+    assert!(rules.contains(&"allow-syntax"), "{findings:?}");
+    assert!(rules.contains(&"iter-order"), "{findings:?}");
+    assert!(findings
+        .iter()
+        .any(|f| f.message.contains("needs a reason")));
+}
+
+#[test]
+fn stale_allow_is_reported() {
+    let findings = lint_fixture("allow_stale.rs", "oscar-sim");
+    assert_eq!(rules_of(&findings), vec!["allow-syntax"]);
+    assert!(findings[0].message.contains("stale"), "{findings:?}");
+}
+
+#[test]
+fn registry_duplicate_value_fixture() {
+    let findings = check_registry(&fixture("registry_dup_value.rs"));
+    assert_eq!(findings.len(), 1);
+    assert!(findings[0].message.contains("share value 5"));
+}
+
+/// The gate itself: the real workspace lints clean, so CI can fail on
+/// any finding.
+#[test]
+fn workspace_is_clean() {
+    let root = find_root(Path::new(env!("CARGO_MANIFEST_DIR"))).expect("workspace root");
+    let findings = oscar_lint::run_workspace(&root);
+    assert!(
+        findings.is_empty(),
+        "workspace must lint clean:\n{}",
+        oscar_lint::render_table(&findings)
+    );
+}

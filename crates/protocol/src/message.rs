@@ -174,4 +174,14 @@ pub enum ProtocolEvent {
     },
     /// A query this peer issued has completed.
     QueryCompleted(QueryReport),
+    /// The machine hit a state it cannot make progress from and
+    /// recovered by dropping the operation instead of panicking. The
+    /// driver decides whether to log, count, or abort; a fault must
+    /// never kill a worker thread (panic-policy).
+    Fault {
+        /// The faulting peer.
+        peer: Id,
+        /// What was dropped (static so events stay cheap and `Eq`).
+        context: &'static str,
+    },
 }

@@ -23,20 +23,13 @@ use crate::peer::PeerIdx;
 use crate::routing::{run_query_batch, run_query_batch_observed, QueryBatchStats, RoutePolicy};
 use oscar_degree::DegreeDistribution;
 use oscar_keydist::{KeyDistribution, QueryWorkload};
+use oscar_types::labels::sim_churn_engine::{
+    LBL_CRASH_GAPS, LBL_CRASH_PICK, LBL_DEPART_GAPS, LBL_DEPART_PICK, LBL_JOIN, LBL_JOIN_GAPS,
+    LBL_MEASURE, LBL_REPAIR, LBL_REWIRE,
+};
 use oscar_types::{Error, Result, SeedTree};
 use rand::rngs::SmallRng;
 use rand::Rng;
-
-/// Seed-tree labels for the engine's RNG streams.
-const LBL_JOIN_GAPS: u64 = 1;
-const LBL_CRASH_GAPS: u64 = 2;
-const LBL_DEPART_GAPS: u64 = 3;
-const LBL_JOIN: u64 = 4;
-const LBL_CRASH_PICK: u64 = 5;
-const LBL_DEPART_PICK: u64 = 6;
-const LBL_REWIRE: u64 = 7;
-const LBL_MEASURE: u64 = 8;
-const LBL_REPAIR: u64 = 9;
 
 /// Failure-detection latency of the reactive policies, in ticks: a repair
 /// triggered by a crash/departure/corpse probe fires this much later on

@@ -11,6 +11,7 @@ use crate::network::Network;
 use crate::peer::PeerIdx;
 use oscar_degree::DegreeDistribution;
 use oscar_keydist::KeyDistribution;
+use oscar_types::labels::sim_growth::{LBL_IDS, LBL_JOIN, LBL_REWIRE, LBL_SHUFFLE};
 use oscar_types::{Error, Result, SeedTree};
 use rand::rngs::SmallRng;
 use rand::Rng;
@@ -94,12 +95,6 @@ pub struct Checkpoint {
     /// Network size at this checkpoint.
     pub size: usize,
 }
-
-/// Seed-tree labels for the driver's RNG streams.
-const LBL_IDS: u64 = 1;
-const LBL_JOIN: u64 = 2;
-const LBL_REWIRE: u64 = 3;
-const LBL_SHUFFLE: u64 = 4;
 
 /// Runs the growth protocol.
 pub struct GrowthDriver {

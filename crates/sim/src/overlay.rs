@@ -14,14 +14,10 @@ use crate::peer::PeerIdx;
 use crate::routing::{run_query_batch, QueryBatchStats, RoutePolicy};
 use oscar_degree::DegreeDistribution;
 use oscar_keydist::{KeyDistribution, QueryWorkload};
+use oscar_types::labels::sim_overlay::{
+    LBL_CHURN, LBL_CONTINUOUS, LBL_GROW, LBL_QUERY, LBL_REWIRE,
+};
 use oscar_types::{Result, SeedTree};
-
-/// Seed-tree labels for facade activities.
-const LBL_GROW: u64 = 10;
-const LBL_REWIRE: u64 = 11;
-const LBL_QUERY: u64 = 12;
-const LBL_CHURN: u64 = 13;
-const LBL_CONTINUOUS: u64 = 14;
 
 /// A running overlay: network + link-building strategy + seed.
 pub struct Overlay<B: OverlayBuilder> {
@@ -40,6 +36,7 @@ impl<B: OverlayBuilder> Overlay<B> {
         Overlay {
             net: Network::new(fault_model),
             builder,
+            // lint:allow(rng-discipline, the overlay facade is the experiment entry point that roots the tree)
             seed: SeedTree::new(seed),
             rewire_rounds: 0,
             query_batches: 0,

@@ -15,11 +15,9 @@
 use crate::events::EventQueue;
 use oscar_protocol::machine::peer_seed;
 use oscar_protocol::{Command, Message, Outbound, PeerConfig, PeerMachine, ProtocolEvent};
+use oscar_types::labels::sim_protocol_des::LBL_CMD;
 use oscar_types::{Id, SeedTree};
 use std::collections::BTreeMap;
-
-/// Seed-tree label for the driver's command RNG (gossip only).
-const LBL_CMD: u64 = 0xDE5;
 
 /// A protocol message in flight through virtual time.
 #[derive(Clone, Debug)]
@@ -108,6 +106,7 @@ impl DesDriver {
     pub fn inject(&mut self, id: Id, cmd: Command) -> bool {
         // Fresh per-command stream, mirroring the runtime's inject nonce.
         self.cmd_nonce += 1;
+        // lint:allow(rng-discipline, per-command stream keyed by nonce — mirrors the runtime driver byte-for-byte)
         let mut rng = SeedTree::new(self.seed)
             .child2(LBL_CMD, self.cmd_nonce)
             .rng();
@@ -167,6 +166,7 @@ impl DesDriver {
     fn deliver(&mut self, env: Envelope) {
         self.cmd_nonce += 1;
         if let Some(peer) = self.peers.get_mut(&env.to) {
+            // lint:allow(rng-discipline, per-delivery stream keyed by nonce — mirrors the runtime driver byte-for-byte)
             let mut rng = SeedTree::new(self.seed)
                 .child2(LBL_CMD, self.cmd_nonce)
                 .rng();

@@ -11,6 +11,8 @@
 //! * [`SeedTree`] — hierarchical deterministic seed derivation so that every
 //!   experiment, peer, and stochastic sub-activity gets an independent but
 //!   reproducible RNG stream.
+//! * [`labels`] — the generated registry of `LBL_*` seed-derivation labels
+//!   (one module per derivation scope), maintained by `oscar-lint`.
 //! * [`Error`] — the shared error type of the workspace.
 //!
 //! Everything here is plain data with no I/O and no global state.
@@ -18,6 +20,7 @@
 pub mod arc;
 pub mod error;
 pub mod id;
+pub mod labels;
 pub mod quantile;
 pub mod seed;
 

@@ -1,0 +1,104 @@
+//! Pinned seeded artifacts: hard-coded digests of two seeded runs.
+//!
+//! `tests/determinism.rs` proves run-vs-run equality *within* one build;
+//! these digests pin the outcome *across* builds, so any change that
+//! silently perturbs a deterministic path — a hash map iterated where a
+//! BTreeMap belonged, a reordered RNG draw, a relabeled seed stream —
+//! fails here instead of surfacing as a mysterious diff in a committed
+//! CSV. If a change is *meant* to shift the streams, regenerate the
+//! committed `results/` artifacts in the same PR and re-pin.
+
+use oscar::prelude::*;
+use oscar::protocol::{Command, ProtocolEvent};
+use oscar::runtime::{Runtime, RuntimeConfig};
+use oscar::types::{mix64, Id};
+
+/// Order-sensitive digest: folding with `mix64` makes any reordering,
+/// insertion, or value drift change the result.
+fn digest(values: impl IntoIterator<Item = u64>) -> u64 {
+    let mut acc = 0u64;
+    for v in values {
+        acc = mix64(acc ^ v);
+    }
+    acc
+}
+
+/// Simulator path: grown overlay + query batch at a fixed seed, the same
+/// machinery behind `results/fig1a_degree_pdf.csv`.
+#[test]
+fn sim_growth_digest_is_pinned() {
+    let mut ov = oscar::core::new_overlay(OscarConfig::default(), FaultModel::StabilizedRing, 4242);
+    ov.grow_to(300, &GnutellaKeys::default(), &SpikyDegrees::paper())
+        .unwrap();
+    let ids = digest(
+        ov.network()
+            .all_peers()
+            .map(|p| ov.network().peer(p).id.raw()),
+    );
+    let stats = ov.run_queries(&QueryWorkload::UniformPeers, 300);
+    let outcome = digest([ids, stats.mean_cost.to_bits(), stats.mean_wasted.to_bits()]);
+    println!("sim digest: {outcome:#018x}");
+    assert_eq!(outcome, 0x709979aa63890b2d, "seeded sim artifact drifted");
+}
+
+/// Threaded-runtime path: joins, link walks and queries through the
+/// actor runtime, exercising the ordered `actors` map (`peer_ids`,
+/// enumeration) that the iter-order rule protects.
+#[test]
+fn runtime_overlay_digest_is_pinned() {
+    let ids: Vec<Id> = (0..32u64)
+        .map(|i| Id::new(i.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1))
+        .collect();
+    let mut rt = Runtime::new(RuntimeConfig::new(0xC0FFEE).with_workers(4));
+    rt.spawn_peer(ids[0]);
+    for &id in &ids[1..] {
+        assert!(rt.join_and_wait(id, ids[0]));
+    }
+    for &id in &ids {
+        rt.inject(id, Command::BuildLinks { walks: 3 });
+        rt.quiesce();
+    }
+    rt.drain_events();
+    let mut q = Vec::new();
+    for (k, &origin) in ids.iter().enumerate() {
+        let qid = k as u64;
+        rt.inject(
+            origin,
+            Command::StartQuery {
+                qid,
+                key: Id::new(qid.wrapping_mul(0xD1B5_4A32_D192_ED03)),
+            },
+        );
+        rt.quiesce();
+        for e in rt.drain_events() {
+            if let ProtocolEvent::QueryCompleted(r) = e {
+                q.push((r.qid, r));
+            }
+        }
+    }
+    q.sort_by_key(|&(qid, _)| qid);
+    // peer_ids() iterates the actors BTreeMap directly: pin its order too.
+    let roster = digest(rt.peer_ids().into_iter().map(|id| id.raw()));
+    let mut tables = Vec::new();
+    for &id in &ids {
+        let (pred, succs, long_out, long_in) = rt.with_peer(id, |m| m.fingerprint()).unwrap();
+        tables.push(digest(
+            [id.raw(), pred.raw()]
+                .into_iter()
+                .chain(succs.iter().map(|s| s.raw()))
+                .chain(long_out.iter().map(|s| s.raw()))
+                .chain(long_in.iter().map(|s| s.raw())),
+        ));
+    }
+    rt.shutdown();
+    let queries = digest(
+        q.iter()
+            .flat_map(|(_, r)| [r.qid, r.hops as u64, r.wasted as u64, r.success as u64]),
+    );
+    let outcome = digest([roster, digest(tables), queries]);
+    println!("runtime digest: {outcome:#018x}");
+    assert_eq!(
+        outcome, 0xb00ec918624ea04f,
+        "seeded runtime artifact drifted"
+    );
+}
