@@ -5,10 +5,12 @@
 //! Until now the fresh numbers were only uploaded as artifacts — a
 //! regression was invisible unless someone eyeballed them. This module
 //! diffs a candidate against its baseline, renders a before/after table,
-//! and **gates** on the throughput keys: `windows_per_sec` (higher is
-//! better) and any `*_ns_per_join` (lower is better). A gated key moving
-//! more than the tolerance in the bad direction is a regression; the
-//! `bench_check` binary exits non-zero on any.
+//! and **gates** on the throughput keys — `windows_per_sec` /
+//! `queries_per_sec` (higher is better) and any `*_ns_per_join` (lower
+//! is better) — plus the robustness headlines of the fault sweep:
+//! `steady_delivery_pct` (higher) and `retry_amplification` (lower). A
+//! gated key moving more than the tolerance in the bad direction is a
+//! regression; the `bench_check` binary exits non-zero on any.
 //!
 //! The JSON reader is deliberately tiny (the workspace is
 //! dependency-free): a recursive-descent pass that collects every numeric
@@ -35,9 +37,9 @@ pub enum Gate {
 /// is on the leaf name, so nested occurrences gate too.
 pub fn gate_for(path: &str) -> Option<Gate> {
     let leaf = path.rsplit('.').next().unwrap_or(path);
-    if leaf == "windows_per_sec" || leaf == "queries_per_sec" {
+    if leaf == "windows_per_sec" || leaf == "queries_per_sec" || leaf == "steady_delivery_pct" {
         Some(Gate::HigherIsBetter)
-    } else if leaf.ends_with("_ns_per_join") {
+    } else if leaf.ends_with("_ns_per_join") || leaf == "retry_amplification" {
         Some(Gate::LowerIsBetter)
     } else {
         None
@@ -342,9 +344,18 @@ mod tests {
             gate_for("decades[1].d1000_ns_per_join"),
             Some(Gate::LowerIsBetter)
         );
+        assert_eq!(gate_for("steady_delivery_pct"), Some(Gate::HigherIsBetter));
+        assert_eq!(gate_for("retry_amplification"), Some(Gate::LowerIsBetter));
         assert_eq!(gate_for("steady_mean_cost"), None);
         assert_eq!(gate_for("grow_secs"), None);
         assert_eq!(gate_for("n_peers"), None);
+        assert_eq!(
+            gate_for("cells[3].delivery_pct"),
+            None,
+            "per-cell delivery varies with the injected loss rate; only the \
+             steady headline is gated"
+        );
+        assert_eq!(gate_for("cells[3].retries_per_query"), None);
         assert_eq!(
             gate_for("cores_busy"),
             None,

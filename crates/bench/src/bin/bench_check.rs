@@ -2,30 +2,36 @@
 //! committed repo-root baselines and fail on throughput regressions.
 //!
 //! ```sh
-//! ./target/release/bench_check [baseline_dir] [results_dir]
+//! ./target/release/bench_check [baseline_dir] [results_dir] [BENCH_*.json ...]
 //! ```
 //!
 //! Defaults: baselines in the current directory (the repo root in CI),
-//! candidates in `results/` (or `$OSCAR_RESULTS_DIR`). For every tracked
-//! baseline a before/after table is printed; the process exits
+//! candidates in `results/` (or `$OSCAR_RESULTS_DIR`). Trailing
+//! arguments select a subset of the tracked files — so a smoke job that
+//! only regenerates `BENCH_faults.json` can gate on just that file —
+//! and a name outside the tracked set is a usage error, not a silent
+//! no-op. For every selected baseline a before/after table is printed;
+//! the process exits
 //!
 //! * `0` — all gated keys (`windows_per_sec`, `queries_per_sec`,
-//!   `*_ns_per_join`) within tolerance (`$OSCAR_BENCH_TOLERANCE`,
-//!   default 0.30 = 30%),
+//!   `*_ns_per_join`, `steady_delivery_pct`, `retry_amplification`)
+//!   within tolerance (`$OSCAR_BENCH_TOLERANCE`, default 0.30 = 30%),
 //! * `1` — at least one gated key regressed past tolerance,
-//! * `2` — a file is missing/unreadable or the tolerance is malformed
-//!   (the bench step did not run; gating would be meaningless).
+//! * `2` — a file is missing/unreadable, an argument names an untracked
+//!   file, or the tolerance is malformed (the bench step did not run;
+//!   gating would be meaningless).
 
 use oscar_bench::baseline::{compare, render_table, DEFAULT_TOLERANCE};
 use oscar_bench::Report;
 use std::path::PathBuf;
 
 /// The tracked baselines, by file name (repo root and results dir agree).
-const TRACKED: [&str; 4] = [
+const TRACKED: [&str; 5] = [
     "BENCH_join.json",
     "BENCH_churn.json",
     "BENCH_growth.json",
     "BENCH_saturation.json",
+    "BENCH_faults.json",
 ];
 
 fn read_or_exit(path: &PathBuf) -> String {
@@ -45,6 +51,16 @@ fn main() {
         .next()
         .map(PathBuf::from)
         .unwrap_or_else(Report::results_dir);
+    let selected: Vec<String> = args.collect();
+    for name in &selected {
+        if !TRACKED.contains(&name.as_str()) {
+            eprintln!(
+                "bench_check: {name} is not a tracked baseline (tracked: {})",
+                TRACKED.join(", ")
+            );
+            std::process::exit(2);
+        }
+    }
     let tolerance = match std::env::var("OSCAR_BENCH_TOLERANCE") {
         Ok(s) => s
             .trim()
@@ -61,7 +77,10 @@ fn main() {
     };
 
     let mut regressions = 0usize;
-    for name in TRACKED {
+    for name in TRACKED
+        .into_iter()
+        .filter(|n| selected.is_empty() || selected.iter().any(|s| s == n))
+    {
         let baseline = read_or_exit(&baseline_dir.join(name));
         let candidate = read_or_exit(&results_dir.join(name));
         let cmp = compare(&baseline, &candidate, tolerance).unwrap_or_else(|e| {

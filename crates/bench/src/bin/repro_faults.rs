@@ -1,0 +1,425 @@
+//! Fault sweep: query delivery under message loss, duplication and delay
+//! jitter, on both protocol drivers.
+//!
+//! The tentpole question for the robustness work: with the network
+//! dropping and duplicating envelopes, do the timeout/retry machines in
+//! `oscar-protocol` still deliver queries — and at what retry cost? The
+//! sweep runs a query storm over a settled ring for every cell of
+//! loss {0, 2, 5, 10}% × jitter {0, 3 ticks} on the virtual-time DES,
+//! plus loss {0, 2, 5, 10}% on the threaded actor runtime (which
+//! collapses delay jitter by design — mailboxes are FIFO), all under a
+//! blackholing [`FaultPlan`] with duplication at half the loss rate.
+//!
+//! ```sh
+//! cargo run --release -p oscar-bench --bin repro_faults           # n = 10^4
+//! OSCAR_SCALE=2000 OSCAR_THREADS=4 cargo run --release -p oscar-bench --bin repro_faults
+//! OSCAR_FAULT_QUERIES=4 cargo run --release -p oscar-bench --bin repro_faults
+//! ```
+//!
+//! Writes `<results dir>/BENCH_faults.json`. Two headline keys are gated
+//! in `bench_check` against the committed repo-root baseline:
+//! `steady_delivery_pct` (the *worst* delivery over the DES cells with
+//! loss ≤ 5%; higher is better) and `retry_amplification` (the worst
+//! mean issues-per-query over the same cells; lower is better). Both are
+//! pure functions of the seed — in the DES every retry decision flows
+//! from token streams and the content-keyed fault plan — so the gate is
+//! not measuring runner noise. The runtime cells drift slightly with
+//! worker scheduling (their link tables build under concurrent
+//! interleaving) and stay informational, as do the per-cell
+//! `delivery_pct`/`retries_per_query` keys. The binary also self-gates
+//! over BOTH drivers: steady delivery below 99% or amplification above
+//! 3.0 is an immediate failure, even without a baseline to diff
+//! against.
+
+use oscar_bench::{Report, Scale};
+use oscar_protocol::{Command, FaultPlan, OpKind, PeerConfig, ProtocolEvent};
+use oscar_runtime::{Runtime, RuntimeConfig};
+use oscar_sim::DesDriver;
+use oscar_types::labels::bench_repro_faults::{LBL_IDS, LBL_KEYS};
+use oscar_types::{Id, SeedTree};
+use rand::Rng;
+use std::collections::BTreeSet;
+use std::time::Instant;
+
+/// Loss rates swept, in percent. Cells at or below `STEADY_MAX_LOSS`
+/// feed the gated headlines; the 10% cells document degradation.
+const LOSS_PCT: [u32; 4] = [0, 2, 5, 10];
+const STEADY_MAX_LOSS: u32 = 5;
+/// Extra-delay ceilings (virtual ticks) swept on the DES.
+const JITTERS: [u64; 2] = [0, 3];
+/// Round budget for each settle phase; the retry state machine converges
+/// in `max_retries + 1` rounds per op, so this is generous headroom.
+const SETTLE_ROUNDS: u64 = 200;
+
+fn queries_per_peer() -> usize {
+    match std::env::var("OSCAR_FAULT_QUERIES") {
+        Ok(s) => s
+            .trim()
+            .parse::<usize>()
+            .ok()
+            .filter(|&q| q >= 1)
+            .unwrap_or_else(|| {
+                eprintln!(
+                    "repro_faults: OSCAR_FAULT_QUERIES must be a positive integer, got {s:?}"
+                );
+                std::process::exit(2);
+            }),
+        Err(_) => 2,
+    }
+}
+
+/// One cell of the sweep.
+struct Cell {
+    driver: &'static str,
+    loss_pct: u32,
+    jitter: u64,
+    delivery_pct: f64,
+    retries_per_query: f64,
+    p95_cost: u64,
+    gave_up: usize,
+    rounds: u64,
+    secs: f64,
+}
+
+/// Query-phase metrics distilled from the drained event stream.
+struct StormOutcome {
+    succeeded: usize,
+    completed: usize,
+    retried: usize,
+    gave_up: usize,
+    /// `hops + wasted` of each successful query, the total message cost.
+    costs: Vec<u64>,
+}
+
+fn summarize(events: &[ProtocolEvent]) -> StormOutcome {
+    let mut out = StormOutcome {
+        succeeded: 0,
+        completed: 0,
+        retried: 0,
+        gave_up: 0,
+        costs: Vec::new(),
+    };
+    for ev in events {
+        match ev {
+            ProtocolEvent::QueryCompleted(r) => {
+                out.completed += 1;
+                if r.success {
+                    out.succeeded += 1;
+                    out.costs.push(r.hops as u64 + r.wasted as u64);
+                }
+            }
+            ProtocolEvent::Retried {
+                op: OpKind::Query, ..
+            } => out.retried += 1,
+            ProtocolEvent::GaveUp {
+                op: OpKind::Query, ..
+            } => out.gave_up += 1,
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Nearest-rank p95 over the successful-query costs.
+fn p95(costs: &mut [u64]) -> u64 {
+    if costs.is_empty() {
+        return 0;
+    }
+    costs.sort_unstable();
+    let rank = (costs.len() as f64 * 0.95).ceil() as usize;
+    costs[rank.saturating_sub(1).min(costs.len() - 1)]
+}
+
+/// Protocol tunables for the sweep: a much deeper retry budget than the
+/// default 3, because per-issue failure grows with path length. At
+/// n = 2000 a query chain is ~12-25 envelopes, so 5% loss kills an
+/// individual issue ~55% of the time; eleven total issues leave
+/// 0.55^11 < 0.2% of queries dead, comfortably over the 99% delivery
+/// gate, while the *mean* issue count stays near 1/(1-0.55) ~ 2.3 —
+/// under the amplification bound of 3.
+fn peer_cfg() -> PeerConfig {
+    PeerConfig {
+        max_retries: 10,
+        ..PeerConfig::default()
+    }
+}
+
+/// The per-cell fault plan: duplication rides at half the loss rate so a
+/// lossy network is also a duplicating one, and crashes blackhole
+/// (silent loss) rather than bounce — the harsher detection regime.
+fn plan_for(scale_seed: u64, idx: usize, loss_pct: u32, jitter: u64) -> FaultPlan {
+    let plan_seed = scale_seed ^ ((idx as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let loss = loss_pct as f64 / 100.0;
+    FaultPlan::new(plan_seed)
+        .with_drop(loss)
+        .with_duplication(loss / 2.0)
+        .with_delay_jitter(jitter)
+        .with_blackhole(true)
+}
+
+fn cell_from(
+    driver: &'static str,
+    loss_pct: u32,
+    jitter: u64,
+    total: usize,
+    outcome: StormOutcome,
+    rounds: u64,
+    secs: f64,
+) -> Cell {
+    let mut outcome = outcome;
+    assert_eq!(
+        outcome.completed, total,
+        "{driver} loss={loss_pct}% jitter={jitter}: every query must terminate exactly once"
+    );
+    Cell {
+        driver,
+        loss_pct,
+        jitter,
+        delivery_pct: outcome.succeeded as f64 / total as f64 * 100.0,
+        retries_per_query: outcome.retried as f64 / total as f64,
+        p95_cost: p95(&mut outcome.costs),
+        gave_up: outcome.gave_up,
+        rounds,
+        secs,
+    }
+}
+
+fn run_des_cell(scale: &Scale, ids: &[Id], idx: usize, loss_pct: u32, jitter: u64) -> Cell {
+    let n = ids.len();
+    let per_peer = queries_per_peer();
+    let t = Instant::now();
+    let mut des = DesDriver::new_with_faults(
+        scale.seed,
+        peer_cfg(),
+        plan_for(scale.seed, idx, loss_pct, jitter),
+    );
+    for &id in ids {
+        des.spawn_peer(id);
+    }
+    for (i, &id) in ids.iter().enumerate() {
+        let pred = ids[(i + n - 1) % n];
+        let succs: Vec<Id> = (1..=8).map(|k| ids[(i + k) % n]).collect();
+        let mut known = succs.clone();
+        known.push(pred);
+        des.inject(id, Command::Bootstrap { pred, succs, known });
+    }
+    for &id in ids {
+        des.inject(id, Command::BuildLinks { walks: 3 });
+    }
+    des.run_until_settled(SETTLE_ROUNDS);
+    des.drain_events(); // build-phase events are not the storm's metrics
+
+    let mut krng = SeedTree::new(scale.seed).child(LBL_KEYS).rng();
+    let mut qid = 0u64;
+    for &id in ids {
+        for _ in 0..per_peer {
+            des.inject(
+                id,
+                Command::StartQuery {
+                    qid,
+                    key: Id::new(krng.gen::<u64>()),
+                },
+            );
+            qid += 1;
+        }
+    }
+    let round0 = des.round();
+    des.run_until_settled(SETTLE_ROUNDS);
+    let outcome = summarize(&des.drain_events());
+    cell_from(
+        "des",
+        loss_pct,
+        jitter,
+        n * per_peer,
+        outcome,
+        des.round() - round0,
+        t.elapsed().as_secs_f64(),
+    )
+}
+
+fn run_rt_cell(scale: &Scale, ids: &[Id], idx: usize, loss_pct: u32, workers: usize) -> Cell {
+    let n = ids.len();
+    let per_peer = queries_per_peer();
+    let t = Instant::now();
+    let rt = Runtime::new(
+        RuntimeConfig::new(scale.seed)
+            .with_workers(workers)
+            .with_peer_cfg(peer_cfg())
+            .with_fault_plan(plan_for(scale.seed, idx, loss_pct, 0)),
+    );
+    for &id in ids {
+        rt.spawn_peer(id);
+    }
+    for (i, &id) in ids.iter().enumerate() {
+        let pred = ids[(i + n - 1) % n];
+        let succs: Vec<Id> = (1..=8).map(|k| ids[(i + k) % n]).collect();
+        let mut known = succs.clone();
+        known.push(pred);
+        rt.inject(id, Command::Bootstrap { pred, succs, known });
+    }
+    for &id in ids {
+        rt.inject(id, Command::BuildLinks { walks: 3 });
+    }
+    rt.settle(SETTLE_ROUNDS);
+    rt.drain_events();
+
+    let mut krng = SeedTree::new(scale.seed).child(LBL_KEYS).rng();
+    let mut qid = 0u64;
+    for &id in ids {
+        for _ in 0..per_peer {
+            rt.inject(
+                id,
+                Command::StartQuery {
+                    qid,
+                    key: Id::new(krng.gen::<u64>()),
+                },
+            );
+            qid += 1;
+        }
+    }
+    // Count timer rounds by hand: quiesce, then tick-and-drain until no
+    // machine holds a pending deadline (mirrors `Runtime::settle`).
+    rt.quiesce();
+    let mut rounds = 0u64;
+    while rounds < SETTLE_ROUNDS && rt.tick_timers() {
+        rt.quiesce();
+        rounds += 1;
+    }
+    let outcome = summarize(&rt.drain_events());
+    let cell = cell_from(
+        "runtime",
+        loss_pct,
+        0,
+        n * per_peer,
+        outcome,
+        rounds,
+        t.elapsed().as_secs_f64(),
+    );
+    drop(rt);
+    cell
+}
+
+fn main() -> std::io::Result<()> {
+    let scale = Scale::from_env_or_exit();
+    let n = scale.target;
+    let workers = scale.thread_count().max(2);
+    let per_peer = queries_per_peer();
+    eprintln!(
+        "[faults] {n} peers, {per_peer} queries/peer; sweeping loss {LOSS_PCT:?}% x jitter \
+         {JITTERS:?} on the DES and loss {LOSS_PCT:?}% on the {workers}-worker runtime..."
+    );
+
+    // Deterministic id population, sorted for ring construction; shared
+    // by every cell so only the fault plan varies.
+    let mut rng = SeedTree::new(scale.seed).child(LBL_IDS).rng();
+    let mut id_set: BTreeSet<Id> = BTreeSet::new();
+    while id_set.len() < n {
+        id_set.insert(Id::new(rng.gen::<u64>()));
+    }
+    let ids: Vec<Id> = id_set.into_iter().collect();
+
+    let mut cells: Vec<Cell> = Vec::new();
+    let mut idx = 0usize;
+    for &jitter in &JITTERS {
+        for &loss in &LOSS_PCT {
+            cells.push(run_des_cell(&scale, &ids, idx, loss, jitter));
+            idx += 1;
+        }
+    }
+    for &loss in &LOSS_PCT {
+        cells.push(run_rt_cell(&scale, &ids, idx, loss, workers));
+        idx += 1;
+    }
+
+    for c in &cells {
+        eprintln!(
+            "  {:7} loss={:2}% jitter={} delivery={:6.2}% retries/q={:.3} p95_cost={} \
+             gave_up={} rounds={} ({:.2}s)",
+            c.driver,
+            c.loss_pct,
+            c.jitter,
+            c.delivery_pct,
+            c.retries_per_query,
+            c.p95_cost,
+            c.gave_up,
+            c.rounds,
+            c.secs
+        );
+    }
+
+    // Headlines over the steady cells (loss <= 5%): the worst delivery
+    // and the worst mean issues-per-query (1 first issue + retries).
+    // Gated keys come from the DES cells only — those are pure functions
+    // of the seed, so the baseline diff measures the protocol, not the
+    // runner. The threaded runtime builds its long links under
+    // scheduling-dependent interleaving, so its cells drift a few tenths
+    // of a percent run-to-run; they stay informational in the JSON but
+    // still feed the >= 99% / <= 3.0 self-gate below. The 10% cells are
+    // reported but never gated.
+    let steady: Vec<&Cell> = cells
+        .iter()
+        .filter(|c| c.loss_pct <= STEADY_MAX_LOSS)
+        .collect();
+    let steady_delivery_pct = steady
+        .iter()
+        .filter(|c| c.driver == "des")
+        .map(|c| c.delivery_pct)
+        .fold(f64::INFINITY, f64::min);
+    let retry_amplification = steady
+        .iter()
+        .filter(|c| c.driver == "des")
+        .map(|c| 1.0 + c.retries_per_query)
+        .fold(0.0, f64::max);
+    let self_gate_delivery = steady
+        .iter()
+        .map(|c| c.delivery_pct)
+        .fold(f64::INFINITY, f64::min);
+    let self_gate_amp = steady
+        .iter()
+        .map(|c| 1.0 + c.retries_per_query)
+        .fold(0.0, f64::max);
+
+    let mut cell_json = String::new();
+    for (i, c) in cells.iter().enumerate() {
+        let sep = if i + 1 == cells.len() { "" } else { "," };
+        cell_json.push_str(&format!(
+            "    {{ \"driver\": \"{}\", \"loss_pct\": {}, \"jitter\": {}, \
+             \"delivery_pct\": {:.2}, \"retries_per_query\": {:.3}, \"p95_cost\": {}, \
+             \"gave_up\": {}, \"rounds\": {}, \"secs\": {:.2} }}{sep}\n",
+            c.driver,
+            c.loss_pct,
+            c.jitter,
+            c.delivery_pct,
+            c.retries_per_query,
+            c.p95_cost,
+            c.gave_up,
+            c.rounds,
+            c.secs
+        ));
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"faults\",\n  \"n_peers\": {n},\n  \"seed\": {},\n  \
+         \"queries_per_peer\": {per_peer},\n  \"workers\": {workers},\n  \
+         \"steady_delivery_pct\": {steady_delivery_pct:.2},\n  \
+         \"retry_amplification\": {retry_amplification:.3},\n  \"cells\": [\n{cell_json}  ]\n}}\n",
+        scale.seed,
+    );
+    let dir = Report::results_dir();
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join("BENCH_faults.json");
+    std::fs::write(&path, &json)?;
+    println!("json: {}", path.display());
+    eprintln!(
+        "faults: steady delivery {steady_delivery_pct:.2}% DES / {self_gate_delivery:.2}% \
+         both drivers (gate >= 99%), retry amplification {retry_amplification:.3} DES / \
+         {self_gate_amp:.3} both (gate <= 3.0) over loss <= {STEADY_MAX_LOSS}% cells"
+    );
+
+    // Self-gate, over BOTH drivers' steady cells: the robustness
+    // contract holds without needing a baseline to diff against.
+    if self_gate_delivery < 99.0 || self_gate_amp > 3.0 {
+        eprintln!("repro_faults: robustness contract violated — see the cells above");
+        std::process::exit(1);
+    }
+    Ok(())
+}

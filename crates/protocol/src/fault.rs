@@ -1,0 +1,235 @@
+//! Deterministic fault injection: the seam both drivers consult.
+//!
+//! A [`FaultPlan`] is a seeded, per-edge loss/delay/duplication policy.
+//! Both drivers call [`FaultPlan::decide`] at their single routing point
+//! (the DES's `enqueue_all`, the runtime's `Shared::send`), so the same
+//! plan produces the same fate for the same message in both worlds —
+//! which is what keeps the cross-driver equivalence property alive
+//! *under* faults.
+//!
+//! Determinism without counters: a decision is a pure function of
+//! `(plan seed, from, to, message content)` via
+//! [`Message::instance_key`]. A per-send counter would be ordered by
+//! scheduling in the threaded runtime and diverge from the DES; content
+//! keying is scheduling-blind. The flip side — a byte-identical resend
+//! would meet the identical fate — is defused by the protocol layer:
+//! retries carry `attempt` counters and salted nonces, so every retry
+//! rolls fresh dice.
+//!
+//! Heterogeneity: each directed edge gets its own delay ceiling drawn
+//! from the plan's edge stream (the paper's target environment is
+//! heterogeneous links, not a uniform loss cloud).
+
+use crate::message::Message;
+use crate::token::TokenRng;
+use oscar_types::{mix64, Id};
+
+/// The fate of one message send, drawn deterministically from the plan.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct FaultDecision {
+    /// Silently discard the message.
+    pub drop: bool,
+    /// Deliver a second copy (after the first, one extra tick later).
+    pub duplicate: bool,
+    /// Extra virtual-time delivery latency in ticks (DES only; the
+    /// threaded runtime reorders naturally and ignores it).
+    pub extra_delay: u64,
+}
+
+impl FaultDecision {
+    /// The reliable fate: deliver once, on time.
+    pub const DELIVER: FaultDecision = FaultDecision {
+        drop: false,
+        duplicate: false,
+        extra_delay: 0,
+    };
+}
+
+/// A seeded, per-edge fault policy shared by both protocol drivers.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultPlan {
+    seed: u64,
+    drop_prob: f64,
+    dup_prob: f64,
+    max_delay: u64,
+    blackhole: bool,
+}
+
+impl FaultPlan {
+    /// The default plan: deliver everything exactly once, instantly, and
+    /// bounce sends to missing peers back to the sender. Every committed
+    /// seeded artifact is generated under this plan.
+    pub fn reliable() -> Self {
+        FaultPlan {
+            seed: 0,
+            drop_prob: 0.0,
+            dup_prob: 0.0,
+            max_delay: 0,
+            blackhole: false,
+        }
+    }
+
+    /// A plan rooted at its own seed (faults get their own stream family,
+    /// independent of the deployment seed).
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            ..FaultPlan::reliable()
+        }
+    }
+
+    /// Sets the per-message drop probability (clamped to `[0, 1]`).
+    pub fn with_drop(mut self, p: f64) -> Self {
+        self.drop_prob = p.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Sets the per-message duplication probability (clamped to `[0, 1]`).
+    pub fn with_duplication(mut self, p: f64) -> Self {
+        self.dup_prob = p.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Sets the deployment-wide delay-jitter ceiling in extra ticks; each
+    /// directed edge draws its own ceiling in `0..=ticks` (heterogeneous
+    /// links), and each message its delay under the edge's ceiling.
+    pub fn with_delay_jitter(mut self, ticks: u64) -> Self {
+        self.max_delay = ticks;
+        self
+    }
+
+    /// When set, a send to a missing peer vanishes silently instead of
+    /// bouncing `on_delivery_failure` at the sender — the realistic crash
+    /// model that timeouts (not instant bounces) must recover from.
+    pub fn with_blackhole(mut self, on: bool) -> Self {
+        self.blackhole = on;
+        self
+    }
+
+    /// True iff this plan never perturbs a delivery (the hot path skips
+    /// all key hashing in that case).
+    pub fn is_reliable(&self) -> bool {
+        self.drop_prob == 0.0 && self.dup_prob == 0.0 && self.max_delay == 0
+    }
+
+    /// True iff sends to missing peers vanish instead of bouncing.
+    pub fn blackhole_on_crash(&self) -> bool {
+        self.blackhole
+    }
+
+    /// The fate of sending `msg` from `from` to `to`. Pure: same plan,
+    /// same edge, same content — same fate, in every driver, every run.
+    pub fn decide(&self, from: Id, to: Id, msg: &Message) -> FaultDecision {
+        if self.is_reliable() || from == to {
+            // Self-sends model local work (e.g. a walk finishing at its
+            // origin); no link is crossed, so no link faults apply.
+            return FaultDecision::DELIVER;
+        }
+        let edge = fold(fold(mix64(self.seed), from.raw()), to.raw());
+        let mut rng = TokenRng::new(fold(edge, msg.instance_key()));
+        let drop = rng.unit_f64() < self.drop_prob;
+        if drop {
+            return FaultDecision {
+                drop: true,
+                duplicate: false,
+                extra_delay: 0,
+            };
+        }
+        let duplicate = rng.unit_f64() < self.dup_prob;
+        let extra_delay = if self.max_delay == 0 {
+            0
+        } else {
+            // Per-edge ceiling first (a property of the link), then the
+            // per-message draw under it.
+            let ceiling = TokenRng::new(edge).index(self.max_delay as usize + 1) as u64;
+            if ceiling == 0 {
+                0
+            } else {
+                rng.index(ceiling as usize + 1) as u64
+            }
+        };
+        FaultDecision {
+            drop,
+            duplicate,
+            extra_delay,
+        }
+    }
+}
+
+#[inline]
+fn fold(acc: u64, v: u64) -> u64 {
+    mix64(acc ^ v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn msg(nonce: u64) -> Message {
+        Message::LinkRequest { nonce }
+    }
+
+    #[test]
+    fn reliable_plan_always_delivers() {
+        let plan = FaultPlan::reliable();
+        assert!(plan.is_reliable());
+        for n in 0..64 {
+            assert_eq!(
+                plan.decide(Id::new(1), Id::new(2), &msg(n)),
+                FaultDecision::DELIVER
+            );
+        }
+    }
+
+    #[test]
+    fn decisions_are_pure_functions_of_plan_edge_and_content() {
+        let a = FaultPlan::new(77)
+            .with_drop(0.3)
+            .with_duplication(0.2)
+            .with_delay_jitter(4);
+        let b = a.clone();
+        for n in 0..256 {
+            let d1 = a.decide(Id::new(10), Id::new(20), &msg(n));
+            let d2 = b.decide(Id::new(10), Id::new(20), &msg(n));
+            assert_eq!(d1, d2, "replay diverged at {n}");
+        }
+    }
+
+    #[test]
+    fn distinct_content_decorrelates_fates() {
+        // A plan that drops ~half of everything must not drop the same
+        // half for a salted resend: count fates flipping across nonces.
+        let plan = FaultPlan::new(5).with_drop(0.5);
+        let mut dropped = 0;
+        for n in 0..1000 {
+            if plan.decide(Id::new(1), Id::new(2), &msg(n)).drop {
+                dropped += 1;
+            }
+        }
+        assert!((350..650).contains(&dropped), "drop rate skewed: {dropped}");
+    }
+
+    #[test]
+    fn edges_get_heterogeneous_delay_ceilings() {
+        let plan = FaultPlan::new(9).with_delay_jitter(6);
+        let mut maxima = std::collections::BTreeSet::new();
+        for e in 0..32u64 {
+            let mut edge_max = 0;
+            for n in 0..64 {
+                let d = plan.decide(Id::new(1), Id::new(100 + e), &msg(n));
+                edge_max = edge_max.max(d.extra_delay);
+            }
+            maxima.insert(edge_max);
+        }
+        assert!(maxima.len() > 2, "all edges share one ceiling: {maxima:?}");
+    }
+
+    #[test]
+    fn self_sends_are_exempt() {
+        let plan = FaultPlan::new(3).with_drop(1.0);
+        assert_eq!(
+            plan.decide(Id::new(7), Id::new(7), &msg(1)),
+            FaultDecision::DELIVER
+        );
+    }
+}

@@ -24,11 +24,13 @@
 //! matter which peer, thread, or driver advances it. Only gossip draws
 //! from the driver-supplied RNG.
 
+pub mod fault;
 pub mod logic;
 pub mod machine;
 pub mod message;
 pub mod token;
 
+pub use fault::{FaultDecision, FaultPlan};
 pub use machine::{PeerConfig, PeerMachine};
-pub use message::{Command, Message, Outbound, ProtocolEvent, QueryReport};
+pub use message::{Command, Message, OpKind, Outbound, ProtocolEvent, QueryReport};
 pub use token::{QueryToken, TokenRng, WalkToken};

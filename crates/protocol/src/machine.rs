@@ -16,11 +16,12 @@
 //! explicitly outside the deterministic core.
 
 use crate::logic;
-use crate::message::{Command, Message, Outbound, ProtocolEvent, QueryReport};
+use crate::message::{Command, Message, OpKind, Outbound, ProtocolEvent, QueryReport};
 use crate::token::{QueryToken, TokenRng, WalkToken};
-use oscar_types::labels::protocol_machine::{LBL_PEER, LBL_WALK};
-use oscar_types::{Id, SeedTree};
+use oscar_types::labels::protocol_machine::{LBL_LINK, LBL_PEER, LBL_RETRY, LBL_WALK};
+use oscar_types::{mix64, Id, SeedTree};
 use rand::RngCore;
+use std::collections::VecDeque;
 
 /// The canonical per-peer machine seed for a deployment rooted at
 /// `root_seed`. Every driver must use this derivation so that the same
@@ -50,6 +51,15 @@ pub struct PeerConfig {
     pub gossip_sample: usize,
     /// Bound on the membership view.
     pub view_cap: usize,
+    /// Base deadline for pending operations, in driver timer rounds.
+    pub retry_timeout: u64,
+    /// Retries per pending operation before giving up gracefully.
+    pub max_retries: u32,
+    /// Cap on the exponential retry backoff, in timer rounds.
+    pub max_backoff: u64,
+    /// Recently-seen message instance keys kept for duplicate
+    /// suppression (a ring buffer per peer).
+    pub dedup_window: usize,
 }
 
 impl Default for PeerConfig {
@@ -63,6 +73,10 @@ impl Default for PeerConfig {
             gossip_fanout: 2,
             gossip_sample: 8,
             view_cap: 128,
+            retry_timeout: 1,
+            max_retries: 3,
+            max_backoff: 8,
+            dedup_window: 128,
         }
     }
 }
@@ -71,6 +85,67 @@ impl Default for PeerConfig {
 #[derive(Clone, Debug, Default)]
 struct WalkBatch {
     pending: Vec<(u64, Option<Id>)>,
+}
+
+/// One entry in the per-peer timer table: an operation awaiting its
+/// completion message, with a virtual deadline and its own retry stream.
+#[derive(Clone, Debug)]
+struct Pending {
+    kind: PendingKind,
+    /// Sends made so far minus one (0 = only the original send).
+    attempt: u32,
+    /// Fires when the machine's clock reaches this round.
+    deadline: u64,
+    /// Backoff jitter and alternate-contact picks draw from here — a
+    /// per-operation token stream, never the driver RNG.
+    rng: TokenRng,
+}
+
+/// What a [`Pending`] entry is waiting for.
+#[derive(Clone, Debug)]
+enum PendingKind {
+    /// `JoinRequest` sent to `contact`; cleared by `JoinWelcome`.
+    Join { contact: Id },
+    /// Launched walk; cleared by its `WalkDone`.
+    Walk { walk_id: u64 },
+    /// Issued query; cleared by `QueryDone` or local completion.
+    Query { qid: u64, key: Id },
+    /// `LinkRequest` to `target`; cleared by accept or reject.
+    Link {
+        target: Id,
+        walk_id: u64,
+        nonce_base: u64,
+    },
+}
+
+impl PendingKind {
+    fn op(&self) -> OpKind {
+        match self {
+            PendingKind::Join { .. } => OpKind::Join,
+            PendingKind::Walk { .. } => OpKind::Walk,
+            PendingKind::Query { .. } => OpKind::Query,
+            PendingKind::Link { .. } => OpKind::Link,
+        }
+    }
+
+    /// The (label, key) pair addressing this operation's retry stream.
+    fn stream_key(&self) -> (u64, u64) {
+        match self {
+            PendingKind::Join { contact } => (1, contact.raw()),
+            PendingKind::Walk { walk_id } => (2, *walk_id),
+            PendingKind::Query { qid, .. } => (3, *qid),
+            PendingKind::Link { walk_id, .. } => (4, *walk_id),
+        }
+    }
+}
+
+/// A retry resolved at tick time (split from the scan so borrow scopes
+/// stay simple: the table is rebuilt first, then actions run).
+enum RetryAction {
+    Join { contact: Id, attempt: u32 },
+    Walk { walk_id: u64, attempt: u32 },
+    Query { qid: u64, key: Id, attempt: u32 },
+    Link { target: Id, nonce: u64 },
 }
 
 /// A pure, side-effect-free Oscar peer.
@@ -93,7 +168,20 @@ pub struct PeerMachine {
     walk_counter: u64,
     batch: Option<WalkBatch>,
     events: Vec<ProtocolEvent>,
+    /// Virtual clock in driver timer rounds; advanced only by
+    /// [`Command::TimerTick`] — never by a wall clock.
+    now: u64,
+    /// Pending operations awaiting completion messages.
+    timers: Vec<Pending>,
+    /// Ring buffer of recent message instance keys (dedup window).
+    seen: VecDeque<u64>,
+    /// Recent ring splices `(joiner, old_pred)` this peer served, so a
+    /// retried `JoinRequest` whose welcome was lost can be re-welcomed.
+    recent_splices: Vec<(Id, Id)>,
 }
+
+/// Splice-memory depth: how many recent joiners an owner can re-welcome.
+const SPLICE_MEMORY: usize = 4;
 
 impl PeerMachine {
     /// A solo peer: its own predecessor, owning the whole ring.
@@ -111,6 +199,10 @@ impl PeerMachine {
             walk_counter: 0,
             batch: None,
             events: Vec::new(),
+            now: 0,
+            timers: Vec::new(),
+            seen: VecDeque::new(),
+            recent_splices: Vec::new(),
         }
     }
 
@@ -190,6 +282,13 @@ impl PeerMachine {
         std::mem::take(&mut self.events)
     }
 
+    /// The earliest pending deadline, if any operation is still waiting.
+    /// Drivers use the minimum across all machines to decide the next
+    /// timer round; `None` everywhere means the deployment has settled.
+    pub fn next_deadline(&self) -> Option<u64> {
+        self.timers.iter().map(|p| p.deadline).min()
+    }
+
     // --- command handling --------------------------------------------------
 
     /// Handles a local driver command.
@@ -210,9 +309,19 @@ impl PeerMachine {
                     return Vec::new();
                 }
                 self.note_peer(contact);
+                if !self
+                    .timers
+                    .iter()
+                    .any(|p| matches!(p.kind, PendingKind::Join { .. }))
+                {
+                    self.arm_timer(PendingKind::Join { contact });
+                }
                 vec![Outbound::new(
                     contact,
-                    Message::JoinRequest { joiner: self.id },
+                    Message::JoinRequest {
+                        joiner: self.id,
+                        attempt: 0,
+                    },
                 )]
             }
             Command::BuildLinks { walks } => self.launch_walks(walks),
@@ -226,18 +335,53 @@ impl PeerMachine {
                 outs
             }
             Command::StartQuery { qid, key } => {
+                if !self
+                    .timers
+                    .iter()
+                    .any(|p| matches!(p.kind, PendingKind::Query { qid: q, .. } if q == qid))
+                {
+                    self.arm_timer(PendingKind::Query { qid, key });
+                }
                 let token = QueryToken::new(qid, self.id, key, self.cfg.query_budget);
                 self.process_query(token)
             }
             Command::GossipTick => self.gossip_round(rng),
+            Command::TimerTick { now } => {
+                if now > self.now {
+                    self.now = now;
+                }
+                self.on_timer_tick()
+            }
         }
     }
 
     /// Handles one delivered message from `from`.
     pub fn on_message(&mut self, from: Id, msg: Message, rng: &mut dyn RngCore) -> Vec<Outbound> {
+        // Duplicate suppression for token steps: a duplicated delivery of
+        // one send must not double-advance a walk or query. Keyed by
+        // message content (see `Message::instance_key`), so consecutive
+        // *legitimate* steps of the same token never collide.
+        if let Some(key) = msg.dedup_key() {
+            if self.seen.contains(&key) {
+                return Vec::new();
+            }
+            self.seen.push_back(key);
+            if self.seen.len() > self.cfg.dedup_window.max(1) {
+                self.seen.pop_front();
+            }
+        }
         match msg {
-            Message::JoinRequest { joiner } => self.handle_join_request(joiner),
-            Message::JoinWelcome { pred, succs } => {
+            Message::JoinRequest { joiner, attempt } => self.handle_join_request(joiner, attempt),
+            Message::JoinWelcome {
+                pred,
+                succs,
+                attempt: _,
+            } => {
+                if self.joined {
+                    // A duplicated or retried welcome; the first one won.
+                    return Vec::new();
+                }
+                self.clear_join();
                 self.pred = pred;
                 self.succs = succs;
                 self.succs.truncate(self.cfg.succ_len);
@@ -282,6 +426,7 @@ impl PeerMachine {
                             Message::WalkDone {
                                 walk_id: token.walk_id,
                                 sample: self.id,
+                                attempt: token.attempt,
                             },
                         )]
                     } else {
@@ -298,38 +443,58 @@ impl PeerMachine {
                         Message::WalkDone {
                             walk_id: token.walk_id,
                             sample: self.id,
+                            attempt: token.attempt,
                         },
                     )]
                 } else {
                     vec![self.step_walk(token)]
                 }
             }
-            Message::WalkDone { walk_id, sample } => {
+            Message::WalkDone {
+                walk_id,
+                sample,
+                attempt: _,
+            } => {
                 self.note_peer(sample);
                 self.record_walk_done(walk_id, sample)
             }
-            Message::LinkRequest => {
-                if from != self.id && self.long_in.len() < self.cfg.max_long_in {
-                    if let Err(pos) = self.long_in.binary_search(&from) {
-                        self.long_in.insert(pos, from);
-                        self.note_peer(from);
-                        return vec![Outbound::new(from, Message::LinkAccept)];
+            Message::LinkRequest { nonce } => {
+                if from != self.id {
+                    match self.long_in.binary_search(&from) {
+                        // Already granted: a retry whose accept was lost.
+                        // Re-affirm instead of rejecting, or the requester
+                        // would drop a link this side keeps.
+                        Ok(_) => return vec![Outbound::new(from, Message::LinkAccept { nonce })],
+                        Err(pos) if self.long_in.len() < self.cfg.max_long_in => {
+                            self.long_in.insert(pos, from);
+                            self.note_peer(from);
+                            return vec![Outbound::new(from, Message::LinkAccept { nonce })];
+                        }
+                        Err(_) => {}
                     }
                 }
-                vec![Outbound::new(from, Message::LinkReject)]
+                vec![Outbound::new(from, Message::LinkReject { nonce })]
             }
-            Message::LinkAccept => {
+            Message::LinkAccept { nonce: _ } => {
+                self.clear_link(from);
                 self.note_peer(from);
+                if self.long_out.binary_search(&from).is_ok() {
+                    // Duplicated accept for a link already installed.
+                    return Vec::new();
+                }
                 if self.long_out.len() < self.cfg.max_long_out {
                     if let Err(pos) = self.long_out.binary_search(&from) {
                         self.long_out.insert(pos, from);
                         return Vec::new();
                     }
                 }
-                // No room (or duplicate): give the accepted slot back.
+                // No room: give the accepted slot back.
                 vec![Outbound::new(from, Message::Unlink)]
             }
-            Message::LinkReject => Vec::new(),
+            Message::LinkReject { nonce: _ } => {
+                self.clear_link(from);
+                Vec::new()
+            }
             Message::Unlink => {
                 self.long_in.retain(|&x| x != from);
                 self.long_out.retain(|&x| x != from);
@@ -337,7 +502,11 @@ impl PeerMachine {
             }
             Message::Query(token) => self.process_query(token),
             Message::QueryDone(report) => {
-                self.events.push(ProtocolEvent::QueryCompleted(report));
+                // Gated on the pending entry: a late or duplicated report
+                // for an already-completed query must not double-count.
+                if self.clear_query(report.qid) {
+                    self.events.push(ProtocolEvent::QueryCompleted(report));
+                }
                 Vec::new()
             }
             Message::GossipPush { view } => {
@@ -388,13 +557,14 @@ impl PeerMachine {
                         Message::WalkDone {
                             walk_id: token.walk_id,
                             sample: self.id,
+                            attempt: token.attempt,
                         },
                     )]
                 } else {
                     vec![self.step_walk(token)]
                 }
             }
-            Message::LinkAccept => {
+            Message::LinkAccept { .. } => {
                 // The requester died after we granted the slot: reclaim it.
                 self.long_in.retain(|&x| x != to);
                 Vec::new()
@@ -406,7 +576,13 @@ impl PeerMachine {
 
     // --- join routing ------------------------------------------------------
 
-    fn handle_join_request(&mut self, joiner: Id) -> Vec<Outbound> {
+    fn handle_join_request(&mut self, joiner: Id, attempt: u32) -> Vec<Outbound> {
+        if joiner == self.id {
+            // A retried request routed all the way back to its issuer
+            // (possible once the splice is installed); self-splicing
+            // would corrupt the ring.
+            return Vec::new();
+        }
         if logic::owns(self.pred, self.id, joiner) {
             // Splice: the joiner takes over the head of my arc. Serving a
             // splice also makes a solo bootstrap peer part of the overlay.
@@ -414,23 +590,59 @@ impl PeerMachine {
             self.pred = joiner;
             self.joined = true;
             self.note_peer(joiner);
-            let mut succs = Vec::with_capacity(self.cfg.succ_len);
-            succs.push(self.id);
-            succs.extend_from_slice(&self.succs);
-            succs.truncate(self.cfg.succ_len);
+            self.recent_splices.push((joiner, old_pred));
+            if self.recent_splices.len() > SPLICE_MEMORY {
+                self.recent_splices.remove(0);
+            }
             return vec![Outbound::new(
                 joiner,
                 Message::JoinWelcome {
                     pred: old_pred,
-                    succs,
+                    succs: self.welcome_succs(),
+                    attempt,
                 },
             )];
         }
+        if joiner == self.pred {
+            // Already spliced — a duplicated or retried request whose
+            // original welcome may have been lost. Reconstruct it from
+            // the splice memory; a joiner that did receive the original
+            // ignores the repeat (welcomes are idempotent).
+            if let Some(&(_, old_pred)) = self
+                .recent_splices
+                .iter()
+                .rev()
+                .find(|&&(j, _)| j == joiner)
+            {
+                return vec![Outbound::new(
+                    joiner,
+                    Message::JoinWelcome {
+                        pred: old_pred,
+                        succs: self.welcome_succs(),
+                        attempt,
+                    },
+                )];
+            }
+            return Vec::new();
+        }
         match self.best_step_toward(joiner, |_| false) {
-            Some(next) => vec![Outbound::new(next, Message::JoinRequest { joiner })],
+            Some(next) => vec![Outbound::new(
+                next,
+                Message::JoinRequest { joiner, attempt },
+            )],
             // Unreachable on a consistent ring; drop rather than loop.
             None => Vec::new(),
         }
+    }
+
+    /// The successor list shipped in a welcome: this peer, then its own
+    /// successors, truncated.
+    fn welcome_succs(&self) -> Vec<Id> {
+        let mut succs = Vec::with_capacity(self.cfg.succ_len);
+        succs.push(self.id);
+        succs.extend_from_slice(&self.succs);
+        succs.truncate(self.cfg.succ_len);
+        succs
     }
 
     // --- MH sampling walks ---------------------------------------------------
@@ -449,17 +661,33 @@ impl PeerMachine {
             launched.push(walk_id);
         }
         for walk_id in launched {
-            let token = WalkToken {
-                walk_id,
-                origin: self.id,
-                remaining: self.cfg.walk_ttl.max(1),
-                // lint:allow(rng-discipline, walk tokens root at the machine's own deterministic seed keyed by walk_id)
-                rng: TokenRng::new(SeedTree::new(self.seed).child2(LBL_WALK, walk_id).seed()),
-                holder_deg: 0,
-            };
+            self.arm_timer(PendingKind::Walk { walk_id });
+            let token = self.walk_token(walk_id, 0);
             outs.push(self.step_walk(token));
         }
         outs
+    }
+
+    /// The token for launch `attempt` of `walk_id`. Attempt 0 uses the
+    /// original per-walk derivation (artifact-critical: committed seeded
+    /// baselines realise exactly these streams); retries derive a fresh
+    /// child stream so the re-launched walk takes a different path.
+    fn walk_token(&self, walk_id: u64, attempt: u32) -> WalkToken {
+        // lint:allow(rng-discipline, walk tokens root at the machine's own deterministic seed keyed by walk_id)
+        let node = SeedTree::new(self.seed).child2(LBL_WALK, walk_id);
+        let seed = if attempt == 0 {
+            node.seed()
+        } else {
+            node.child(attempt as u64).seed()
+        };
+        WalkToken {
+            walk_id,
+            origin: self.id,
+            remaining: self.cfg.walk_ttl.max(1),
+            rng: TokenRng::new(seed),
+            holder_deg: 0,
+            attempt,
+        }
     }
 
     /// Proposes the next walk move from this holder.
@@ -471,6 +699,7 @@ impl PeerMachine {
                 Message::WalkDone {
                     walk_id: token.walk_id,
                     sample: self.id,
+                    attempt: token.attempt,
                 },
             );
         }
@@ -483,17 +712,29 @@ impl PeerMachine {
         let Some(batch) = self.batch.as_mut() else {
             return Vec::new();
         };
-        if let Some(slot) = batch.pending.iter_mut().find(|(w, _)| *w == walk_id) {
-            slot.1 = Some(sample);
+        match batch.pending.iter_mut().find(|(w, _)| *w == walk_id) {
+            // First sample for this walk: record it.
+            Some(slot) if slot.1.is_none() => slot.1 = Some(sample),
+            // A late WalkDone from a retried walk whose earlier launch
+            // also finished, or an unknown walk id: the batch may already
+            // be settled (or settling) — ignore.
+            _ => return Vec::new(),
         }
-        if batch.pending.iter().any(|(_, s)| s.is_none()) {
-            return Vec::new();
+        self.clear_walk(walk_id);
+        self.try_settle_batch()
+    }
+
+    /// Settles the walk batch once every pending walk has landed (or been
+    /// given up): issues link requests in launch order — a deterministic
+    /// sequence, whatever order the WalkDone messages arrived in.
+    fn try_settle_batch(&mut self) -> Vec<Outbound> {
+        match self.batch.as_ref() {
+            None => return Vec::new(),
+            Some(b) if b.pending.iter().any(|(_, s)| s.is_none()) => return Vec::new(),
+            Some(_) => {}
         }
-        // All walks of the batch have landed: issue link requests in launch
-        // order — a deterministic sequence, whatever order the WalkDone
-        // messages arrived in.
         let Some(batch) = self.batch.take() else {
-            // Checked non-empty above; a miss here means the machine's own
+            // Checked present above; a miss here means the machine's own
             // state went inconsistent — drop the batch, keep the thread.
             self.events.push(ProtocolEvent::Fault {
                 peer: self.id,
@@ -501,13 +742,16 @@ impl PeerMachine {
             });
             return Vec::new();
         };
-        let mut targets: Vec<Id> = Vec::new();
-        for (_, sample) in &batch.pending {
+        let mut targets: Vec<(u64, Id)> = Vec::new();
+        for (walk_id, sample) in &batch.pending {
             // Every slot landed (checked above); skip rather than unwrap so
             // an impossible None cannot poison the machine.
             let Some(s) = *sample else { continue };
-            if s != self.id && !targets.contains(&s) && self.long_out.binary_search(&s).is_err() {
-                targets.push(s);
+            if s != self.id
+                && !targets.iter().any(|&(_, t)| t == s)
+                && self.long_out.binary_search(&s).is_err()
+            {
+                targets.push((*walk_id, s));
             }
         }
         let room = self.cfg.max_long_out.saturating_sub(self.long_out.len());
@@ -516,10 +760,18 @@ impl PeerMachine {
             peer: self.id,
             samples: targets.len(),
         });
-        targets
-            .into_iter()
-            .map(|t| Outbound::new(t, Message::LinkRequest))
-            .collect()
+        let mut outs = Vec::with_capacity(targets.len());
+        for (walk_id, t) in targets {
+            // lint:allow(rng-discipline, link nonces root at the machine's own deterministic seed keyed by walk_id)
+            let nonce = SeedTree::new(self.seed).child2(LBL_LINK, walk_id).seed();
+            self.arm_timer(PendingKind::Link {
+                target: t,
+                walk_id,
+                nonce_base: nonce,
+            });
+            outs.push(Outbound::new(t, Message::LinkRequest { nonce }));
+        }
+        outs
     }
 
     // --- greedy query routing -------------------------------------------------
@@ -600,13 +852,214 @@ impl PeerMachine {
             hops: token.hops,
             wasted: token.wasted,
             backtracks: token.backtracks,
+            attempt: token.attempt,
             dest,
         };
         if token.origin == self.id {
-            self.events.push(ProtocolEvent::QueryCompleted(report));
+            // Gated on the pending entry, exactly like a remote QueryDone:
+            // a duplicated token completing locally must not double-count.
+            if self.clear_query(report.qid) {
+                self.events.push(ProtocolEvent::QueryCompleted(report));
+            }
             Vec::new()
         } else {
             vec![Outbound::new(token.origin, Message::QueryDone(report))]
+        }
+    }
+
+    // --- failure detection: timers, retries, give-up ------------------------
+
+    /// Arms a timer for a freshly issued operation. The entry's retry
+    /// stream roots at the machine's own seed keyed by the operation, so
+    /// backoff jitter and alternate-contact picks are deterministic and
+    /// driver-independent (never the driver RNG).
+    fn arm_timer(&mut self, kind: PendingKind) {
+        let (tag, key) = kind.stream_key();
+        // lint:allow(rng-discipline, retry streams root at the machine's own deterministic seed keyed by the operation)
+        let seed = SeedTree::new(self.seed)
+            .child(LBL_RETRY)
+            .child2(tag, key)
+            .seed();
+        self.timers.push(Pending {
+            kind,
+            attempt: 0,
+            deadline: self.now + self.cfg.retry_timeout.max(1),
+            rng: TokenRng::new(seed),
+        });
+    }
+
+    fn clear_join(&mut self) {
+        self.timers
+            .retain(|p| !matches!(p.kind, PendingKind::Join { .. }));
+    }
+
+    fn clear_walk(&mut self, walk_id: u64) {
+        self.timers
+            .retain(|p| !matches!(p.kind, PendingKind::Walk { walk_id: w } if w == walk_id));
+    }
+
+    /// Removes the pending entry for `qid`; true iff one existed (the
+    /// completion gate — late and duplicated reports find nothing).
+    fn clear_query(&mut self, qid: u64) -> bool {
+        let before = self.timers.len();
+        self.timers
+            .retain(|p| !matches!(p.kind, PendingKind::Query { qid: q, .. } if q == qid));
+        self.timers.len() != before
+    }
+
+    fn clear_link(&mut self, target: Id) {
+        self.timers
+            .retain(|p| !matches!(p.kind, PendingKind::Link { target: t, .. } if t == target));
+    }
+
+    /// Fires expired deadlines at the machine's current virtual time:
+    /// each due entry emits `TimedOut`, then either retries (capped
+    /// exponential backoff with jitter from the entry's own stream) or —
+    /// once `max_retries` is exhausted — degrades gracefully via
+    /// [`Self::give_up`]. The table is rebuilt first and actions run
+    /// after, because an action (e.g. a query retry completing locally)
+    /// may itself clear entries.
+    fn on_timer_tick(&mut self) -> Vec<Outbound> {
+        if self.timers.is_empty() {
+            return Vec::new();
+        }
+        let base = self.cfg.retry_timeout.max(1);
+        let cap = self.cfg.max_backoff.max(base);
+        let mut keep: Vec<Pending> = Vec::with_capacity(self.timers.len());
+        let mut actions: Vec<RetryAction> = Vec::new();
+        let mut gaveups: Vec<(PendingKind, u32)> = Vec::new();
+        for mut p in std::mem::take(&mut self.timers) {
+            if p.deadline > self.now {
+                keep.push(p);
+                continue;
+            }
+            self.events.push(ProtocolEvent::TimedOut {
+                peer: self.id,
+                op: p.kind.op(),
+                attempt: p.attempt,
+            });
+            if p.attempt >= self.cfg.max_retries {
+                gaveups.push((p.kind, p.attempt + 1));
+                continue;
+            }
+            p.attempt += 1;
+            let exp = base
+                .saturating_mul(1u64 << (p.attempt - 1).min(16))
+                .min(cap);
+            let jitter = p.rng.index(exp.max(1) as usize) as u64;
+            p.deadline = self.now + exp + jitter;
+            let action = match &mut p.kind {
+                PendingKind::Join { contact } => {
+                    // Retry via an alternate contact when the view offers
+                    // one (the original may be the crashed peer).
+                    if !self.known.is_empty() {
+                        *contact = self.known[p.rng.index(self.known.len())];
+                    }
+                    RetryAction::Join {
+                        contact: *contact,
+                        attempt: p.attempt,
+                    }
+                }
+                PendingKind::Walk { walk_id } => RetryAction::Walk {
+                    walk_id: *walk_id,
+                    attempt: p.attempt,
+                },
+                PendingKind::Query { qid, key } => RetryAction::Query {
+                    qid: *qid,
+                    key: *key,
+                    attempt: p.attempt,
+                },
+                PendingKind::Link {
+                    target, nonce_base, ..
+                } => RetryAction::Link {
+                    target: *target,
+                    // Salted nonce: the retry is content-distinct, so it
+                    // draws a fresh fault decision.
+                    nonce: mix64(*nonce_base ^ p.attempt as u64),
+                },
+            };
+            self.events.push(ProtocolEvent::Retried {
+                peer: self.id,
+                op: p.kind.op(),
+                attempt: p.attempt,
+            });
+            actions.push(action);
+            keep.push(p);
+        }
+        self.timers = keep;
+        let mut outs = Vec::new();
+        for action in actions {
+            match action {
+                RetryAction::Join { contact, attempt } => {
+                    if !self.joined {
+                        outs.push(Outbound::new(
+                            contact,
+                            Message::JoinRequest {
+                                joiner: self.id,
+                                attempt,
+                            },
+                        ));
+                    }
+                }
+                RetryAction::Walk { walk_id, attempt } => {
+                    let token = self.walk_token(walk_id, attempt);
+                    outs.push(self.step_walk(token));
+                }
+                RetryAction::Query { qid, key, attempt } => {
+                    let mut token = QueryToken::new(qid, self.id, key, self.cfg.query_budget);
+                    token.attempt = attempt;
+                    outs.extend(self.process_query(token));
+                }
+                RetryAction::Link { target, nonce } => {
+                    outs.push(Outbound::new(target, Message::LinkRequest { nonce }));
+                }
+            }
+        }
+        for (kind, attempts) in gaveups {
+            self.events.push(ProtocolEvent::GaveUp {
+                peer: self.id,
+                op: kind.op(),
+                attempts,
+            });
+            outs.extend(self.give_up(kind, attempts));
+        }
+        outs
+    }
+
+    /// Graceful degradation when an operation exhausts its retries: the
+    /// walk batch settles without the lost walk (a shorter sample), the
+    /// query reports failure cleanly, the join stays pending for the
+    /// harness to reissue — never a [`ProtocolEvent::Fault`].
+    fn give_up(&mut self, kind: PendingKind, attempts: u32) -> Vec<Outbound> {
+        match kind {
+            PendingKind::Join { .. } => Vec::new(),
+            PendingKind::Walk { walk_id } => {
+                if let Some(batch) = self.batch.as_mut() {
+                    batch.pending.retain(|&(w, _)| w != walk_id);
+                }
+                self.try_settle_batch()
+            }
+            PendingKind::Query { qid, key } => {
+                // The timer entry is already gone; report directly.
+                self.events.push(ProtocolEvent::QueryCompleted(QueryReport {
+                    qid,
+                    origin: self.id,
+                    key,
+                    success: false,
+                    hops: 0,
+                    wasted: 0,
+                    backtracks: 0,
+                    attempt: attempts,
+                    dest: None,
+                }));
+                Vec::new()
+            }
+            PendingKind::Link { target, .. } => {
+                // Best-effort cleanup: if the target granted the slot but
+                // every accept was lost, the unlink releases it; if the
+                // target never heard us, it's a no-op there.
+                vec![Outbound::new(target, Message::Unlink)]
+            }
         }
     }
 
@@ -919,6 +1372,150 @@ mod tests {
             })
             .expect("query must terminate despite the corpse");
         assert!(r.wasted > 0, "corpse probe must be charged");
+    }
+
+    #[test]
+    fn duplicated_query_envelope_is_suppressed() {
+        let ids = [100u64, 300, 500, 700];
+        let mut pump = Pump::new(machines(&ids));
+        for &i in &ids[1..] {
+            pump.command(
+                Id::new(i),
+                Command::Join {
+                    contact: Id::new(100),
+                },
+            );
+        }
+        // Issue a query by hand so its first-hop envelope can be replayed.
+        let mut rng = SeedTree::new(2).rng();
+        let origin = Id::new(100);
+        let outs = pump.peers.get_mut(&origin).unwrap().on_command(
+            Command::StartQuery {
+                qid: 7,
+                key: Id::new(650),
+            },
+            &mut rng,
+        );
+        assert_eq!(outs.len(), 1);
+        let Outbound { to, msg } = outs[0].clone();
+        let first = pump
+            .peers
+            .get_mut(&to)
+            .unwrap()
+            .on_message(origin, msg.clone(), &mut rng);
+        assert!(!first.is_empty(), "first delivery must advance the query");
+        let second = pump
+            .peers
+            .get_mut(&to)
+            .unwrap()
+            .on_message(origin, msg, &mut rng);
+        assert!(second.is_empty(), "duplicated delivery must be suppressed");
+    }
+
+    #[test]
+    fn duplicated_walk_probe_does_not_double_advance() {
+        let ids = [10u64, 20, 30, 40];
+        let mut pump = Pump::new(machines(&ids));
+        for &i in &ids[1..] {
+            pump.command(
+                Id::new(i),
+                Command::Join {
+                    contact: Id::new(10),
+                },
+            );
+        }
+        let mut rng = SeedTree::new(4).rng();
+        let origin = Id::new(10);
+        let outs = pump
+            .peers
+            .get_mut(&origin)
+            .unwrap()
+            .on_command(Command::BuildLinks { walks: 1 }, &mut rng);
+        assert_eq!(outs.len(), 1);
+        let Outbound { to, msg } = outs[0].clone();
+        assert!(matches!(msg, Message::WalkProbe(_)));
+        let first = pump
+            .peers
+            .get_mut(&to)
+            .unwrap()
+            .on_message(origin, msg.clone(), &mut rng);
+        assert!(!first.is_empty(), "first probe must advance or reject");
+        let second = pump
+            .peers
+            .get_mut(&to)
+            .unwrap()
+            .on_message(origin, msg, &mut rng);
+        assert!(second.is_empty(), "duplicated probe must be suppressed");
+    }
+
+    #[test]
+    fn query_timeout_retries_then_gives_up_cleanly() {
+        // A bootstrapped peer whose only neighbour never answers (we drop
+        // every send on the floor): only the timer path can finish the
+        // query — via retries, then a graceful failure report.
+        let mut m = PeerMachine::new(Id::new(100), 1, PeerConfig::default());
+        let mut rng = SeedTree::new(3).rng();
+        m.on_command(
+            Command::Bootstrap {
+                pred: Id::new(900),
+                succs: vec![Id::new(900)],
+                known: vec![Id::new(900)],
+            },
+            &mut rng,
+        );
+        let outs = m.on_command(
+            Command::StartQuery {
+                qid: 1,
+                key: Id::new(500),
+            },
+            &mut rng,
+        );
+        assert!(!outs.is_empty(), "the probe must leave the origin");
+        let mut now = 0;
+        for _ in 0..64 {
+            let Some(d) = m.next_deadline() else { break };
+            now = now.max(d);
+            m.on_command(Command::TimerTick { now }, &mut rng);
+        }
+        assert!(
+            m.next_deadline().is_none(),
+            "query must not stay pending forever"
+        );
+        let events = m.drain_events();
+        let retried = events
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e,
+                    ProtocolEvent::Retried {
+                        op: OpKind::Query,
+                        ..
+                    }
+                )
+            })
+            .count();
+        assert_eq!(retried, PeerConfig::default().max_retries as usize);
+        assert!(events.iter().any(|e| matches!(
+            e,
+            ProtocolEvent::GaveUp {
+                op: OpKind::Query,
+                ..
+            }
+        )));
+        let report = events
+            .iter()
+            .find_map(|e| match e {
+                ProtocolEvent::QueryCompleted(r) => Some(r.clone()),
+                _ => None,
+            })
+            .expect("gave-up query must still complete");
+        assert!(!report.success);
+        assert!(
+            !events
+                .iter()
+                .any(|e| matches!(e, ProtocolEvent::Fault { .. })),
+            "graceful degradation must not raise Fault"
+        );
     }
 
     #[test]

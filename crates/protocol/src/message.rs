@@ -8,7 +8,7 @@
 //! never inspect or mutate peer state.
 
 use crate::token::{QueryToken, WalkToken};
-use oscar_types::Id;
+use oscar_types::{mix64, Id};
 
 /// A protocol message between two peers.
 #[derive(Clone, Debug, PartialEq)]
@@ -18,6 +18,9 @@ pub enum Message {
     JoinRequest {
         /// The joining peer (also the routing key).
         joiner: Id,
+        /// Which try this is (0 = first; bumped by timeout retries so a
+        /// retried request is content-distinct from the original).
+        attempt: u32,
     },
     /// Owner → joiner: your predecessor and successor list.
     JoinWelcome {
@@ -25,6 +28,9 @@ pub enum Message {
         pred: Id,
         /// The joiner's successor list, nearest first (head = the owner).
         succs: Vec<Id>,
+        /// Echo of the request's attempt (keeps retried welcomes
+        /// content-distinct under deterministic fault decisions).
+        attempt: u32,
     },
     /// Joiner → its predecessor: "your immediate successor is now me".
     NewSuccessor {
@@ -43,15 +49,27 @@ pub enum Message {
         walk_id: u64,
         /// The sampled peer.
         sample: Id,
+        /// Which launch of the walk produced the sample.
+        attempt: u32,
     },
 
     // --- long links -------------------------------------------------------
     /// Origin → sampled peer: request a long link.
-    LinkRequest,
+    LinkRequest {
+        /// Deterministic handshake nonce, echoed by the reply. Retries
+        /// salt it so a retried request draws a fresh fault decision.
+        nonce: u64,
+    },
     /// Target accepted; the requester installs the out-link.
-    LinkAccept,
-    /// Target at capacity (or duplicate); the requester drops the sample.
-    LinkReject,
+    LinkAccept {
+        /// Echo of the request nonce.
+        nonce: u64,
+    },
+    /// Target at capacity; the requester drops the sample.
+    LinkReject {
+        /// Echo of the request nonce.
+        nonce: u64,
+    },
     /// Either endpoint dissolves the link (rewire, shutdown).
     Unlink,
 
@@ -72,6 +90,100 @@ pub enum Message {
         /// Peer ids known to the replier (a bounded sample).
         view: Vec<Id>,
     },
+}
+
+/// Stable mix64 fold (NOT `std::hash` — instance keys feed committed
+/// seeded artifacts and must never drift across toolchains).
+#[inline]
+fn fold(acc: u64, v: u64) -> u64 {
+    mix64(acc ^ v)
+}
+
+fn fold_walk(tag: u64, t: &WalkToken) -> u64 {
+    let mut acc = fold(tag, t.walk_id);
+    acc = fold(acc, t.origin.raw());
+    acc = fold(acc, t.remaining as u64);
+    acc = fold(acc, t.attempt as u64);
+    fold(acc, t.rng.fingerprint())
+}
+
+impl Message {
+    /// A content-derived key identifying this *instance* of the message.
+    ///
+    /// Two properties the protocol relies on:
+    ///
+    /// * every step of a forwarded token yields a distinct key (walk
+    ///   tokens change `remaining`/rng state per step, query tokens burn
+    ///   budget per send), so duplicate *deliveries* of one send are
+    ///   distinguishable from consecutive legitimate sends;
+    /// * a timeout retry is content-distinct from the original (`attempt`
+    ///   counters, salted link nonces), so a deterministic per-content
+    ///   fault decision cannot doom every retry to the original's fate.
+    ///
+    /// `Unlink` is the one content-constant message: its copies on an
+    /// edge share a fate under fault injection, which is acceptable — a
+    /// lost unlink only leaves a bounded stale in-link behind.
+    pub fn instance_key(&self) -> u64 {
+        match self {
+            Message::JoinRequest { joiner, attempt } => {
+                fold(fold(0x01, joiner.raw()), *attempt as u64)
+            }
+            Message::JoinWelcome {
+                pred,
+                succs,
+                attempt,
+            } => {
+                let mut acc = fold(0x02, pred.raw());
+                for s in succs {
+                    acc = fold(acc, s.raw());
+                }
+                fold(acc, *attempt as u64)
+            }
+            Message::NewSuccessor { succ } => fold(0x03, succ.raw()),
+            Message::WalkProbe(t) => fold_walk(0x04, t),
+            Message::WalkReject(t) => fold_walk(0x05, t),
+            Message::WalkDone {
+                walk_id,
+                sample,
+                attempt,
+            } => fold(fold(fold(0x06, *walk_id), sample.raw()), *attempt as u64),
+            Message::LinkRequest { nonce } => fold(0x07, *nonce),
+            Message::LinkAccept { nonce } => fold(0x08, *nonce),
+            Message::LinkReject { nonce } => fold(0x09, *nonce),
+            Message::Unlink => mix64(0x0A),
+            Message::Query(t) => {
+                let mut acc = fold(0x0B, t.qid);
+                acc = fold(acc, t.origin.raw());
+                acc = fold(acc, t.attempt as u64);
+                acc = fold(acc, t.budget as u64);
+                fold(acc, (t.hops as u64) ^ ((t.wasted as u64) << 32))
+            }
+            Message::QueryDone(r) => {
+                let mut acc = fold(0x0C, r.qid);
+                acc = fold(acc, r.origin.raw());
+                acc = fold(acc, r.attempt as u64);
+                acc = fold(acc, (r.hops as u64) ^ ((r.wasted as u64) << 32));
+                fold(acc, r.success as u64)
+            }
+            Message::GossipPush { view } => view.iter().fold(mix64(0x0D), |a, p| fold(a, p.raw())),
+            Message::GossipPull { view } => view.iter().fold(mix64(0x0E), |a, p| fold(a, p.raw())),
+        }
+    }
+
+    /// The dedup key, for messages where a duplicated delivery would
+    /// otherwise double-advance in-flight state (token steps and their
+    /// completions). Everything else is handled idempotently by the
+    /// machine and needs no suppression.
+    pub fn dedup_key(&self) -> Option<u64> {
+        match self {
+            Message::WalkProbe(_)
+            | Message::WalkReject(_)
+            | Message::WalkDone { .. }
+            | Message::Query(_)
+            | Message::QueryDone(_) => Some(self.instance_key()),
+            _ => None,
+        }
+    }
 }
 
 /// A message queued for delivery: the driver owns *how* it travels.
@@ -127,6 +239,27 @@ pub enum Command {
     /// One round of anti-entropy gossip (uses the driver's RNG — the only
     /// protocol activity outside the deterministic token core).
     GossipTick,
+    /// Advance this peer's virtual clock to `now` and fire any expired
+    /// deadlines. Drivers own time (the DES counts settle rounds, the
+    /// threaded runtime ticks at quiescent points); machines only own
+    /// deadlines — no protocol code ever reads a wall clock.
+    TimerTick {
+        /// The driver's current timer round (monotone per deployment).
+        now: u64,
+    },
+}
+
+/// Which class of pending operation a timeout event refers to.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum OpKind {
+    /// A `JoinRequest` awaiting its `JoinWelcome`.
+    Join,
+    /// A launched MH walk awaiting its `WalkDone`.
+    Walk,
+    /// An issued query awaiting completion.
+    Query,
+    /// A `LinkRequest` awaiting accept/reject.
+    Link,
 }
 
 /// Outcome of one query, reported back to its origin.
@@ -146,6 +279,8 @@ pub struct QueryReport {
     pub wasted: u32,
     /// Dead-end retreats.
     pub backtracks: u32,
+    /// Which issue of the query produced this outcome (0 = first try).
+    pub attempt: u32,
     /// The owner that answered, when successful.
     pub dest: Option<Id>,
 }
@@ -174,6 +309,35 @@ pub enum ProtocolEvent {
     },
     /// A query this peer issued has completed.
     QueryCompleted(QueryReport),
+    /// A pending operation's deadline expired at a timer tick.
+    TimedOut {
+        /// The waiting peer.
+        peer: Id,
+        /// Which operation class timed out.
+        op: OpKind,
+        /// Attempts made so far (0 = the first send timed out).
+        attempt: u32,
+    },
+    /// A timed-out operation was retried (with backoff).
+    Retried {
+        /// The retrying peer.
+        peer: Id,
+        /// Which operation class was retried.
+        op: OpKind,
+        /// The retry's attempt number (1 = first retry).
+        attempt: u32,
+    },
+    /// A pending operation exhausted its retries and was abandoned
+    /// gracefully (shorter walk sample, failed query report, unjoined
+    /// peer) — *not* a [`ProtocolEvent::Fault`].
+    GaveUp {
+        /// The abandoning peer.
+        peer: Id,
+        /// Which operation class was abandoned.
+        op: OpKind,
+        /// Total attempts made before giving up.
+        attempts: u32,
+    },
     /// The machine hit a state it cannot make progress from and
     /// recovered by dropping the operation instead of panicking. The
     /// driver decides whether to log, count, or abort; a fault must

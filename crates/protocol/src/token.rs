@@ -48,6 +48,14 @@ impl TokenRng {
         // lint:allow(rng-discipline, TokenRng IS the token-carried stream — these are its own primitives)
         ((self.next_u64() as u128 * n as u128) >> 64) as usize
     }
+
+    /// The current stream position, without advancing it. Folded into
+    /// message instance keys so that every step of a forwarded token is
+    /// content-distinguishable (duplicate suppression, fault decisions).
+    #[inline]
+    pub fn fingerprint(&self) -> u64 {
+        self.state
+    }
 }
 
 /// A Metropolis–Hastings sampling walk in flight.
@@ -68,6 +76,9 @@ pub struct WalkToken {
     pub rng: TokenRng,
     /// Degree of the holder that sent the current probe.
     pub holder_deg: usize,
+    /// Which launch of this walk the token belongs to (0 = first try;
+    /// retries after a timeout re-launch with a fresh derived stream).
+    pub attempt: u32,
 }
 
 /// A greedy-routed query in flight.
@@ -92,6 +103,9 @@ pub struct QueryToken {
     pub backtracks: u32,
     /// Remaining message budget; at zero the query fails.
     pub budget: u32,
+    /// Which issue of this query the token belongs to (0 = first try;
+    /// a timeout at the origin re-issues with a fresh token).
+    pub attempt: u32,
     /// Peers discovered dead (delivery failures), sorted.
     pub known_dead: Vec<Id>,
     /// Peers whose candidate sets were exhausted, sorted.
@@ -111,6 +125,7 @@ impl QueryToken {
             wasted: 0,
             backtracks: 0,
             budget,
+            attempt: 0,
             known_dead: Vec::new(),
             exhausted: Vec::new(),
             stack: Vec::new(),

@@ -25,7 +25,8 @@
 //! in the workspace root.
 
 use oscar_protocol::{
-    machine::peer_seed, Command, Message, Outbound, PeerConfig, PeerMachine, ProtocolEvent,
+    machine::peer_seed, Command, FaultPlan, Message, Outbound, PeerConfig, PeerMachine,
+    ProtocolEvent,
 };
 use oscar_types::labels::runtime::{LBL_GOSSIP, LBL_WORKER};
 use oscar_types::{Id, SeedTree};
@@ -45,6 +46,8 @@ pub struct RuntimeConfig {
     pub seed: u64,
     /// Per-peer protocol tunables.
     pub peer_cfg: PeerConfig,
+    /// Fault plan applied to every send (reliable by default).
+    pub plan: FaultPlan,
 }
 
 impl RuntimeConfig {
@@ -54,6 +57,7 @@ impl RuntimeConfig {
             workers: 0,
             seed,
             peer_cfg: PeerConfig::default(),
+            plan: FaultPlan::reliable(),
         }
     }
 
@@ -66,6 +70,13 @@ impl RuntimeConfig {
     /// Overrides the peer tunables.
     pub fn with_peer_cfg(mut self, cfg: PeerConfig) -> Self {
         self.peer_cfg = cfg;
+        self
+    }
+
+    /// Subjects every send to `plan` at the runtime's single routing
+    /// point (`Shared::send` — the DES's analogue is `enqueue_all`).
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.plan = plan;
         self
     }
 }
@@ -93,19 +104,35 @@ struct Shared {
     stop: AtomicBool,
     inject_nonce: AtomicU64,
     events: Mutex<Vec<ProtocolEvent>>,
+    plan: FaultPlan,
+    /// Current timer round (virtual failure-detection time); advanced
+    /// only at quiescent points via [`Runtime::tick_timers`].
+    round: AtomicU64,
+    sent: AtomicU64,
     delivered: AtomicU64,
-    failed: AtomicU64,
+    bounced: AtomicU64,
+    dropped: AtomicU64,
+    duplicated: AtomicU64,
     busy_ns: Vec<AtomicU64>,
     per_worker_msgs: Vec<AtomicU64>,
 }
 
-/// Aggregate counters for throughput reporting.
+/// Aggregate counters for throughput reporting. Mirrors the DES
+/// driver's accounting: at any quiescent point
+/// `sent == delivered + dropped + bounced`.
 #[derive(Clone, Debug)]
 pub struct RuntimeStats {
+    /// Envelopes handed to the transport (fault copies included).
+    pub sent: u64,
     /// Messages delivered to mailboxes and processed.
     pub delivered: u64,
-    /// Sends that hit a missing peer (delivery failures).
-    pub failed: u64,
+    /// Sends to missing peers returned as `on_delivery_failure`.
+    pub bounced: u64,
+    /// Envelopes silently discarded: fault-plan drops, blackholed sends
+    /// to missing peers, and mail queued to a removed peer.
+    pub dropped: u64,
+    /// Extra copies injected by the fault plan (each also in `sent`).
+    pub duplicated: u64,
     /// Per-worker busy time in nanoseconds.
     pub busy_ns: Vec<u64>,
     /// Per-worker processed-message counts.
@@ -154,8 +181,13 @@ impl Runtime {
             stop: AtomicBool::new(false),
             inject_nonce: AtomicU64::new(0),
             events: Mutex::new(Vec::new()),
+            plan: cfg.plan.clone(),
+            round: AtomicU64::new(0),
+            sent: AtomicU64::new(0),
             delivered: AtomicU64::new(0),
-            failed: AtomicU64::new(0),
+            bounced: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+            duplicated: AtomicU64::new(0),
             busy_ns: (0..workers).map(|_| AtomicU64::new(0)).collect(),
             per_worker_msgs: (0..workers).map(|_| AtomicU64::new(0)).collect(),
         });
@@ -215,6 +247,11 @@ impl Runtime {
         let removed = self.shared.actors.write().unwrap().remove(&id);
         if let Some(actor) = removed {
             let dropped = actor.mailbox.lock().unwrap().len();
+            // Mail queued to the corpse counts as dropped, so the
+            // sent/delivered/dropped/bounced reconciliation still holds.
+            self.shared
+                .dropped
+                .fetch_add(dropped as u64, Ordering::Relaxed);
             for _ in 0..dropped {
                 self.shared.dec_pending();
             }
@@ -291,11 +328,82 @@ impl Runtime {
         std::mem::take(&mut *self.shared.events.lock().unwrap())
     }
 
+    /// The earliest pending deadline across all machines, if any
+    /// operation anywhere is still awaiting completion.
+    pub fn next_timer_round(&self) -> Option<u64> {
+        let actors: Vec<Arc<Actor>> = self
+            .shared
+            .actors
+            .read()
+            .unwrap()
+            .values()
+            .cloned()
+            .collect();
+        actors
+            .iter()
+            .filter_map(|a| a.machine.lock().unwrap().next_deadline())
+            .min()
+    }
+
+    /// Advances the timer round to the earliest pending deadline and
+    /// ticks every machine whose deadline has come due; false when no
+    /// machine is waiting. Call only after [`Runtime::quiesce`]: with
+    /// the network silent, all loss is final, so an expired deadline is
+    /// a genuine loss — identical semantics to the DES's `tick_timers`.
+    pub fn tick_timers(&self) -> bool {
+        let Some(min) = self.next_timer_round() else {
+            return false;
+        };
+        let prev = self.shared.round.fetch_max(min, Ordering::SeqCst);
+        let now = prev.max(min);
+        let due: Vec<Id> = {
+            let actors: Vec<Arc<Actor>> = self
+                .shared
+                .actors
+                .read()
+                .unwrap()
+                .values()
+                .cloned()
+                .collect();
+            actors
+                .iter()
+                .filter(|a| {
+                    a.machine
+                        .lock()
+                        .unwrap()
+                        .next_deadline()
+                        .is_some_and(|d| d <= now)
+                })
+                .map(|a| a.id)
+                .collect()
+        };
+        for id in due {
+            self.inject(id, Command::TimerTick { now });
+        }
+        true
+    }
+
+    /// Alternates [`Runtime::quiesce`] with timer rounds until every
+    /// pending operation resolved (completion, retry success, or
+    /// graceful give-up) or `max_rounds` timer rounds elapsed.
+    pub fn settle(&self, max_rounds: u64) {
+        self.quiesce();
+        for _ in 0..max_rounds {
+            if !self.tick_timers() {
+                break;
+            }
+            self.quiesce();
+        }
+    }
+
     /// Aggregate counters.
     pub fn stats(&self) -> RuntimeStats {
         RuntimeStats {
+            sent: self.shared.sent.load(Ordering::Relaxed),
             delivered: self.shared.delivered.load(Ordering::Relaxed),
-            failed: self.shared.failed.load(Ordering::Relaxed),
+            bounced: self.shared.bounced.load(Ordering::Relaxed),
+            dropped: self.shared.dropped.load(Ordering::Relaxed),
+            duplicated: self.shared.duplicated.load(Ordering::Relaxed),
             busy_ns: self
                 .shared
                 .busy_ns
@@ -336,26 +444,56 @@ impl Drop for Runtime {
 }
 
 impl Shared {
-    /// Routes one outbound from `from`; missing targets bounce back as
-    /// delivery failures on the sender, recursively.
+    /// Routes one outbound from `from`; the runtime's single routing
+    /// point, where the fault plan is consulted (the DES's analogue is
+    /// `enqueue_all`). Missing targets bounce back as delivery failures
+    /// on the sender, recursively — unless the plan blackholes crashes,
+    /// in which case only the sender's timers can notice.
     fn send(&self, from: &Arc<Actor>, out: Outbound) {
+        self.sent.fetch_add(1, Ordering::Relaxed);
+        let mut copies = 1u64;
+        if !self.plan.is_reliable() {
+            let fate = self.plan.decide(from.id, out.to, &out.msg);
+            if fate.drop {
+                self.dropped.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+            if fate.duplicate {
+                // extra_delay is a virtual-time notion; the threaded
+                // runtime reorders naturally and ignores it.
+                copies = 2;
+                self.sent.fetch_add(1, Ordering::Relaxed);
+                self.duplicated.fetch_add(1, Ordering::Relaxed);
+            }
+        }
         let target = self.actors.read().unwrap().get(&out.to).cloned();
         match target {
             Some(target) => {
-                self.pending.fetch_add(1, Ordering::SeqCst);
-                target.mailbox.lock().unwrap().push_back((from.id, out.msg));
+                for _ in 0..copies {
+                    self.pending.fetch_add(1, Ordering::SeqCst);
+                    target
+                        .mailbox
+                        .lock()
+                        .unwrap()
+                        .push_back((from.id, out.msg.clone()));
+                }
                 self.schedule(&target);
             }
+            None if self.plan.blackhole_on_crash() => {
+                self.dropped.fetch_add(copies, Ordering::Relaxed);
+            }
             None => {
-                self.failed.fetch_add(1, Ordering::Relaxed);
-                let outs = {
-                    let mut m = from.machine.lock().unwrap();
-                    let outs = m.on_delivery_failure(out.to, out.msg);
-                    self.collect_events(&mut m);
-                    outs
-                };
-                for o in outs {
-                    self.send(from, o);
+                self.bounced.fetch_add(copies, Ordering::Relaxed);
+                for _ in 0..copies {
+                    let outs = {
+                        let mut m = from.machine.lock().unwrap();
+                        let outs = m.on_delivery_failure(out.to, out.msg.clone());
+                        self.collect_events(&mut m);
+                        outs
+                    };
+                    for o in outs {
+                        self.send(from, o);
+                    }
                 }
             }
         }
@@ -431,12 +569,15 @@ fn worker_loop(shared: Arc<Shared>, widx: usize, mut rng: SmallRng) {
                 for o in outs {
                     shared.send(&actor, o);
                 }
+                // Count the delivery before releasing the in-flight slot:
+                // once `pending` hits zero a quiescent observer must see
+                // sent == delivered + dropped + bounced already settled.
+                shared.delivered.fetch_add(1, Ordering::Relaxed);
                 shared.dec_pending();
                 processed += 1;
             }
         }
         if processed > 0 {
-            shared.delivered.fetch_add(processed, Ordering::Relaxed);
             shared.per_worker_msgs[widx].fetch_add(processed, Ordering::Relaxed);
             shared.busy_ns[widx].fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
         }
@@ -477,7 +618,7 @@ mod tests {
         rt.spawn_peer(Id::new(10));
         assert!(rt.join_and_wait(Id::new(20), Id::new(10)));
         rt.quiesce(); // immediately satisfiable
-        assert_eq!(rt.stats().failed, 0);
+        assert_eq!(rt.stats().bounced, 0);
     }
 
     #[test]
@@ -571,6 +712,6 @@ mod tests {
                 .count(),
             ids.len() - 1
         );
-        assert!(rt.stats().failed > 0, "corpse probes must be counted");
+        assert!(rt.stats().bounced > 0, "corpse probes must be counted");
     }
 }

@@ -7,7 +7,7 @@
 //! runtime with traffic and pull the plug mid-flight, repeatedly, under
 //! varying worker counts — every iteration must return.
 
-use oscar_protocol::Command;
+use oscar_protocol::{Command, FaultPlan};
 use oscar_runtime::{Runtime, RuntimeConfig};
 use oscar_types::Id;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -119,6 +119,67 @@ fn shutdown_with_gossip_and_churn_in_flight() {
                 rt.remove_peer(id);
             }
             rt.gossip_round();
+            rt.shutdown();
+        }
+    });
+}
+
+#[test]
+fn faulted_storm_counters_reconcile_at_quiescence() {
+    // Under a lossy, duplicating plan every envelope must still land in
+    // exactly one accounting bucket once the network settles:
+    // sent == delivered + dropped + bounced.
+    must_finish_within("faulted-storm reconciliation", 120, || {
+        for iter in 0..5u64 {
+            let plan = FaultPlan::new(7000 + iter)
+                .with_drop(0.05)
+                .with_duplication(0.05)
+                .with_blackhole(true);
+            let mut rt = Runtime::new(
+                RuntimeConfig::new(5000 + iter)
+                    .with_workers(1 + (iter as usize % 4))
+                    .with_fault_plan(plan),
+            );
+            // Bootstrap directly — joins under loss are exercised by the
+            // equivalence tests; this test is about the accounting.
+            let ids: Vec<Id> = (0..24u64).map(|i| Id::new((i + 1) * 1_000_003)).collect();
+            let n = ids.len();
+            for &id in &ids {
+                rt.spawn_peer(id);
+            }
+            for (k, &id) in ids.iter().enumerate() {
+                let succs: Vec<Id> = (1..=3).map(|j| ids[(k + j) % n]).collect();
+                rt.inject(
+                    id,
+                    Command::Bootstrap {
+                        pred: ids[(k + n - 1) % n],
+                        succs: succs.clone(),
+                        known: succs,
+                    },
+                );
+            }
+            rt.quiesce();
+            let mut qid = 0u64;
+            for &id in &ids {
+                for k in 0..4u64 {
+                    rt.inject(
+                        id,
+                        Command::StartQuery {
+                            qid,
+                            key: Id::new(k.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+                        },
+                    );
+                    qid += 1;
+                }
+            }
+            rt.settle(256);
+            let s = rt.stats();
+            assert!(s.dropped > 0, "plan must have dropped something");
+            assert_eq!(
+                s.sent,
+                s.delivered + s.dropped + s.bounced,
+                "every envelope must land in exactly one bucket"
+            );
             rt.shutdown();
         }
     });

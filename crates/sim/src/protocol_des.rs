@@ -14,7 +14,9 @@
 
 use crate::events::EventQueue;
 use oscar_protocol::machine::peer_seed;
-use oscar_protocol::{Command, Message, Outbound, PeerConfig, PeerMachine, ProtocolEvent};
+use oscar_protocol::{
+    Command, FaultPlan, Message, Outbound, PeerConfig, PeerMachine, ProtocolEvent,
+};
 use oscar_types::labels::sim_protocol_des::LBL_CMD;
 use oscar_types::{Id, SeedTree};
 use std::collections::BTreeMap;
@@ -36,25 +38,43 @@ pub struct DesDriver {
     queue: EventQueue<Envelope>,
     seed: u64,
     peer_cfg: PeerConfig,
+    plan: FaultPlan,
     events: Vec<ProtocolEvent>,
     cmd_nonce: u64,
+    /// Current timer round (virtual failure-detection time); advanced
+    /// only at quiescent points, where all in-flight loss is final.
+    round: u64,
+    sent: u64,
     delivered: u64,
-    failed: u64,
+    bounced: u64,
+    dropped: u64,
+    duplicated: u64,
 }
 
 impl DesDriver {
     /// An empty world rooted at `seed` (same peer-seed derivation as the
-    /// actor runtime).
+    /// actor runtime), with the reliable fault plan.
     pub fn new(seed: u64, peer_cfg: PeerConfig) -> Self {
+        Self::new_with_faults(seed, peer_cfg, FaultPlan::reliable())
+    }
+
+    /// An empty world whose every send is subjected to `plan` at the
+    /// driver's single routing point ([`DesDriver::enqueue_all`]).
+    pub fn new_with_faults(seed: u64, peer_cfg: PeerConfig, plan: FaultPlan) -> Self {
         DesDriver {
             peers: BTreeMap::new(),
             queue: EventQueue::new(),
             seed,
             peer_cfg,
+            plan,
             events: Vec::new(),
             cmd_nonce: 0,
+            round: 0,
+            sent: 0,
             delivered: 0,
-            failed: 0,
+            bounced: 0,
+            dropped: 0,
+            duplicated: 0,
         }
     }
 
@@ -92,14 +112,39 @@ impl DesDriver {
         self.peers.get(&id)
     }
 
-    /// Messages delivered so far.
+    /// Envelopes handed to the transport so far (fault copies included).
+    /// At any quiescent point `sent == delivered + dropped + bounced`.
+    pub fn sent(&self) -> u64 {
+        self.sent
+    }
+
+    /// Envelopes actually handled by a live destination machine.
     pub fn delivered(&self) -> u64 {
         self.delivered
     }
 
-    /// Delivery failures so far.
-    pub fn failed(&self) -> u64 {
-        self.failed
+    /// Sends to missing peers returned to the sender as
+    /// `on_delivery_failure` (the instant-bounce crash model).
+    pub fn bounced(&self) -> u64 {
+        self.bounced
+    }
+
+    /// Envelopes silently discarded: fault-plan drops, plus sends to
+    /// missing peers under a blackhole plan.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Extra copies injected by the fault plan (each also counts in
+    /// `sent`, and lands in `delivered`/`dropped`/`bounced` like any
+    /// other envelope).
+    pub fn duplicated(&self) -> u64 {
+        self.duplicated
+    }
+
+    /// The current timer round.
+    pub fn round(&self) -> u64 {
+        self.round
     }
 
     /// Hands a command to one peer and queues its replies.
@@ -120,14 +165,59 @@ impl DesDriver {
     }
 
     /// Delivers queued envelopes until the world goes silent (the DES
-    /// analogue of the runtime's `quiesce`). Returns messages delivered.
+    /// analogue of the runtime's `quiesce`). Returns envelopes processed
+    /// (delivered or bounced or evaporated — see the counters for the
+    /// breakdown).
     pub fn run_until_idle(&mut self) -> u64 {
         let mut n = 0;
         while let Some((_, env)) = self.queue.pop() {
             n += 1;
             self.deliver(env);
         }
-        self.delivered += n;
+        n
+    }
+
+    /// The earliest pending deadline across all machines, if any
+    /// operation anywhere is still awaiting completion.
+    pub fn next_timer_round(&self) -> Option<u64> {
+        self.peers.values().filter_map(|m| m.next_deadline()).min()
+    }
+
+    /// Advances the timer round to the earliest pending deadline and
+    /// ticks every machine whose deadline has come due; false when no
+    /// machine is waiting. Call only at quiescent points (empty queue):
+    /// there, all in-flight loss is final, so an expired deadline is a
+    /// genuine loss — never a message still in the queue.
+    pub fn tick_timers(&mut self) -> bool {
+        let Some(min) = self.next_timer_round() else {
+            return false;
+        };
+        self.round = self.round.max(min);
+        let now = self.round;
+        let due: Vec<Id> = self
+            .peers
+            .iter()
+            .filter(|(_, m)| m.next_deadline().is_some_and(|d| d <= now))
+            .map(|(&id, _)| id)
+            .collect();
+        for id in due {
+            self.inject(id, Command::TimerTick { now });
+        }
+        true
+    }
+
+    /// Alternates [`DesDriver::run_until_idle`] with timer rounds until
+    /// every pending operation resolved (completion, retry success, or
+    /// graceful give-up) or `max_rounds` timer rounds elapsed. Returns
+    /// envelopes processed.
+    pub fn run_until_settled(&mut self, max_rounds: u64) -> u64 {
+        let mut n = self.run_until_idle();
+        for _ in 0..max_rounds {
+            if !self.tick_timers() {
+                break;
+            }
+            n += self.run_until_idle();
+        }
         n
     }
 
@@ -149,11 +239,32 @@ impl DesDriver {
         std::mem::take(&mut self.events)
     }
 
+    /// The driver's single routing point: every outbound passes through
+    /// the fault plan here (the runtime's analogue is `Shared::send`).
     fn enqueue_all(&mut self, from: Id, outs: Vec<Outbound>) {
         for o in outs {
-            // One tick of delivery latency per message.
+            self.sent += 1;
+            let fate = self.plan.decide(from, o.to, &o.msg);
+            if fate.drop {
+                self.dropped += 1;
+                continue;
+            }
+            if fate.duplicate {
+                self.sent += 1;
+                self.duplicated += 1;
+                // The copy trails the original by one extra tick.
+                self.queue.schedule_in(
+                    2 + fate.extra_delay,
+                    Envelope {
+                        from,
+                        to: o.to,
+                        msg: o.msg.clone(),
+                    },
+                );
+            }
+            // One tick of delivery latency per message, plus jitter.
             self.queue.schedule_in(
-                1,
+                1 + fate.extra_delay,
                 Envelope {
                     from,
                     to: o.to,
@@ -166,6 +277,7 @@ impl DesDriver {
     fn deliver(&mut self, env: Envelope) {
         self.cmd_nonce += 1;
         if let Some(peer) = self.peers.get_mut(&env.to) {
+            self.delivered += 1;
             // lint:allow(rng-discipline, per-delivery stream keyed by nonce — mirrors the runtime driver byte-for-byte)
             let mut rng = SeedTree::new(self.seed)
                 .child2(LBL_CMD, self.cmd_nonce)
@@ -173,10 +285,14 @@ impl DesDriver {
             let outs = peer.on_message(env.from, env.msg, &mut rng);
             self.events.extend(peer.drain_events());
             self.enqueue_all(env.to, outs);
+        } else if self.plan.blackhole_on_crash() {
+            // The realistic crash model: the send vanishes; only the
+            // sender's timers can notice.
+            self.dropped += 1;
         } else {
             // Bounce: the sender learns about the corpse, exactly like the
             // actor runtime's failed send.
-            self.failed += 1;
+            self.bounced += 1;
             let Some(sender) = self.peers.get_mut(&env.from) else {
                 return; // both ends gone; the message evaporates
             };
@@ -274,6 +390,106 @@ mod tests {
             })
             .expect("query must terminate");
         assert!(report.wasted > 0, "corpse probe must be charged");
-        assert!(des.failed() > 0);
+        assert!(des.bounced() > 0);
+    }
+
+    #[test]
+    fn counters_reconcile_at_quiescence() {
+        let plan = FaultPlan::new(0xC0)
+            .with_drop(0.05)
+            .with_duplication(0.05)
+            .with_delay_jitter(2);
+        let mut des = DesDriver::new_with_faults(11, PeerConfig::default(), plan);
+        let ids: Vec<Id> = (1..=12u64).map(|i| Id::new(i * 500)).collect();
+        // Bootstrap the ring directly (joins are exercised elsewhere).
+        for &id in &ids {
+            des.spawn_peer(id);
+        }
+        let n = ids.len();
+        for (k, &id) in ids.iter().enumerate() {
+            let succs: Vec<Id> = (1..=3).map(|j| ids[(k + j) % n]).collect();
+            let known = succs.clone();
+            des.inject(
+                id,
+                Command::Bootstrap {
+                    pred: ids[(k + n - 1) % n],
+                    succs,
+                    known,
+                },
+            );
+        }
+        for &id in &ids {
+            des.inject(id, Command::BuildLinks { walks: 2 });
+        }
+        des.run_until_settled(256);
+        for (qid, &id) in ids.iter().enumerate() {
+            des.inject(
+                id,
+                Command::StartQuery {
+                    qid: qid as u64,
+                    key: Id::new((qid as u64 + 1) * 333),
+                },
+            );
+        }
+        des.run_until_settled(256);
+        assert!(des.duplicated() > 0, "plan must have injected copies");
+        assert!(des.dropped() > 0, "plan must have dropped something");
+        assert_eq!(
+            des.sent(),
+            des.delivered() + des.dropped() + des.bounced(),
+            "every envelope must land in exactly one bucket"
+        );
+    }
+
+    #[test]
+    fn pure_duplication_and_jitter_change_nothing_observable() {
+        // Duplicates are suppressed by the machines and jitter only
+        // reorders virtual time, so fingerprints and reports must match
+        // the reliable run exactly.
+        let run = |plan: FaultPlan| {
+            let mut des = DesDriver::new_with_faults(17, PeerConfig::default(), plan);
+            let ids: Vec<Id> = (1..=10u64).map(|i| Id::new(i * 1_000)).collect();
+            des.spawn_peer(ids[0]);
+            for &id in &ids[1..] {
+                assert!(des.join_and_wait(id, ids[0]));
+            }
+            for &id in &ids {
+                des.inject(id, Command::BuildLinks { walks: 2 });
+            }
+            des.run_until_settled(64);
+            des.drain_events();
+            for (qid, &id) in ids.iter().enumerate() {
+                des.inject(
+                    id,
+                    Command::StartQuery {
+                        qid: qid as u64,
+                        key: Id::new((qid as u64 + 1) * 777),
+                    },
+                );
+                des.run_until_settled(64);
+            }
+            let mut reports: Vec<_> = des
+                .drain_events()
+                .into_iter()
+                .filter_map(|e| match e {
+                    ProtocolEvent::QueryCompleted(r) => Some(r),
+                    _ => None,
+                })
+                .collect();
+            reports.sort_by_key(|r| r.qid);
+            let prints: Vec<_> = ids
+                .iter()
+                .map(|&id| des.peer(id).unwrap().fingerprint())
+                .collect();
+            (prints, reports, des.duplicated())
+        };
+        let (p_rel, r_rel, dup_rel) = run(FaultPlan::reliable());
+        let (p_dup, r_dup, dup_dup) = run(FaultPlan::new(0xD0)
+            .with_duplication(1.0)
+            .with_delay_jitter(3));
+        assert_eq!(dup_rel, 0);
+        assert!(dup_dup > 0, "the faulty run must actually duplicate");
+        assert_eq!(p_rel, p_dup, "fingerprints diverged under duplication");
+        assert_eq!(r_rel, r_dup, "reports diverged under duplication");
     }
 }

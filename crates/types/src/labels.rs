@@ -24,6 +24,14 @@ pub mod bench_experiments {
     pub const LBL_PHASE: u64 = 5;
 }
 
+/// Seed-tree labels of derivation scope `bench_repro_faults`.
+pub mod bench_repro_faults {
+    /// Label `LBL_IDS` (= 469).
+    pub const LBL_IDS: u64 = 0x1D5;
+    /// Label `LBL_KEYS` (= 20037).
+    pub const LBL_KEYS: u64 = 0x4E45;
+}
+
 /// Seed-tree labels of derivation scope `bench_repro_saturation`.
 pub mod bench_repro_saturation {
     /// Label `LBL_IDS` (= 469).
@@ -34,6 +42,10 @@ pub mod bench_repro_saturation {
 
 /// Seed-tree labels of derivation scope `protocol_machine`.
 pub mod protocol_machine {
+    /// Label `LBL_LINK` (= 76).
+    pub const LBL_LINK: u64 = 0x4C;
+    /// Label `LBL_RETRY` (= 82).
+    pub const LBL_RETRY: u64 = 0x52;
     /// Label `LBL_WALK` (= 87).
     pub const LBL_WALK: u64 = 0x57;
     /// Label `LBL_PEER` (= 158).

@@ -10,7 +10,7 @@
 //! deliberately scheduling-dependent piece of state and are excluded
 //! from the fingerprint.
 
-use oscar::protocol::{Command, PeerConfig, ProtocolEvent, QueryReport};
+use oscar::protocol::{Command, FaultPlan, OpKind, PeerConfig, ProtocolEvent, QueryReport};
 use oscar::runtime::{Runtime, RuntimeConfig};
 use oscar::sim::DesDriver;
 use oscar::types::Id;
@@ -128,6 +128,221 @@ fn des_and_actor_runtime_build_identical_overlays() {
         assert_eq!(d.wasted, r.wasted, "qid {} wasted", d.qid);
         assert_eq!(d.backtracks, r.backtracks, "qid {} backtracks", d.qid);
     }
+}
+
+// --- equivalence under faults ----------------------------------------------
+
+/// The shared fault plan: lossy, duplicating, jittery, with silent
+/// blackholes on crash. Content-keyed decisions make the same message
+/// meet the same fate in both drivers.
+fn fault_plan() -> FaultPlan {
+    FaultPlan::new(0xBAD_F00D)
+        .with_drop(0.05)
+        .with_duplication(0.02)
+        .with_delay_jitter(2)
+        .with_blackhole(true)
+}
+
+/// The pre-seeded ring trace used for the faulted runs: joins are
+/// covered reliably above; under loss the interesting equivalence is in
+/// walks, link handshakes, and query retries.
+fn bootstrap_trace(ids: &[Id]) -> Vec<(Id, Command)> {
+    let mut sorted = ids.to_vec();
+    sorted.sort_unstable();
+    let n = sorted.len();
+    sorted
+        .iter()
+        .enumerate()
+        .map(|(k, &id)| {
+            let succs: Vec<Id> = (1..=3).map(|j| sorted[(k + j) % n]).collect();
+            (
+                id,
+                Command::Bootstrap {
+                    pred: sorted[(k + n - 1) % n],
+                    succs: succs.clone(),
+                    known: succs,
+                },
+            )
+        })
+        .collect()
+}
+
+fn run_des_faulted(ids: &[Id]) -> (LinkTables, Vec<QueryReport>, u64) {
+    let mut des = DesDriver::new_with_faults(SEED, PeerConfig::default(), fault_plan());
+    for &id in ids {
+        des.spawn_peer(id);
+    }
+    for (id, cmd) in bootstrap_trace(ids) {
+        des.inject(id, cmd);
+    }
+    des.run_until_settled(64);
+    for &id in ids {
+        des.inject(id, Command::BuildLinks { walks: 3 });
+        des.run_until_settled(64);
+    }
+    let mut retried = 0u64;
+    for e in des.drain_events() {
+        if matches!(e, ProtocolEvent::Retried { .. }) {
+            retried += 1;
+        }
+    }
+    let mut reports = Vec::new();
+    for &(origin, qid, key) in &query_trace(ids) {
+        des.inject(origin, Command::StartQuery { qid, key });
+        des.run_until_settled(64);
+        for e in des.drain_events() {
+            match e {
+                ProtocolEvent::QueryCompleted(r) => reports.push(r),
+                ProtocolEvent::Retried { .. } => retried += 1,
+                _ => {}
+            }
+        }
+    }
+    let tables = ids
+        .iter()
+        .map(|&id| (id, des.peer(id).unwrap().fingerprint()))
+        .collect();
+    reports.sort_by_key(|r| r.qid);
+    (tables, reports, retried)
+}
+
+fn run_actor_faulted(ids: &[Id], workers: usize) -> (LinkTables, Vec<QueryReport>, u64) {
+    let mut rt = Runtime::new(
+        RuntimeConfig::new(SEED)
+            .with_workers(workers)
+            .with_fault_plan(fault_plan()),
+    );
+    for &id in ids {
+        rt.spawn_peer(id);
+    }
+    for (id, cmd) in bootstrap_trace(ids) {
+        rt.inject(id, cmd);
+    }
+    rt.settle(64);
+    for &id in ids {
+        rt.inject(id, Command::BuildLinks { walks: 3 });
+        rt.settle(64);
+    }
+    let mut retried = 0u64;
+    for e in rt.drain_events() {
+        if matches!(e, ProtocolEvent::Retried { .. }) {
+            retried += 1;
+        }
+    }
+    let mut reports = Vec::new();
+    for &(origin, qid, key) in &query_trace(ids) {
+        rt.inject(origin, Command::StartQuery { qid, key });
+        rt.settle(64);
+        for e in rt.drain_events() {
+            match e {
+                ProtocolEvent::QueryCompleted(r) => reports.push(r),
+                ProtocolEvent::Retried { .. } => retried += 1,
+                _ => {}
+            }
+        }
+    }
+    let tables = ids
+        .iter()
+        .map(|&id| (id, rt.with_peer(id, |m| m.fingerprint()).unwrap()))
+        .collect();
+    reports.sort_by_key(|r| r.qid);
+    rt.shutdown();
+    (tables, reports, retried)
+}
+
+#[test]
+fn des_and_actor_runtime_agree_under_the_same_fault_plan() {
+    let ids = peer_ids(48);
+    let (des_tables, des_reports, des_retried) = run_des_faulted(&ids);
+    let (rt_tables, rt_reports, _) = run_actor_faulted(&ids, 4);
+
+    assert!(
+        des_retried > 0,
+        "the plan must actually exercise the retry path"
+    );
+    assert_eq!(des_tables.len(), rt_tables.len());
+    for (id, des_fp) in &des_tables {
+        let rt_fp = &rt_tables[id];
+        assert_eq!(des_fp, rt_fp, "link tables diverge under faults at {id:?}");
+    }
+    assert_eq!(
+        des_reports.len(),
+        rt_reports.len(),
+        "query report counts under faults"
+    );
+    for (d, r) in des_reports.iter().zip(&rt_reports) {
+        assert_eq!(d, r, "qid {} report diverges under faults", d.qid);
+    }
+    // Recovery must actually work: every query eventually resolves.
+    let delivered = des_reports.iter().filter(|r| r.success).count();
+    assert!(
+        delivered * 100 >= des_reports.len() * 99,
+        "steady delivery below 99%: {delivered}/{}",
+        des_reports.len()
+    );
+}
+
+#[test]
+fn blackholed_crash_degrades_gracefully_not_fatally() {
+    // Reliable links, but crashes swallow mail silently: only timeouts
+    // can detect the corpse, and the query must fail *cleanly* — a
+    // GaveUp plus an unsuccessful report, never a ProtocolEvent::Fault.
+    let plan = FaultPlan::new(0x0B5C).with_blackhole(true);
+    let mut des = DesDriver::new_with_faults(77, PeerConfig::default(), plan);
+    let ids: Vec<Id> = (1..=8u64).map(|i| Id::new(i * 100)).collect();
+    des.spawn_peer(ids[0]);
+    for &id in &ids[1..] {
+        assert!(des.join_and_wait(id, ids[0]));
+    }
+    des.drain_events();
+    let victim = Id::new(500);
+    assert!(des.remove_peer(victim));
+    // A key inside the victim's arc: every probe to it now vanishes.
+    des.inject(
+        Id::new(100),
+        Command::StartQuery {
+            qid: 1,
+            key: Id::new(450),
+        },
+    );
+    des.run_until_settled(128);
+    let events = des.drain_events();
+    assert!(
+        events.iter().any(|e| matches!(
+            e,
+            ProtocolEvent::TimedOut {
+                op: OpKind::Query,
+                ..
+            }
+        )),
+        "the blackholed probe must surface as a timeout"
+    );
+    assert!(events.iter().any(|e| matches!(
+        e,
+        ProtocolEvent::GaveUp {
+            op: OpKind::Query,
+            ..
+        }
+    )));
+    let report = events
+        .iter()
+        .find_map(|e| match e {
+            ProtocolEvent::QueryCompleted(r) => Some(r.clone()),
+            _ => None,
+        })
+        .expect("the query must still complete — gracefully");
+    assert!(!report.success);
+    assert!(
+        !events
+            .iter()
+            .any(|e| matches!(e, ProtocolEvent::Fault { .. })),
+        "graceful degradation must not raise Fault"
+    );
+    assert_eq!(
+        des.sent(),
+        des.delivered() + des.dropped() + des.bounced(),
+        "accounting must reconcile"
+    );
 }
 
 #[test]
