@@ -26,9 +26,10 @@ use oscar_bench::Report;
 use std::path::PathBuf;
 
 /// The tracked baselines, by file name (repo root and results dir agree).
-const TRACKED: [&str; 5] = [
+const TRACKED: [&str; 6] = [
     "BENCH_join.json",
     "BENCH_churn.json",
+    "BENCH_churn_machine.json",
     "BENCH_growth.json",
     "BENCH_saturation.json",
     "BENCH_faults.json",

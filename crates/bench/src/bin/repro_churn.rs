@@ -1,60 +1,70 @@
 //! Steady-state continuous churn: the regime past the paper's one-shot
-//! crash waves. Grows one Oscar overlay, then drives sustained Poisson
-//! join/crash/depart at the standard churn-level ladder and measures
-//! cost, wasted traffic, success rate and live population per window.
+//! crash waves. Drives sustained Poisson join/crash/depart at the
+//! standard churn-level ladder and measures cost, wasted traffic, success
+//! rate and live population per window — on either churn backend:
+//!
+//! * **legacy** (default) — the oracle engine: grow one Oscar overlay,
+//!   then run [`oscar_sim::run_continuous_churn`] per level. Failure
+//!   detection is free (the engine knows who died) and repairs are
+//!   builder calls.
+//! * **machine** (`OSCAR_CHURN_BACKEND=machine`) — the protocol stack:
+//!   each level bootstraps a [`oscar_protocol::PeerMachine`] fleet on a
+//!   discrete-event driver by real joins and runs
+//!   [`oscar_sim::run_machine_churn`], where death must be *detected*
+//!   (ring probes, bounced sends) and every repair is messages.
 //!
 //! ```sh
 //! OSCAR_SCALE=2000 OSCAR_THREADS=4 cargo run --release -p oscar-bench --bin repro_churn
+//! OSCAR_CHURN_BACKEND=machine OSCAR_SCALE=2000 cargo run --release -p oscar-bench --bin repro_churn
 //! OSCAR_CHURN_WINDOWS=12 cargo run --release -p oscar-bench --bin repro_churn
 //! ```
 //!
-//! The per-level engine runs fan out over `OSCAR_THREADS` workers; every
-//! CSV is byte-identical at any thread count (pinned by
+//! The per-level runs fan out over `OSCAR_THREADS` workers; every CSV is
+//! byte-identical at any thread count (pinned by
 //! `tests/parallel_determinism.rs`). Besides the CSVs, the run writes
-//! `<results dir>/BENCH_churn.json` (windows/sec throughput + steady-state
-//! mean cost per churn level); the committed `BENCH_churn.json` at the
-//! repository root is the tracked baseline.
+//! `<results dir>/BENCH_churn.json` (legacy) or `BENCH_churn_machine.json`
+//! (machine) — windows/sec throughput + steady-state mean cost per churn
+//! level; the committed files at the repository root are the tracked
+//! baselines. The machine backend additionally honours the
+//! `OSCAR_DEDUP_WINDOW`/`OSCAR_MAX_RETRIES`/`OSCAR_REPAIR_K` knobs, and
+//! **fails** if any [`oscar_protocol::ProtocolEvent::Fault`] fires: a
+//! fault is a machine invariant violation, never expected in seeded runs.
 
 use oscar_bench::figures::steady_churn_reports;
 use oscar_bench::{
-    grow_steady_churn_substrate, run_steady_churn_on, standard_churn_schedules, Report, Scale,
+    grow_steady_churn_substrate, run_machine_churn_experiment, run_steady_churn_on,
+    standard_churn_schedules, MachineKnobs, Report, Scale, SteadyChurnResult,
 };
 use oscar_core::{OscarBuilder, OscarConfig};
 use oscar_degree::ConstantDegrees;
 use oscar_keydist::GnutellaKeys;
 
-fn main() -> std::io::Result<()> {
-    let scale = Scale::from_env_or_exit();
-    let windows = Scale::churn_windows_from_env_or_exit();
-    let builder = OscarBuilder::new(OscarConfig::default());
-    let keys = GnutellaKeys::default();
-    let degrees = ConstantDegrees::paper();
-    let schedules = standard_churn_schedules(&scale);
-    eprintln!(
-        "[churn-engine] growing to {} then running {} windows x {} churn levels...",
-        scale.target,
-        windows,
-        schedules.len()
-    );
+/// Which engine drives the churn schedule.
+#[derive(Copy, Clone, PartialEq, Eq)]
+enum Backend {
+    Legacy,
+    Machine,
+}
 
-    // Growth and engine are timed separately so the windows/sec baseline
-    // tracks the churn engine alone — a growth/join-path regression must
-    // not masquerade as an engine one.
-    let t_grow = std::time::Instant::now();
-    let net = grow_steady_churn_substrate(&builder, &keys, &degrees, &scale)
-        .expect("steady churn substrate");
-    let grow_secs = t_grow.elapsed().as_secs_f64();
-    let t_engine = std::time::Instant::now();
-    let results = run_steady_churn_on(&net, &builder, &keys, &degrees, &scale, &schedules, windows)
-        .expect("steady churn suite");
-    let engine_secs = t_engine.elapsed().as_secs_f64();
-
-    for (name, report) in steady_churn_reports(&results) {
-        report.emit(name)?;
+fn backend_from_env() -> Backend {
+    match std::env::var("OSCAR_CHURN_BACKEND") {
+        Ok(s) => match s.trim() {
+            "legacy" => Backend::Legacy,
+            "machine" => Backend::Machine,
+            other => {
+                eprintln!(
+                    "repro_churn: OSCAR_CHURN_BACKEND must be \"legacy\" or \"machine\", \
+                     got {other:?}"
+                );
+                std::process::exit(2);
+            }
+        },
+        Err(_) => Backend::Legacy,
     }
+}
 
-    let total_windows = results.iter().map(|r| r.windows.len()).sum::<usize>();
-    let windows_per_sec = total_windows as f64 / engine_secs.max(1e-9);
+/// Renders the per-level JSON block shared by both backends.
+fn levels_json(results: &[SteadyChurnResult]) -> String {
     let mut per_level = String::new();
     for (i, r) in results.iter().enumerate() {
         let comma = if i + 1 < results.len() { "," } else { "" };
@@ -69,21 +79,106 @@ fn main() -> std::io::Result<()> {
             r.steady_mean(|w| w.live_at_end as f64),
         ));
     }
+    per_level
+}
+
+fn main() -> std::io::Result<()> {
+    let scale = Scale::from_env_or_exit();
+    let windows = Scale::churn_windows_from_env_or_exit();
+    let backend = backend_from_env();
+    let keys = GnutellaKeys::default();
+    let schedules = standard_churn_schedules(&scale);
+
+    let (results, bench_name, json_file, grow_secs, engine_secs, faults) = match backend {
+        Backend::Legacy => {
+            let builder = OscarBuilder::new(OscarConfig::default());
+            let degrees = ConstantDegrees::paper();
+            eprintln!(
+                "[churn-engine] growing to {} then running {} windows x {} churn levels...",
+                scale.target,
+                windows,
+                schedules.len()
+            );
+            // Growth and engine are timed separately so the windows/sec
+            // baseline tracks the churn engine alone — a growth/join-path
+            // regression must not masquerade as an engine one.
+            let t_grow = std::time::Instant::now();
+            let net = grow_steady_churn_substrate(&builder, &keys, &degrees, &scale)
+                .expect("steady churn substrate");
+            let grow_secs = t_grow.elapsed().as_secs_f64();
+            let t_engine = std::time::Instant::now();
+            let results =
+                run_steady_churn_on(&net, &builder, &keys, &degrees, &scale, &schedules, windows)
+                    .expect("steady churn suite");
+            (
+                results,
+                "steady_churn",
+                "BENCH_churn.json",
+                grow_secs,
+                t_engine.elapsed().as_secs_f64(),
+                0u64,
+            )
+        }
+        Backend::Machine => {
+            let knobs = MachineKnobs::from_env_or_exit();
+            eprintln!(
+                "[churn-machine] bootstrapping {}-peer machine fleets, then {} windows x {} \
+                 churn levels...",
+                scale.target,
+                windows,
+                schedules.len()
+            );
+            // The machine backend has no separate growth phase — each
+            // level's fleet bootstraps by real joins inside the run, so
+            // the whole wall time is the engine's.
+            let t_engine = std::time::Instant::now();
+            let (results, faults) =
+                run_machine_churn_experiment(&keys, &scale, &schedules, windows, knobs)
+                    .expect("machine churn suite");
+            (
+                results,
+                "steady_churn_machine",
+                "BENCH_churn_machine.json",
+                0.0,
+                t_engine.elapsed().as_secs_f64(),
+                faults,
+            )
+        }
+    };
+
+    for (name, report) in steady_churn_reports(&results) {
+        match backend {
+            Backend::Legacy => report.emit(name)?,
+            Backend::Machine => report.emit(&format!("machine_{name}"))?,
+        };
+    }
+
+    let total_windows = results.iter().map(|r| r.windows.len()).sum::<usize>();
+    let windows_per_sec = total_windows as f64 / engine_secs.max(1e-9);
+    let per_level = levels_json(&results);
     let json = format!(
-        "{{\n  \"bench\": \"steady_churn\",\n  \"n_peers\": {},\n  \"seed\": {},\n  \
+        "{{\n  \"bench\": \"{bench_name}\",\n  \"n_peers\": {},\n  \"seed\": {},\n  \
          \"windows_per_level\": {windows},\n  \"total_windows\": {total_windows},\n  \
          \"grow_secs\": {grow_secs:.2},\n  \"engine_secs\": {engine_secs:.2},\n  \
-         \"windows_per_sec\": {windows_per_sec:.2},\n  \"levels\": [\n{per_level}  ]\n}}\n",
+         \"windows_per_sec\": {windows_per_sec:.2},\n  \"faults\": {faults},\n  \
+         \"levels\": [\n{per_level}  ]\n}}\n",
         scale.target, scale.seed,
     );
     let dir = Report::results_dir();
     std::fs::create_dir_all(&dir)?;
-    let path = dir.join("BENCH_churn.json");
+    let path = dir.join(json_file);
     std::fs::write(&path, &json)?;
     println!("json: {}", path.display());
     eprintln!(
-        "steady churn: grew in {grow_secs:.1}s; {total_windows} windows in {engine_secs:.1}s \
-         ({windows_per_sec:.2} windows/s)"
+        "steady churn [{bench_name}]: grew in {grow_secs:.1}s; {total_windows} windows in \
+         {engine_secs:.1}s ({windows_per_sec:.2} windows/s)"
     );
+    if faults > 0 {
+        eprintln!(
+            "repro_churn: {faults} protocol fault(s) fired — machine invariants violated; \
+             a seeded run must be fault-free"
+        );
+        std::process::exit(1);
+    }
     Ok(())
 }

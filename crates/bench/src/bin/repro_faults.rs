@@ -79,6 +79,10 @@ struct Cell {
     gave_up: usize,
     rounds: u64,
     secs: f64,
+    /// Machine invariant violations (`ProtocolEvent::Fault`). Injected
+    /// network loss must never surface as one of these; any non-zero
+    /// count fails the run.
+    faults: u64,
 }
 
 /// Query-phase metrics distilled from the drained event stream.
@@ -157,14 +161,21 @@ fn plan_for(scale_seed: u64, idx: usize, loss_pct: u32, jitter: u64) -> FaultPla
         .with_blackhole(true)
 }
 
+/// Driver-side bookkeeping of one storm: settle rounds, wall time, and
+/// the machine-fault count (gated to zero at the end of `main`).
+struct RunMeta {
+    rounds: u64,
+    secs: f64,
+    faults: u64,
+}
+
 fn cell_from(
     driver: &'static str,
     loss_pct: u32,
     jitter: u64,
     total: usize,
     outcome: StormOutcome,
-    rounds: u64,
-    secs: f64,
+    meta: RunMeta,
 ) -> Cell {
     let mut outcome = outcome;
     assert_eq!(
@@ -179,8 +190,9 @@ fn cell_from(
         retries_per_query: outcome.retried as f64 / total as f64,
         p95_cost: p95(&mut outcome.costs),
         gave_up: outcome.gave_up,
-        rounds,
-        secs,
+        rounds: meta.rounds,
+        secs: meta.secs,
+        faults: meta.faults,
     }
 }
 
@@ -226,14 +238,18 @@ fn run_des_cell(scale: &Scale, ids: &[Id], idx: usize, loss_pct: u32, jitter: u6
     let round0 = des.round();
     des.run_until_settled(SETTLE_ROUNDS);
     let outcome = summarize(&des.drain_events());
+    let faults = des.fault_count();
     cell_from(
         "des",
         loss_pct,
         jitter,
         n * per_peer,
         outcome,
-        des.round() - round0,
-        t.elapsed().as_secs_f64(),
+        RunMeta {
+            rounds: des.round() - round0,
+            secs: t.elapsed().as_secs_f64(),
+            faults,
+        },
     )
 }
 
@@ -286,14 +302,18 @@ fn run_rt_cell(scale: &Scale, ids: &[Id], idx: usize, loss_pct: u32, workers: us
         rounds += 1;
     }
     let outcome = summarize(&rt.drain_events());
+    let faults = rt.fault_count();
     let cell = cell_from(
         "runtime",
         loss_pct,
         0,
         n * per_peer,
         outcome,
-        rounds,
-        t.elapsed().as_secs_f64(),
+        RunMeta {
+            rounds,
+            secs: t.elapsed().as_secs_f64(),
+            faults,
+        },
     );
     drop(rt);
     cell
@@ -397,11 +417,13 @@ fn main() -> std::io::Result<()> {
             c.secs
         ));
     }
+    let total_faults: u64 = cells.iter().map(|c| c.faults).sum();
     let json = format!(
         "{{\n  \"bench\": \"faults\",\n  \"n_peers\": {n},\n  \"seed\": {},\n  \
          \"queries_per_peer\": {per_peer},\n  \"workers\": {workers},\n  \
          \"steady_delivery_pct\": {steady_delivery_pct:.2},\n  \
-         \"retry_amplification\": {retry_amplification:.3},\n  \"cells\": [\n{cell_json}  ]\n}}\n",
+         \"retry_amplification\": {retry_amplification:.3},\n  \"faults\": {total_faults},\n  \
+         \"cells\": [\n{cell_json}  ]\n}}\n",
         scale.seed,
     );
     let dir = Report::results_dir();
@@ -419,6 +441,12 @@ fn main() -> std::io::Result<()> {
     // contract holds without needing a baseline to diff against.
     if self_gate_delivery < 99.0 || self_gate_amp > 3.0 {
         eprintln!("repro_faults: robustness contract violated — see the cells above");
+        std::process::exit(1);
+    }
+    // Injected loss is the point of this bin; machine invariant
+    // violations are not. Any `ProtocolEvent::Fault` is a protocol bug.
+    if total_faults > 0 {
+        eprintln!("repro_faults: {total_faults} machine fault event(s) in a seeded run");
         std::process::exit(1);
     }
     Ok(())

@@ -126,6 +126,7 @@ fn main() -> std::io::Result<()> {
     let cores_busy = storm_busy_ns as f64 / (query_secs * 1e9).max(1.0);
     let active_workers = stats1.active_workers();
     let delivered = stats1.delivered;
+    let faults = rt.fault_count();
 
     let json = format!(
         "{{\n  \"bench\": \"saturation\",\n  \"n_peers\": {n},\n  \"seed\": {},\n  \
@@ -133,7 +134,7 @@ fn main() -> std::io::Result<()> {
          \"queries\": {total},\n  \"build_secs\": {build_secs:.2},\n  \
          \"query_secs\": {query_secs:.3},\n  \"queries_per_sec\": {queries_per_sec:.0},\n  \
          \"success_rate\": {success_rate:.4},\n  \"cores_busy\": {cores_busy:.2},\n  \
-         \"delivered_msgs\": {delivered}\n}}\n",
+         \"delivered_msgs\": {delivered},\n  \"faults\": {faults}\n}}\n",
         scale.seed,
     );
     let dir = Report::results_dir();
@@ -146,5 +147,10 @@ fn main() -> std::io::Result<()> {
          ({queries_per_sec:.0} q/s, {cores_busy:.2} cores busy, \
          {active_workers}/{workers} workers active, success {success_rate:.4})"
     );
+    // A lossless seeded run must never trip a machine invariant.
+    if faults > 0 {
+        eprintln!("repro_saturation: {faults} machine fault event(s) in a seeded run");
+        std::process::exit(1);
+    }
     Ok(())
 }

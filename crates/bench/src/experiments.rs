@@ -1,17 +1,19 @@
 //! The experiment drivers behind every figure.
 
 use crate::parallel::{run_tasks, Task};
-use crate::scale::Scale;
+use crate::scale::{MachineKnobs, Scale};
 use oscar_analytics::{degree_load_curve, degree_volume_utilization};
 use oscar_degree::DegreeDistribution;
 use oscar_keydist::{KeyDistribution, QueryWorkload};
+use oscar_protocol::PeerConfig;
 use oscar_sim::{
-    kill_fraction, run_continuous_churn, run_query_batch, ChurnSchedule, ChurnWindowStats,
-    FaultModel, GrowthConfig, GrowthDriver, Network, OverlayBuilder, QueryBatchStats, QueryBudget,
-    RepairPolicy, RoutePolicy,
+    kill_fraction, machine_repair_policy, run_continuous_churn, run_machine_churn, run_query_batch,
+    ChurnSchedule, ChurnWindowStats, DesDriver, FaultModel, GrowthConfig, GrowthDriver,
+    MachineChurnConfig, Network, OverlayBuilder, QueryBatchStats, QueryBudget, RepairPolicy,
+    RoutePolicy,
 };
 use oscar_types::labels::bench_experiments::{
-    LBL_CHURN, LBL_GROWTH, LBL_PHASE, LBL_QUERIES, LBL_STEADY,
+    LBL_CHURN, LBL_GROWTH, LBL_MACHINE, LBL_PHASE, LBL_QUERIES, LBL_STEADY,
 };
 use oscar_types::{Result, SeedTree};
 
@@ -301,6 +303,72 @@ pub fn run_steady_churn_on<B: OverlayBuilder + Sync + ?Sized>(
             })
         })
         .collect()
+}
+
+/// The steady-state churn protocol through the **machine backend**: every
+/// churn level of `schedules` runs on its own [`DesDriver`]-hosted
+/// [`oscar_protocol::PeerMachine`] fleet (bootstrapped to `scale.target`
+/// peers by real joins), with the level's repair policy mapped onto the
+/// machines via [`machine_repair_policy`] and retuned by `knobs`.
+///
+/// Unlike the oracle engine there is no pre-grown substrate and no free
+/// failure detection — every repair in the window books is protocol
+/// messages. Levels are independent (each owns its driver and derives all
+/// randomness from its own seed-tree child), so they fan out over
+/// [`Scale::thread_count`] workers with byte-identical results.
+///
+/// One churn level's outcome: its windowed books plus the driver's
+/// fault count.
+type MachineLevelRun = Result<(Vec<ChurnWindowStats>, u64)>;
+
+/// Returns the per-level results plus the summed
+/// [`oscar_protocol::ProtocolEvent::Fault`] count across every driver —
+/// faults are machine invariant violations, so seeded runs gate on zero.
+pub fn run_machine_churn_experiment(
+    keys: &dyn KeyDistribution,
+    scale: &Scale,
+    schedules: &[(String, ChurnSchedule)],
+    windows: usize,
+    knobs: MachineKnobs,
+) -> Result<(Vec<SteadyChurnResult>, u64)> {
+    let seed = SeedTree::new(scale.seed);
+    let tasks: Vec<Task<MachineLevelRun>> = schedules
+        .iter()
+        .enumerate()
+        .map(|(i, (_, schedule))| {
+            let run_seed = seed.child2(LBL_MACHINE, i as u64);
+            Box::new(move || {
+                let peer_cfg = knobs.apply(PeerConfig {
+                    repair: machine_repair_policy(&schedule.repair),
+                    ..PeerConfig::default()
+                });
+                let mut driver = DesDriver::new(run_seed.seed(), peer_cfg);
+                let cfg = MachineChurnConfig {
+                    initial_peers: scale.target,
+                    probe_every: (schedule.window_ticks / 10).max(1),
+                    ..MachineChurnConfig::default()
+                };
+                let windows =
+                    run_machine_churn(&mut driver, keys, &cfg, schedule, windows, run_seed)?;
+                Ok((windows, driver.fault_count()))
+            }) as Task<Result<(Vec<ChurnWindowStats>, u64)>>
+        })
+        .collect();
+    let mut faults = 0u64;
+    let results = schedules
+        .iter()
+        .zip(run_tasks(scale.thread_count(), tasks))
+        .map(|((label, schedule), outcome)| {
+            let (windows, level_faults) = outcome?;
+            faults += level_faults;
+            Ok(SteadyChurnResult {
+                label: label.clone(),
+                schedule: schedule.clone(),
+                windows,
+            })
+        })
+        .collect::<Result<Vec<_>>>()?;
+    Ok((results, faults))
 }
 
 /// The full steady-state churn protocol:

@@ -15,13 +15,14 @@ pub mod scale;
 
 pub use experiments::{
     churn_schedule_for, grow_steady_churn_substrate, phase_churn_levels, phase_repair_policies,
-    run_churn_experiment, run_growth_experiment, run_phase_diagram_experiment,
-    run_steady_churn_experiment, run_steady_churn_on, standard_churn_schedules, steady_mean_of,
-    ChurnResult, GrowthRunResult, PhaseCell, SteadyChurnResult, PHASE_SUCC_LENS,
+    run_churn_experiment, run_growth_experiment, run_machine_churn_experiment,
+    run_phase_diagram_experiment, run_steady_churn_experiment, run_steady_churn_on,
+    standard_churn_schedules, steady_mean_of, ChurnResult, GrowthRunResult, PhaseCell,
+    SteadyChurnResult, PHASE_SUCC_LENS,
 };
 pub use parallel::{run_tasks, Task};
 pub use report::Report;
-pub use scale::Scale;
+pub use scale::{MachineKnobs, Scale};
 
 /// Serialises every test that touches process environment variables.
 ///

@@ -14,6 +14,7 @@
 //! fallback: a typo like `OSCAR_SCALE=2k` used to run the full paper
 //! schedule for minutes and then be mistaken for the intended quick run.
 
+use oscar_protocol::PeerConfig;
 use oscar_types::Error;
 
 /// Scale and seed of an experiment run.
@@ -180,6 +181,99 @@ impl Scale {
     }
 }
 
+/// Protocol-machine tunables from the environment, for the binaries that
+/// drive [`oscar_protocol::PeerMachine`] fleets (`repro_faults`,
+/// `repro_saturation`, `repro_churn` in machine mode):
+///
+/// * `OSCAR_DEDUP_WINDOW` — per-peer duplicate-suppression window
+///   (messages remembered; default [`PeerConfig::default`]'s 128);
+/// * `OSCAR_MAX_RETRIES` — retry budget per reliable op (default 3,
+///   though several binaries override it for lossy sweeps);
+/// * `OSCAR_REPAIR_K` — ring-probe depth for the reactive repair policy
+///   (applies only when the run's policy is `ReactiveK`).
+///
+/// Unset knobs leave the binary's own configuration untouched; a
+/// malformed value is a hard error like every other `OSCAR_*` knob.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MachineKnobs {
+    /// Override for [`PeerConfig::dedup_window`].
+    pub dedup_window: Option<usize>,
+    /// Override for [`PeerConfig::max_retries`].
+    pub max_retries: Option<u32>,
+    /// Override for the `ReactiveK` probe depth.
+    pub repair_k: Option<usize>,
+}
+
+impl MachineKnobs {
+    /// Reads the three knobs from the environment. Unset means `None`;
+    /// set-but-unparsable is [`Error::InvalidConfig`].
+    pub fn from_env() -> oscar_types::Result<Self> {
+        let mut knobs = MachineKnobs::default();
+        if let Ok(s) = std::env::var("OSCAR_DEDUP_WINDOW") {
+            let w = s
+                .trim()
+                .parse::<usize>()
+                .ok()
+                .filter(|&w| w >= 1)
+                .ok_or_else(|| {
+                    Error::InvalidConfig(format!(
+                        "OSCAR_DEDUP_WINDOW must be a positive message count, got {s:?}"
+                    ))
+                })?;
+            knobs.dedup_window = Some(w);
+        }
+        if let Ok(s) = std::env::var("OSCAR_MAX_RETRIES") {
+            let r = s.trim().parse::<u32>().map_err(|e| {
+                Error::InvalidConfig(format!(
+                    "OSCAR_MAX_RETRIES must be a retry count (0 disables retries), got {s:?} ({e})"
+                ))
+            })?;
+            knobs.max_retries = Some(r);
+        }
+        if let Ok(s) = std::env::var("OSCAR_REPAIR_K") {
+            let k = s
+                .trim()
+                .parse::<usize>()
+                .ok()
+                .filter(|&k| k >= 1)
+                .ok_or_else(|| {
+                    Error::InvalidConfig(format!(
+                        "OSCAR_REPAIR_K must be a positive probe depth, got {s:?}"
+                    ))
+                })?;
+            knobs.repair_k = Some(k);
+        }
+        Ok(knobs)
+    }
+
+    /// [`MachineKnobs::from_env`] for the repro binaries: prints the
+    /// configuration error and exits non-zero.
+    pub fn from_env_or_exit() -> Self {
+        Self::from_env().unwrap_or_else(|e| {
+            eprintln!("oscar-bench: {e}");
+            std::process::exit(2);
+        })
+    }
+
+    /// Applies the set knobs on top of a binary's base `PeerConfig`.
+    /// `repair_k` only retunes an already-reactive policy — it never
+    /// changes *which* policy a run uses, only how deep it probes.
+    pub fn apply(&self, mut cfg: PeerConfig) -> PeerConfig {
+        if let Some(w) = self.dedup_window {
+            cfg.dedup_window = w;
+        }
+        if let Some(r) = self.max_retries {
+            cfg.max_retries = r;
+        }
+        if let Some(k) = self.repair_k {
+            if let oscar_protocol::RepairPolicy::ReactiveK { .. } = cfg.repair {
+                cfg.repair = oscar_protocol::RepairPolicy::ReactiveK { k };
+            }
+        }
+        cfg
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -260,6 +354,60 @@ mod tests {
             std::env::set_var("OSCAR_CHURN_WINDOWS", bad);
             let err = Scale::churn_windows_from_env().unwrap_err();
             assert!(err.to_string().contains("OSCAR_CHURN_WINDOWS"), "{err}");
+        }
+    }
+
+    #[test]
+    fn machine_knobs_parse_apply_or_error_loudly() {
+        let _lock = crate::env_guard::lock();
+        let _cleanup = crate::env_guard::RemoveOnDrop(&[
+            "OSCAR_DEDUP_WINDOW",
+            "OSCAR_MAX_RETRIES",
+            "OSCAR_REPAIR_K",
+        ]);
+        for v in ["OSCAR_DEDUP_WINDOW", "OSCAR_MAX_RETRIES", "OSCAR_REPAIR_K"] {
+            std::env::remove_var(v);
+        }
+        // Unset knobs are all-None and `apply` is the identity.
+        let knobs = MachineKnobs::from_env().unwrap();
+        assert_eq!(knobs, MachineKnobs::default());
+        let base = PeerConfig::default();
+        assert_eq!(knobs.apply(base.clone()).dedup_window, base.dedup_window);
+        assert_eq!(knobs.apply(base.clone()).max_retries, base.max_retries);
+
+        std::env::set_var("OSCAR_DEDUP_WINDOW", "256");
+        std::env::set_var("OSCAR_MAX_RETRIES", "0");
+        std::env::set_var("OSCAR_REPAIR_K", "4");
+        let knobs = MachineKnobs::from_env().unwrap();
+        let reactive = PeerConfig {
+            repair: oscar_protocol::RepairPolicy::ReactiveK { k: 2 },
+            ..PeerConfig::default()
+        };
+        let tuned = knobs.apply(reactive);
+        assert_eq!(tuned.dedup_window, 256);
+        assert_eq!(tuned.max_retries, 0);
+        assert_eq!(
+            tuned.repair,
+            oscar_protocol::RepairPolicy::ReactiveK { k: 4 }
+        );
+        // repair_k never flips a non-reactive policy.
+        let off = knobs.apply(PeerConfig::default());
+        assert_eq!(off.repair, PeerConfig::default().repair);
+
+        for (var, bad) in [
+            ("OSCAR_DEDUP_WINDOW", "0"),
+            ("OSCAR_DEDUP_WINDOW", "many"),
+            ("OSCAR_MAX_RETRIES", "-1"),
+            ("OSCAR_MAX_RETRIES", "three"),
+            ("OSCAR_REPAIR_K", "0"),
+            ("OSCAR_REPAIR_K", "deep"),
+        ] {
+            for v in ["OSCAR_DEDUP_WINDOW", "OSCAR_MAX_RETRIES", "OSCAR_REPAIR_K"] {
+                std::env::remove_var(v);
+            }
+            std::env::set_var(var, bad);
+            let err = MachineKnobs::from_env().unwrap_err();
+            assert!(err.to_string().contains(var), "{var}={bad}: {err}");
         }
     }
 

@@ -17,8 +17,9 @@
 
 use crate::config::OscarConfig;
 use crate::partitions::Partitions;
+use oscar_protocol::logic;
 use oscar_sim::{sample_peers, LinkError, MsgKind, Network, PeerIdx};
-use oscar_types::Result;
+use oscar_types::{Id, Result};
 use rand::rngs::SmallRng;
 use rand::Rng;
 
@@ -67,23 +68,30 @@ pub fn acquire_links(
             )?);
             candidates.sort_unstable();
             candidates.dedup();
+            // Admission and least-loaded selection both go through the
+            // shared protocol kernels (one implementation for the oracle
+            // simulator and the distributed machine). Peer indices enter
+            // the kernels' Id space verbatim — the checks are pure
+            // equality, so the bridge changes nothing.
+            let as_id = |p: PeerIdx| Id::new(p.0 as u64);
+            let mut existing: Vec<Id> = net.peer(u).long_out.iter().map(|&t| as_id(t)).collect();
+            existing.sort_unstable();
             // Probe in-degrees; pick the least-loaded candidate
             // (power-of-two choices when link_candidates == 2).
-            let mut best: Option<(u32, PeerIdx)> = None;
+            let mut best: Option<(usize, Id)> = None;
             for &c in &candidates {
-                if c == u || !net.is_alive(c) || net.peer(u).long_out.contains(&c) {
+                if !net.is_alive(c) || !logic::admits_link(as_id(u), as_id(c), &[], &existing) {
                     continue;
                 }
                 net.metrics.inc(MsgKind::Probe);
                 stats.probed += 1;
-                let load = net.peer(c).in_degree();
-                if best.is_none_or(|(b, _)| load < b) {
-                    best = Some((load, c));
-                }
+                let load = net.peer(c).in_degree() as usize;
+                best = logic::pick_least_loaded(best, load, as_id(c));
             }
             let Some((_, target)) = best else {
                 continue; // all candidates unusable; retry
             };
+            let target = PeerIdx(target.raw() as u32);
             match net.try_link(u, target) {
                 Ok(()) => {
                     stats.established += 1;

@@ -1,0 +1,20 @@
+//! BAD: a repair handler that decides where the repair walk goes by
+//! drawing from the driver-supplied RNG — the walk outcome would then
+//! depend on delivery order, and the same crash would repair
+//! differently on the DES and the threaded runtime. A second sin roots
+//! a fresh SeedTree for the walk instead of deriving from the peer's
+//! own stream.
+use oscar_types::SeedTree;
+
+pub struct RepairCtx {
+    pub peer_seed: u64,
+    pub walks: u32,
+}
+
+pub fn fire_repair(ctx: &RepairCtx, neighbors: &[u64], rng: &mut dyn rand::RngCore) -> u64 {
+    // Order-dependent: which neighbor seeds the walk now varies with
+    // the delivery schedule that handed us this RNG.
+    let pick = (rng.next_u64() as usize) % neighbors.len();
+    let tree = SeedTree::new(ctx.peer_seed ^ neighbors[pick]);
+    tree.child(u64::from(ctx.walks)).seed()
+}

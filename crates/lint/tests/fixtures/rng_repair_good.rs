@@ -1,0 +1,17 @@
+//! GOOD: the repair walk's randomness is token-carried — seeded from
+//! the peer's own seed tree and a monotonic walk id, so the same crash
+//! repairs identically regardless of which driver delivers the
+//! messages or in what order.
+use oscar_types::SeedTree;
+
+pub struct RepairCtx {
+    pub walk_counter: u64,
+}
+
+pub fn fire_repair(tree: &SeedTree, ctx: &mut RepairCtx) -> u64 {
+    // (peer seed, walk id) is the whole entropy budget of a repair
+    // walk: deterministic, driver-independent, and collision-free
+    // because the counter never repeats.
+    ctx.walk_counter += 1;
+    tree.child2(9, ctx.walk_counter).seed()
+}

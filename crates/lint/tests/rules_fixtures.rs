@@ -45,6 +45,29 @@ fn rng_discipline_fixtures() {
 }
 
 #[test]
+fn rng_repair_path_fixtures() {
+    // The repair path is the easiest place to smuggle in driver-order
+    // dependence: a crash fires a walk, and the tempting bug is to pick
+    // its target from whatever RNG the delivery handed you. The bad
+    // fixture does exactly that (one driver draw, one ad-hoc root);
+    // the good one carries the walk's entropy in the peer's own tree.
+    let bad = lint_fixture("rng_repair_bad.rs", "oscar-protocol");
+    assert_eq!(
+        rules_of(&bad)
+            .iter()
+            .filter(|r| **r == "rng-discipline")
+            .count(),
+        2,
+        "repair-path bad fixture must trip both halves: {bad:?}"
+    );
+    let good = lint_fixture("rng_repair_good.rs", "oscar-protocol");
+    assert!(
+        good.is_empty(),
+        "token-carried repair walk is clean: {good:?}"
+    );
+}
+
+#[test]
 fn label_registry_fixtures() {
     let bad = lint_fixture("label_registry_bad.rs", "oscar-sim");
     assert_eq!(rules_of(&bad), vec!["label-registry"]);

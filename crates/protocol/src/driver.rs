@@ -1,0 +1,64 @@
+//! The driver abstraction: what a world must offer to host machines.
+//!
+//! Both execution worlds — the discrete-event simulator in `oscar-sim`
+//! and the threaded actor runtime in `oscar-runtime` — move the same
+//! [`PeerMachine`](crate::PeerMachine) envelopes; they differ only in
+//! *when* (virtual FIFO rounds vs real threads) and *where* (one queue
+//! vs one mailbox per actor). This trait captures the surface the
+//! machine-backend churn engine needs, so one generic engine drives
+//! Poisson join/crash/depart through either world and produces the same
+//! window statistics.
+//!
+//! The trait lives here (not in a driver crate) so both worlds can
+//! implement it without a dependency cycle: `oscar-sim` and
+//! `oscar-runtime` already depend on `oscar-protocol`.
+
+use crate::message::{Command, ProtocolEvent};
+use oscar_types::Id;
+
+/// A world that can host peer machines and move their envelopes.
+///
+/// Time model: drivers expose a monotone *round* counter — the DES
+/// equates it with timer rounds on its virtual clock, the threaded
+/// runtime ticks it at quiescent points. [`ProtocolDriver::advance_to`]
+/// runs message delivery and timer ticks until the counter reaches the
+/// target, which is what lets one churn engine schedule Poisson events
+/// on either clock.
+pub trait ProtocolDriver {
+    /// Adds a fresh, unjoined machine for `id`. No-op if it exists.
+    fn spawn_peer(&mut self, id: Id);
+
+    /// Removes `id` abruptly (a crash): undelivered and future messages
+    /// to it bounce back to their senders as delivery failures.
+    fn remove_peer(&mut self, id: Id);
+
+    /// Enqueues a local command to `id`'s machine.
+    fn inject(&mut self, id: Id, cmd: Command);
+
+    /// Delivers messages and fires timers until every machine is idle or
+    /// `max_rounds` timer rounds have elapsed. Returns the number of
+    /// timer rounds consumed.
+    fn settle(&mut self, max_rounds: u64) -> u64;
+
+    /// Advances the round counter to at least `round`, delivering
+    /// messages and firing due timers along the way.
+    fn advance_to(&mut self, round: u64);
+
+    /// The current round counter.
+    fn round(&self) -> u64;
+
+    /// Ids of all live machines, sorted.
+    fn peer_ids(&self) -> Vec<Id>;
+
+    /// Drains protocol events accumulated across all machines since the
+    /// last drain, in a deterministic order.
+    fn drain_events(&mut self) -> Vec<ProtocolEvent>;
+
+    /// Total messages sent so far (the maintenance-traffic meter).
+    fn sent(&self) -> u64;
+
+    /// [`ProtocolEvent::Fault`] occurrences observed so far. Unlike
+    /// drained events this is a lifetime counter: harnesses gate runs on
+    /// it staying zero.
+    fn fault_count(&self) -> u64;
+}

@@ -24,13 +24,15 @@
 //! matter which peer, thread, or driver advances it. Only gossip draws
 //! from the driver-supplied RNG.
 
+pub mod driver;
 pub mod fault;
 pub mod logic;
 pub mod machine;
 pub mod message;
 pub mod token;
 
+pub use driver::ProtocolDriver;
 pub use fault::{FaultDecision, FaultPlan};
-pub use machine::{PeerConfig, PeerMachine};
-pub use message::{Command, Message, OpKind, Outbound, ProtocolEvent, QueryReport};
+pub use machine::{PeerConfig, PeerMachine, RepairPolicy};
+pub use message::{Command, Message, OpKind, Outbound, ProtocolEvent, QueryReport, RepairTrigger};
 pub use token::{QueryToken, TokenRng, WalkToken};

@@ -79,6 +79,31 @@ pub fn owns(pred: Id, peer: Id, key: Id) -> bool {
     d != 0 && d <= pred.cw_dist(peer)
 }
 
+/// Is `cand` an admissible new long-link target for `me`?
+///
+/// A candidate is rejected when it is the peer itself, already among the
+/// targets chosen in this selection round, or already linked (callers
+/// pass their sorted out-link table). Liveness is *not* checked here:
+/// the oracle-backed simulator filters corpses before calling, and the
+/// distributed machine discovers death the hard way (bounce/timeout).
+#[inline]
+pub fn admits_link(me: Id, cand: Id, chosen_so_far: &[Id], existing_sorted: &[Id]) -> bool {
+    cand != me && !chosen_so_far.contains(&cand) && existing_sorted.binary_search(&cand).is_err()
+}
+
+/// Fold one candidate into a least-loaded selection.
+///
+/// Strictly-smaller load wins; ties keep the earlier candidate, so the
+/// result depends only on candidate order — the property the simulator's
+/// probe loops and their byte-identical baselines rely on.
+#[inline]
+pub fn pick_least_loaded(best: Option<(usize, Id)>, load: usize, cand: Id) -> Option<(usize, Id)> {
+    match best {
+        Some((b, _)) if b <= load => best,
+        _ => Some((load, cand)),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -154,5 +179,35 @@ mod tests {
         // Sole peer owns everything, including its own id.
         assert!(owns(peer, peer, Id::new(0)));
         assert!(owns(peer, peer, peer));
+    }
+
+    #[test]
+    fn link_admission_rejects_self_dupes_and_existing() {
+        let me = Id::new(10);
+        let chosen = [Id::new(20)];
+        let existing = [Id::new(5), Id::new(30)]; // sorted
+        assert!(!admits_link(me, me, &chosen, &existing));
+        assert!(!admits_link(me, Id::new(20), &chosen, &existing));
+        assert!(!admits_link(me, Id::new(30), &chosen, &existing));
+        assert!(admits_link(me, Id::new(40), &chosen, &existing));
+        assert!(admits_link(me, Id::new(40), &[], &[]));
+    }
+
+    #[test]
+    fn least_loaded_is_strict_and_first_wins_ties() {
+        let a = Id::new(1);
+        let b = Id::new(2);
+        let c = Id::new(3);
+        let mut best = None;
+        best = pick_least_loaded(best, 5, a);
+        assert_eq!(best, Some((5, a)));
+        // Equal load does not displace the incumbent.
+        best = pick_least_loaded(best, 5, b);
+        assert_eq!(best, Some((5, a)));
+        // Strictly smaller load does.
+        best = pick_least_loaded(best, 4, c);
+        assert_eq!(best, Some((4, c)));
+        best = pick_least_loaded(best, 9, a);
+        assert_eq!(best, Some((4, c)));
     }
 }

@@ -16,7 +16,9 @@
 //! explicitly outside the deterministic core.
 
 use crate::logic;
-use crate::message::{Command, Message, OpKind, Outbound, ProtocolEvent, QueryReport};
+use crate::message::{
+    Command, Message, OpKind, Outbound, ProtocolEvent, QueryReport, RepairTrigger,
+};
 use crate::token::{QueryToken, TokenRng, WalkToken};
 use oscar_types::labels::protocol_machine::{LBL_LINK, LBL_PEER, LBL_RETRY, LBL_WALK};
 use oscar_types::{mix64, Id, SeedTree};
@@ -30,6 +32,32 @@ use std::collections::VecDeque;
 pub fn peer_seed(root_seed: u64, id: Id) -> u64 {
     // lint:allow(rng-discipline, this is THE canonical entry point every driver shares to root per-peer streams)
     SeedTree::new(root_seed).child2(LBL_PEER, id.raw()).seed()
+}
+
+/// How a peer reacts to a neighbour it has declared dead.
+///
+/// The machine-side port of the churn engine's repair family: detection
+/// is always timer-table-driven (probe retries drain, or a send bounces),
+/// and the policy decides whether detection additionally triggers a
+/// long-link rewire. Ring splicing (successor-list surgery, predecessor
+/// hand-off) happens on every detection regardless of policy.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum RepairPolicy {
+    /// Detection only splices the ring; long links are left to sweeps
+    /// (the driver periodically issuing [`Command::Rewire`]) or to rot.
+    Off,
+    /// Ring-probe detection of a dead neighbour triggers a full long-link
+    /// rewire of the detector ([`PeerConfig::repair_walks`] fresh walks).
+    /// `k` is the probe depth: each [`Command::ProbeRing`] pings the
+    /// predecessor and the first `k` successors.
+    ReactiveK {
+        /// Successors probed per ring-probe round (>= 1 effective).
+        k: usize,
+    },
+    /// A query forward bouncing off a corpse triggers the prober's own
+    /// rewire — repair lands exactly where traffic finds the damage.
+    /// Ring probes still run at depth 1 (ring maintenance only).
+    OnProbe,
 }
 
 /// Tunables of one peer (uniform across a deployment in this PR).
@@ -60,6 +88,10 @@ pub struct PeerConfig {
     /// Recently-seen message instance keys kept for duplicate
     /// suppression (a ring buffer per peer).
     pub dedup_window: usize,
+    /// What a detected dead neighbour triggers beyond the ring splice.
+    pub repair: RepairPolicy,
+    /// Fresh MH walks launched by a policy-triggered rewire.
+    pub repair_walks: u32,
 }
 
 impl Default for PeerConfig {
@@ -77,6 +109,8 @@ impl Default for PeerConfig {
             max_retries: 3,
             max_backoff: 8,
             dedup_window: 128,
+            repair: RepairPolicy::Off,
+            repair_walks: 3,
         }
     }
 }
@@ -116,6 +150,9 @@ enum PendingKind {
         walk_id: u64,
         nonce_base: u64,
     },
+    /// Ring-liveness `Ping` to `target`; cleared by its `Pong`. A drained
+    /// retry budget declares the target dead (the failure detector).
+    Probe { target: Id, nonce_base: u64 },
 }
 
 impl PendingKind {
@@ -125,6 +162,7 @@ impl PendingKind {
             PendingKind::Walk { .. } => OpKind::Walk,
             PendingKind::Query { .. } => OpKind::Query,
             PendingKind::Link { .. } => OpKind::Link,
+            PendingKind::Probe { .. } => OpKind::Probe,
         }
     }
 
@@ -135,6 +173,9 @@ impl PendingKind {
             PendingKind::Walk { walk_id } => (2, *walk_id),
             PendingKind::Query { qid, .. } => (3, *qid),
             PendingKind::Link { walk_id, .. } => (4, *walk_id),
+            // Keyed by the probe nonce, not the target: every probe epoch
+            // gets a fresh retry stream for the same neighbour.
+            PendingKind::Probe { nonce_base, .. } => (5, *nonce_base),
         }
     }
 }
@@ -146,6 +187,7 @@ enum RetryAction {
     Walk { walk_id: u64, attempt: u32 },
     Query { qid: u64, key: Id, attempt: u32 },
     Link { target: Id, nonce: u64 },
+    Probe { target: Id, nonce: u64 },
 }
 
 /// A pure, side-effect-free Oscar peer.
@@ -178,10 +220,29 @@ pub struct PeerMachine {
     /// Recent ring splices `(joiner, old_pred)` this peer served, so a
     /// retried `JoinRequest` whose welcome was lost can be re-welcomed.
     recent_splices: Vec<(Id, Id)>,
+    /// Neighbours this peer has declared dead (sorted, bounded). Gates
+    /// predecessor hand-offs and successor merges; any message received
+    /// from a suspect acquits it (false-positive recovery).
+    suspects: Vec<Id>,
+    /// Monotone counter of `ProbeRing` rounds — salts probe nonces so
+    /// every round rolls fresh fault dice per edge.
+    probe_epoch: u64,
+    /// Join requests this peer has already forwarded, as `(joiner,
+    /// attempt)` — a repeat means greedy routing found a cycle (see
+    /// [`Self::handle_join_request`]) and the request is dropped.
+    forwarded_joins: Vec<(Id, u32)>,
 }
 
 /// Splice-memory depth: how many recent joiners an owner can re-welcome.
 const SPLICE_MEMORY: usize = 4;
+
+/// Bound on the per-peer suspect list (declared-dead neighbours). Trimmed
+/// clockwise-farthest, like the membership view.
+const SUSPECT_CAP: usize = 32;
+
+/// Bound on the forwarded-join memory. Joins in flight through one peer
+/// at once are few; the memory only has to outlive one routing cycle.
+const JOIN_FORWARD_MEMORY: usize = 64;
 
 impl PeerMachine {
     /// A solo peer: its own predecessor, owning the whole ring.
@@ -203,6 +264,9 @@ impl PeerMachine {
             timers: Vec::new(),
             seen: VecDeque::new(),
             recent_splices: Vec::new(),
+            suspects: Vec::new(),
+            probe_epoch: 0,
+            forwarded_joins: Vec::new(),
         }
     }
 
@@ -241,6 +305,11 @@ impl PeerMachine {
     /// True once the peer has spliced into the ring (or was bootstrapped).
     pub fn joined(&self) -> bool {
         self.joined
+    }
+
+    /// Neighbours this peer has declared dead (sorted).
+    pub fn suspects(&self) -> &[Id] {
+        &self.suspects
     }
 
     /// Canonical neighbour table: predecessor, successors, and long links,
@@ -346,6 +415,8 @@ impl PeerMachine {
                 self.process_query(token)
             }
             Command::GossipTick => self.gossip_round(rng),
+            Command::ProbeRing => self.probe_ring(),
+            Command::Depart => self.depart(),
             Command::TimerTick { now } => {
                 if now > self.now {
                     self.now = now;
@@ -369,6 +440,11 @@ impl PeerMachine {
             if self.seen.len() > self.cfg.dedup_window.max(1) {
                 self.seen.pop_front();
             }
+        }
+        // Hearing from a suspect acquits it: the declaration was a false
+        // positive (lossy edge, slow probe) and the peer is demonstrably up.
+        if let Ok(pos) = self.suspects.binary_search(&from) {
+            self.suspects.remove(pos);
         }
         match msg {
             Message::JoinRequest { joiner, attempt } => self.handle_join_request(joiner, attempt),
@@ -528,6 +604,57 @@ impl PeerMachine {
                 self.note_peer(from);
                 Vec::new()
             }
+            Message::Ping { nonce } => {
+                self.note_peer(from);
+                // Chord-notify ride-along: the peer whose successor head is
+                // me pings me every probe round, so a lost Leaving or
+                // PredUpdate still converges at probe cadence.
+                self.maybe_adopt_pred(from);
+                vec![Outbound::new(
+                    from,
+                    Message::Pong {
+                        nonce,
+                        succs: self.welcome_succs(),
+                    },
+                )]
+            }
+            Message::Pong { nonce: _, succs } => {
+                self.clear_probe(from);
+                self.note_peer(from);
+                // Stabilisation ride-along: merge the responder's successor
+                // list into ours (suspects and self excluded), keeping the
+                // clockwise-nearest `succ_len`.
+                self.merge_succs(&succs);
+                Vec::new()
+            }
+            Message::Leaving { pred, succs } => {
+                // Graceful splice: purge the leaver, adopt its hand-over.
+                self.long_out.retain(|&x| x != from);
+                self.long_in.retain(|&x| x != from);
+                self.known.retain(|&x| x != from);
+                if self.pred == from {
+                    // The leaver's predecessor is now ours (ourselves when
+                    // the leaver knew no one else — a two-peer ring).
+                    self.pred = if pred == from { self.id } else { pred };
+                }
+                let was_head = self.succs.first() == Some(&from);
+                self.succs.retain(|&x| x != from);
+                let handover: Vec<Id> = succs.into_iter().filter(|&s| s != from).collect();
+                self.merge_succs(&handover);
+                if was_head {
+                    // The leaver sat between me and my new successor head:
+                    // claim the predecessor slot it vacated (the receiver's
+                    // guard rejects the claim if someone closer exists).
+                    if let Some(&ns) = self.succs.first() {
+                        return vec![Outbound::new(ns, Message::PredUpdate)];
+                    }
+                }
+                Vec::new()
+            }
+            Message::PredUpdate => {
+                self.maybe_adopt_pred(from);
+                Vec::new()
+            }
         }
     }
 
@@ -545,7 +672,22 @@ impl PeerMachine {
                 token.stack.pop();
                 token.mark_dead(to);
                 token.wasted += 1;
-                self.process_query(token)
+                // On-probe repair: the bounce *is* the failure detector —
+                // the prober rewires itself right where traffic found the
+                // damage. Other policies leave detection to ring probes.
+                let mut outs = if self.cfg.repair == RepairPolicy::OnProbe {
+                    self.declare_dead(to, RepairTrigger::QueryDetect)
+                } else {
+                    Vec::new()
+                };
+                outs.extend(self.process_query(token));
+                outs
+            }
+            Message::Ping { .. } => {
+                // A bounced probe is an instant verdict: the driver itself
+                // reports the destination dead — no need to drain retries.
+                self.clear_probe(to);
+                self.declare_dead(to, RepairTrigger::RingDetect)
             }
             Message::WalkProbe(mut token) => {
                 // A probe to a corpse is a rejected move: step consumed,
@@ -625,11 +767,28 @@ impl PeerMachine {
             }
             return Vec::new();
         }
+        // Routing-loop suppression. While the ring converges after a
+        // nearby splice, the owner-delivery hop (a successor-list jump)
+        // can land at a peer whose pred has already moved past the
+        // joiner; that peer re-greedies the request, which circles the
+        // whole ring back to the same jump — forever, since joins carry
+        // no hop budget. Seeing the same `(joiner, attempt)` twice is
+        // exactly that cycle: drop the request and let the joiner's
+        // retry timer redrive the join against the converged ring.
+        if self.forwarded_joins.contains(&(joiner, attempt)) {
+            return Vec::new();
+        }
         match self.best_step_toward(joiner, |_| false) {
-            Some(next) => vec![Outbound::new(
-                next,
-                Message::JoinRequest { joiner, attempt },
-            )],
+            Some(next) => {
+                self.forwarded_joins.push((joiner, attempt));
+                if self.forwarded_joins.len() > JOIN_FORWARD_MEMORY {
+                    self.forwarded_joins.remove(0);
+                }
+                vec![Outbound::new(
+                    next,
+                    Message::JoinRequest { joiner, attempt },
+                )]
+            }
             // Unreachable on a consistent ring; drop rather than loop.
             None => Vec::new(),
         }
@@ -743,14 +902,13 @@ impl PeerMachine {
             return Vec::new();
         };
         let mut targets: Vec<(u64, Id)> = Vec::new();
+        let mut chosen: Vec<Id> = Vec::new();
         for (walk_id, sample) in &batch.pending {
             // Every slot landed (checked above); skip rather than unwrap so
             // an impossible None cannot poison the machine.
             let Some(s) = *sample else { continue };
-            if s != self.id
-                && !targets.iter().any(|&(_, t)| t == s)
-                && self.long_out.binary_search(&s).is_err()
-            {
+            if logic::admits_link(self.id, s, &chosen, &self.long_out) {
+                chosen.push(s);
                 targets.push((*walk_id, s));
             }
         }
@@ -977,6 +1135,10 @@ impl PeerMachine {
                     // draws a fresh fault decision.
                     nonce: mix64(*nonce_base ^ p.attempt as u64),
                 },
+                PendingKind::Probe { target, nonce_base } => RetryAction::Probe {
+                    target: *target,
+                    nonce: mix64(*nonce_base ^ p.attempt as u64),
+                },
             };
             self.events.push(ProtocolEvent::Retried {
                 peer: self.id,
@@ -1012,6 +1174,9 @@ impl PeerMachine {
                 }
                 RetryAction::Link { target, nonce } => {
                     outs.push(Outbound::new(target, Message::LinkRequest { nonce }));
+                }
+                RetryAction::Probe { target, nonce } => {
+                    outs.push(Outbound::new(target, Message::Ping { nonce }));
                 }
             }
         }
@@ -1060,6 +1225,200 @@ impl PeerMachine {
                 // target never heard us, it's a no-op there.
                 vec![Outbound::new(target, Message::Unlink)]
             }
+            PendingKind::Probe { target, .. } => {
+                // The failure detector's verdict: a drained probe budget
+                // declares the neighbour dead and triggers repair.
+                self.declare_dead(target, RepairTrigger::RingDetect)
+            }
+        }
+    }
+
+    // --- failure detection: ring probes, verdicts, repair --------------------
+
+    /// One ring-probe round: ping the predecessor and the leading
+    /// successors (depth `k` under [`RepairPolicy::ReactiveK`], 1
+    /// otherwise). Targets with a probe still pending are skipped — the
+    /// in-flight verdict stands. The driver owns the cadence; the machine
+    /// owns the verdict.
+    fn probe_ring(&mut self) -> Vec<Outbound> {
+        self.probe_epoch += 1;
+        let depth = match self.cfg.repair {
+            RepairPolicy::ReactiveK { k } => k.max(1),
+            _ => 1,
+        };
+        let mut targets: Vec<Id> = Vec::new();
+        if self.pred != self.id {
+            targets.push(self.pred);
+        }
+        for &s in self.succs.iter().take(depth) {
+            if s != self.id && !targets.contains(&s) {
+                targets.push(s);
+            }
+        }
+        let mut outs = Vec::new();
+        for t in targets {
+            if self
+                .timers
+                .iter()
+                .any(|p| matches!(p.kind, PendingKind::Probe { target, .. } if target == t))
+            {
+                continue;
+            }
+            // Nonce salted by the probe epoch: the same edge rolls fresh
+            // fault dice every round (and keys a fresh retry stream).
+            let nonce_base = mix64(mix64(self.seed ^ t.raw()) ^ self.probe_epoch);
+            self.arm_timer(PendingKind::Probe {
+                target: t,
+                nonce_base,
+            });
+            outs.push(Outbound::new(t, Message::Ping { nonce: nonce_base }));
+        }
+        outs
+    }
+
+    /// Graceful departure: announce the hand-over to ring neighbours,
+    /// dissolve long links both ways, cancel every pending operation and
+    /// go quiet. The driver removes the actor once the farewells flush.
+    fn depart(&mut self) -> Vec<Outbound> {
+        let farewell = Message::Leaving {
+            pred: self.pred,
+            succs: self.succs.clone(),
+        };
+        let mut targets: Vec<Id> = Vec::new();
+        if self.pred != self.id {
+            targets.push(self.pred);
+        }
+        for &s in &self.succs {
+            if s != self.id && !targets.contains(&s) {
+                targets.push(s);
+            }
+        }
+        let mut outs: Vec<Outbound> = targets
+            .into_iter()
+            .map(|t| Outbound::new(t, farewell.clone()))
+            .collect();
+        for t in self.long_out.drain(..) {
+            outs.push(Outbound::new(t, Message::Unlink));
+        }
+        for t in std::mem::take(&mut self.long_in) {
+            outs.push(Outbound::new(t, Message::Unlink));
+        }
+        self.timers.clear();
+        self.batch = None;
+        self.joined = false;
+        outs
+    }
+
+    /// The failure detector's verdict on `dead`: purge it from every
+    /// table, re-stitch the ring (claim the vacated predecessor slot of
+    /// the next successor), and — when the policy and detection channel
+    /// agree — rewire long links with fresh walks.
+    ///
+    /// The predecessor pointer is *not* reset to `self` when the corpse
+    /// was our predecessor: that would claim the whole remaining arc. It
+    /// dangles until the corpse's own predecessor claims the slot (its
+    /// `PredUpdate`, or its pings once the suspect gate opens).
+    fn declare_dead(&mut self, dead: Id, trigger: RepairTrigger) -> Vec<Outbound> {
+        if dead == self.id {
+            return Vec::new();
+        }
+        self.clear_probe(dead);
+        self.suspect(dead);
+        self.known.retain(|&x| x != dead);
+        self.long_in.retain(|&x| x != dead);
+        // The dangling out-link is just gone either way — the corpse can
+        // never unlink back (mirrors simulator crashes).
+        self.long_out.retain(|&x| x != dead);
+        let was_head = self.succs.first() == Some(&dead);
+        self.succs.retain(|&x| x != dead);
+        let mut outs = Vec::new();
+        if was_head {
+            if let Some(&ns) = self.succs.first() {
+                // My old head sat between me and `ns`: claim its slot.
+                outs.push(Outbound::new(ns, Message::PredUpdate));
+            }
+        }
+        let rewire = matches!(
+            (self.cfg.repair, trigger),
+            (RepairPolicy::ReactiveK { .. }, RepairTrigger::RingDetect)
+                | (RepairPolicy::OnProbe, RepairTrigger::QueryDetect)
+        );
+        if rewire {
+            let walks = self.cfg.repair_walks;
+            self.events.push(ProtocolEvent::RepairFired {
+                peer: self.id,
+                dead,
+                trigger,
+                walks,
+            });
+            // Full rewire, exactly like `Command::Rewire`: dissolve the
+            // surviving out-links and rebuild the whole budget — the
+            // machine port of the churn engine's `builder.rewire`.
+            let dropped: Vec<Id> = self.long_out.drain(..).collect();
+            for t in dropped {
+                outs.push(Outbound::new(t, Message::Unlink));
+            }
+            outs.extend(self.launch_walks(walks));
+        }
+        outs
+    }
+
+    /// Records `dead` in the bounded suspect list.
+    fn suspect(&mut self, dead: Id) {
+        if let Err(pos) = self.suspects.binary_search(&dead) {
+            self.suspects.insert(pos, dead);
+            if self.suspects.len() > SUSPECT_CAP {
+                // Deterministic trim: drop the clockwise-farthest suspect
+                // (ring surgery only ever needs the nearby ones).
+                if let Some(far) =
+                    (0..self.suspects.len()).max_by_key(|&i| self.id.cw_dist(self.suspects[i]))
+                {
+                    self.suspects.remove(far);
+                }
+            }
+        }
+    }
+
+    fn clear_probe(&mut self, target: Id) {
+        self.timers
+            .retain(|p| !matches!(p.kind, PendingKind::Probe { target: t, .. } if t == target));
+    }
+
+    /// Merges a received successor list into ours: suspects, self and
+    /// duplicates excluded, clockwise-nearest `succ_len` kept.
+    fn merge_succs(&mut self, incoming: &[Id]) {
+        let mut changed = false;
+        for &s in incoming {
+            if s != self.id && !self.succs.contains(&s) && self.suspects.binary_search(&s).is_err()
+            {
+                self.succs.push(s);
+                changed = true;
+            }
+        }
+        if changed {
+            let me = self.id;
+            self.succs.sort_unstable_by_key(|&s| me.cw_dist(s));
+            self.succs.truncate(self.cfg.succ_len);
+        }
+        for &s in incoming {
+            self.note_peer(s);
+        }
+    }
+
+    /// Guarded predecessor adoption (the `PredUpdate` rule): accept
+    /// `from` when it is strictly closer than the current predecessor, or
+    /// when the current predecessor has been declared dead. Shared by
+    /// `PredUpdate` and `Ping` (Chord-notify style), so ring re-stitching
+    /// converges to the closest live claimant in any delivery order.
+    fn maybe_adopt_pred(&mut self, from: Id) {
+        if from == self.id || from == self.pred {
+            return;
+        }
+        let closer = self.pred == self.id || logic::owns(self.pred, self.id, from);
+        let pred_suspect = self.suspects.binary_search(&self.pred).is_ok();
+        if closer || pred_suspect {
+            self.pred = from;
+            self.note_peer(from);
         }
     }
 
@@ -1185,8 +1544,12 @@ mod tests {
     }
 
     fn machines(ids: &[u64]) -> Vec<PeerMachine> {
+        machines_with(ids, PeerConfig::default())
+    }
+
+    fn machines_with(ids: &[u64], cfg: PeerConfig) -> Vec<PeerMachine> {
         ids.iter()
-            .map(|&i| PeerMachine::new(Id::new(i), 1000 + i, PeerConfig::default()))
+            .map(|&i| PeerMachine::new(Id::new(i), 1000 + i, cfg.clone()))
             .collect()
     }
 
@@ -1516,6 +1879,167 @@ mod tests {
                 .any(|e| matches!(e, ProtocolEvent::Fault { .. })),
             "graceful degradation must not raise Fault"
         );
+    }
+
+    #[test]
+    fn crashed_neighbor_is_detected_and_ring_restitched() {
+        let ids = [10u64, 20, 30, 40, 50, 60];
+        let cfg = PeerConfig {
+            repair: RepairPolicy::ReactiveK { k: 2 },
+            ..PeerConfig::default()
+        };
+        let mut pump = Pump::new(machines_with(&ids, cfg));
+        for &i in &ids[1..] {
+            pump.command(
+                Id::new(i),
+                Command::Join {
+                    contact: Id::new(10),
+                },
+            );
+        }
+        pump.peers.remove(&Id::new(40)); // crash
+                                         // Several probe rounds: the first detects the corpse everywhere it
+                                         // is probed (bounced pings are instant verdicts); the following
+                                         // rounds let pong successor-merges fill the sparse join-time succ
+                                         // lists and the predecessor's pings re-stitch the pred pointers
+                                         // (Chord-style stabilisation converges at probe cadence).
+        for _ in 0..4 {
+            for &i in &ids {
+                if i != 40 {
+                    pump.command(Id::new(i), Command::ProbeRing);
+                }
+            }
+        }
+        assert_eq!(pump.peers[&Id::new(30)].succs()[0], Id::new(50));
+        assert_eq!(pump.peers[&Id::new(50)].pred(), Id::new(30));
+        assert!(pump.peers[&Id::new(30)].suspects().contains(&Id::new(40)));
+        let repaired = pump
+            .peers
+            .get_mut(&Id::new(30))
+            .unwrap()
+            .drain_events()
+            .iter()
+            .any(|e| {
+                matches!(
+                    e,
+                    ProtocolEvent::RepairFired {
+                        dead,
+                        trigger: crate::message::RepairTrigger::RingDetect,
+                        ..
+                    } if *dead == Id::new(40)
+                )
+            });
+        assert!(repaired, "the corpse's predecessor must fire a repair");
+    }
+
+    #[test]
+    fn probe_timeout_declares_dead_without_a_bounce() {
+        // A machine whose probes vanish into the void (no bounce, no
+        // pong): only the timer table can convict. This is the blackhole
+        // crash mode of the fault plan.
+        let cfg = PeerConfig {
+            repair: RepairPolicy::ReactiveK { k: 2 },
+            ..PeerConfig::default()
+        };
+        let mut m = PeerMachine::new(Id::new(100), 1, cfg);
+        let mut rng = SeedTree::new(3).rng();
+        m.on_command(
+            Command::Bootstrap {
+                pred: Id::new(50),
+                succs: vec![Id::new(200), Id::new(300)],
+                known: vec![Id::new(200), Id::new(300)],
+            },
+            &mut rng,
+        );
+        let outs = m.on_command(Command::ProbeRing, &mut rng);
+        assert_eq!(outs.len(), 3, "pred + k successors must be probed");
+        let mut now = 0;
+        for _ in 0..128 {
+            let Some(d) = m.next_deadline() else { break };
+            now = now.max(d);
+            m.on_command(Command::TimerTick { now }, &mut rng);
+        }
+        assert!(m.suspects().contains(&Id::new(200)));
+        assert!(!m.succs().contains(&Id::new(200)));
+        let events = m.drain_events();
+        assert!(
+            events.iter().any(|e| matches!(
+                e,
+                ProtocolEvent::RepairFired {
+                    trigger: crate::message::RepairTrigger::RingDetect,
+                    ..
+                }
+            )),
+            "drained probe budget must fire a repair"
+        );
+    }
+
+    #[test]
+    fn graceful_departure_splices_without_detection() {
+        let ids = [10u64, 20, 30, 40, 50, 60];
+        let mut pump = Pump::new(machines(&ids));
+        for &i in &ids[1..] {
+            pump.command(
+                Id::new(i),
+                Command::Join {
+                    contact: Id::new(10),
+                },
+            );
+        }
+        pump.command(Id::new(40), Command::BuildLinks { walks: 2 });
+        pump.command(Id::new(40), Command::Depart);
+        pump.peers.remove(&Id::new(40));
+        assert_eq!(pump.peers[&Id::new(30)].succs()[0], Id::new(50));
+        assert_eq!(pump.peers[&Id::new(50)].pred(), Id::new(30));
+        // The leaver's links dissolved both ways: no survivor still
+        // references it.
+        for m in pump.peers.values() {
+            assert!(!m.long_out().contains(&Id::new(40)), "{:?}", m.id());
+            assert!(!m.long_in().contains(&Id::new(40)), "{:?}", m.id());
+            assert!(!m.succs().contains(&Id::new(40)), "{:?}", m.id());
+            assert_ne!(m.pred(), Id::new(40), "{:?}", m.id());
+        }
+    }
+
+    #[test]
+    fn on_probe_repair_rewires_the_prober() {
+        let ids = [100u64, 200, 300, 400];
+        let cfg = PeerConfig {
+            repair: RepairPolicy::OnProbe,
+            ..PeerConfig::default()
+        };
+        let mut pump = Pump::new(machines_with(&ids, cfg));
+        for &i in &ids[1..] {
+            pump.command(
+                Id::new(i),
+                Command::Join {
+                    contact: Id::new(100),
+                },
+            );
+        }
+        pump.peers.remove(&Id::new(300));
+        pump.command(
+            Id::new(100),
+            Command::StartQuery {
+                qid: 1,
+                key: Id::new(250),
+            },
+        );
+        // Whichever peer forwarded into the corpse must have fired an
+        // on-probe repair with the query-bounce trigger.
+        let fired = pump.peers.values_mut().any(|m| {
+            m.drain_events().iter().any(|e| {
+                matches!(
+                    e,
+                    ProtocolEvent::RepairFired {
+                        dead,
+                        trigger: crate::message::RepairTrigger::QueryDetect,
+                        ..
+                    } if *dead == Id::new(300)
+                )
+            })
+        });
+        assert!(fired, "a query bounce must trigger the prober's rewire");
     }
 
     #[test]

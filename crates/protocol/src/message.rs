@@ -90,6 +90,38 @@ pub enum Message {
         /// Peer ids known to the replier (a bounded sample).
         view: Vec<Id>,
     },
+
+    // --- failure detection and ring repair ---------------------------------
+    /// Ring-liveness probe to a predecessor or successor. Detection is
+    /// timer-table-driven: the sender arms a probe deadline and declares
+    /// the target dead only after the retry budget drains without a pong.
+    Ping {
+        /// Deterministic probe nonce (salted per retry and per probe
+        /// epoch so every probe rolls fresh fault dice).
+        nonce: u64,
+    },
+    /// Probe reply; piggybacks the responder's successor list so every
+    /// probe round doubles as Chord-style successor-list stabilisation.
+    Pong {
+        /// Echo of the probe nonce.
+        nonce: u64,
+        /// The responder, then its successors, truncated (same shape as
+        /// a welcome's successor list).
+        succs: Vec<Id>,
+    },
+    /// Graceful departure announcement to ring neighbours: the leaver
+    /// hands over its predecessor and successor knowledge so receivers
+    /// splice without a detection delay.
+    Leaving {
+        /// The leaver's ring predecessor.
+        pred: Id,
+        /// The leaver's successor list, nearest first.
+        succs: Vec<Id>,
+    },
+    /// Sender → its (believed) immediate successor: "I am your live
+    /// predecessor". Accepted when the sender is closer than the current
+    /// predecessor or the current predecessor has been declared dead.
+    PredUpdate,
 }
 
 /// Stable mix64 fold (NOT `std::hash` — instance keys feed committed
@@ -167,6 +199,14 @@ impl Message {
             }
             Message::GossipPush { view } => view.iter().fold(mix64(0x0D), |a, p| fold(a, p.raw())),
             Message::GossipPull { view } => view.iter().fold(mix64(0x0E), |a, p| fold(a, p.raw())),
+            Message::Ping { nonce } => fold(0x0F, *nonce),
+            Message::Pong { nonce, succs } => succs
+                .iter()
+                .fold(fold(0x10, *nonce), |a, p| fold(a, p.raw())),
+            Message::Leaving { pred, succs } => succs
+                .iter()
+                .fold(fold(0x11, pred.raw()), |a, p| fold(a, p.raw())),
+            Message::PredUpdate => mix64(0x12),
         }
     }
 
@@ -239,6 +279,16 @@ pub enum Command {
     /// One round of anti-entropy gossip (uses the driver's RNG — the only
     /// protocol activity outside the deterministic token core).
     GossipTick,
+    /// Probe the ring neighbourhood (predecessor + leading successors)
+    /// for liveness. Detection rides the timer table: unanswered probes
+    /// retry with backoff and a drained budget declares the target dead,
+    /// triggering the configured [`RepairPolicy`](crate::RepairPolicy).
+    /// The driver owns the probe cadence, the machine owns the verdict.
+    ProbeRing,
+    /// Leave the overlay gracefully: announce [`Message::Leaving`] to
+    /// ring neighbours, dissolve long links, and go quiet. The driver
+    /// removes the actor once the farewell messages have flushed.
+    Depart,
     /// Advance this peer's virtual clock to `now` and fire any expired
     /// deadlines. Drivers own time (the DES counts settle rounds, the
     /// threaded runtime ticks at quiescent points); machines only own
@@ -260,6 +310,17 @@ pub enum OpKind {
     Query,
     /// A `LinkRequest` awaiting accept/reject.
     Link,
+    /// A ring-liveness `Ping` awaiting its `Pong`.
+    Probe,
+}
+
+/// How a peer came to declare a neighbour dead.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum RepairTrigger {
+    /// A ring probe exhausted its retries (or bounced) without a pong.
+    RingDetect,
+    /// A query forward bounced off the corpse (on-probe detection).
+    QueryDetect,
 }
 
 /// Outcome of one query, reported back to its origin.
@@ -337,6 +398,19 @@ pub enum ProtocolEvent {
         op: OpKind,
         /// Total attempts made before giving up.
         attempts: u32,
+    },
+    /// A dead neighbour was detected and the configured repair policy
+    /// rewired around it (ring splice always happens on detection; this
+    /// event fires only when the policy additionally launched walks).
+    RepairFired {
+        /// The repairing peer.
+        peer: Id,
+        /// The neighbour declared dead.
+        dead: Id,
+        /// Which detection channel found the corpse.
+        trigger: RepairTrigger,
+        /// Replacement walks launched by the policy.
+        walks: u32,
     },
     /// The machine hit a state it cannot make progress from and
     /// recovered by dropping the operation instead of panicking. The

@@ -26,7 +26,7 @@
 
 use oscar_protocol::{
     machine::peer_seed, Command, FaultPlan, Message, Outbound, PeerConfig, PeerMachine,
-    ProtocolEvent,
+    ProtocolDriver, ProtocolEvent,
 };
 use oscar_types::labels::runtime::{LBL_GOSSIP, LBL_WORKER};
 use oscar_types::{Id, SeedTree};
@@ -113,6 +113,9 @@ struct Shared {
     bounced: AtomicU64,
     dropped: AtomicU64,
     duplicated: AtomicU64,
+    /// Lifetime [`ProtocolEvent::Fault`] count — unlike the drained
+    /// event buffer this never resets, so harnesses gate runs on it.
+    faults: AtomicU64,
     busy_ns: Vec<AtomicU64>,
     per_worker_msgs: Vec<AtomicU64>,
 }
@@ -133,6 +136,8 @@ pub struct RuntimeStats {
     pub dropped: u64,
     /// Extra copies injected by the fault plan (each also in `sent`).
     pub duplicated: u64,
+    /// `ProtocolEvent::Fault` occurrences over the runtime's lifetime.
+    pub faults: u64,
     /// Per-worker busy time in nanoseconds.
     pub busy_ns: Vec<u64>,
     /// Per-worker processed-message counts.
@@ -188,6 +193,7 @@ impl Runtime {
             bounced: AtomicU64::new(0),
             dropped: AtomicU64::new(0),
             duplicated: AtomicU64::new(0),
+            faults: AtomicU64::new(0),
             busy_ns: (0..workers).map(|_| AtomicU64::new(0)).collect(),
             per_worker_msgs: (0..workers).map(|_| AtomicU64::new(0)).collect(),
         });
@@ -396,6 +402,30 @@ impl Runtime {
         }
     }
 
+    /// The current timer round (virtual failure-detection time).
+    pub fn round(&self) -> u64 {
+        self.shared.round.load(Ordering::SeqCst)
+    }
+
+    /// Lifetime [`ProtocolEvent::Fault`] count (never reset by
+    /// [`Runtime::drain_events`]).
+    pub fn fault_count(&self) -> u64 {
+        self.shared.faults.load(Ordering::Relaxed)
+    }
+
+    /// Advances the timer round to at least `round`: quiesces the
+    /// network, then fires every deadline up to `round` (each followed
+    /// by the traffic it provokes). Deadlines beyond `round` stay
+    /// pending — same slicing of time as the DES's `advance_to`.
+    pub fn advance_to(&self, round: u64) {
+        self.quiesce();
+        while self.next_timer_round().is_some_and(|d| d <= round) {
+            self.tick_timers();
+            self.quiesce();
+        }
+        self.shared.round.fetch_max(round, Ordering::SeqCst);
+    }
+
     /// Aggregate counters.
     pub fn stats(&self) -> RuntimeStats {
         RuntimeStats {
@@ -404,6 +434,7 @@ impl Runtime {
             bounced: self.shared.bounced.load(Ordering::Relaxed),
             dropped: self.shared.dropped.load(Ordering::Relaxed),
             duplicated: self.shared.duplicated.load(Ordering::Relaxed),
+            faults: self.shared.faults.load(Ordering::Relaxed),
             busy_ns: self
                 .shared
                 .busy_ns
@@ -440,6 +471,59 @@ impl Runtime {
 impl Drop for Runtime {
     fn drop(&mut self) {
         self.shutdown();
+    }
+}
+
+/// The threaded runtime as a generic machine host: the round counter is
+/// the quiescent-point timer clock, so the churn engine's schedule maps
+/// onto the same virtual failure-detection time the DES uses.
+impl ProtocolDriver for Runtime {
+    fn spawn_peer(&mut self, id: Id) {
+        if !self.shared.actors.read().unwrap().contains_key(&id) {
+            Runtime::spawn_peer(self, id);
+        }
+    }
+
+    fn remove_peer(&mut self, id: Id) {
+        Runtime::remove_peer(self, id);
+    }
+
+    fn inject(&mut self, id: Id, cmd: Command) {
+        Runtime::inject(self, id, cmd);
+    }
+
+    fn settle(&mut self, max_rounds: u64) -> u64 {
+        self.quiesce();
+        let mut rounds = 0;
+        while rounds < max_rounds && self.tick_timers() {
+            self.quiesce();
+            rounds += 1;
+        }
+        rounds
+    }
+
+    fn advance_to(&mut self, round: u64) {
+        Runtime::advance_to(self, round);
+    }
+
+    fn round(&self) -> u64 {
+        Runtime::round(self)
+    }
+
+    fn peer_ids(&self) -> Vec<Id> {
+        Runtime::peer_ids(self)
+    }
+
+    fn drain_events(&mut self) -> Vec<ProtocolEvent> {
+        Runtime::drain_events(self)
+    }
+
+    fn sent(&self) -> u64 {
+        self.shared.sent.load(Ordering::Relaxed)
+    }
+
+    fn fault_count(&self) -> u64 {
+        Runtime::fault_count(self)
     }
 }
 
@@ -510,6 +594,13 @@ impl Shared {
     fn collect_events(&self, m: &mut PeerMachine) {
         let evs = m.drain_events();
         if !evs.is_empty() {
+            let faults = evs
+                .iter()
+                .filter(|e| matches!(e, ProtocolEvent::Fault { .. }))
+                .count() as u64;
+            if faults > 0 {
+                self.faults.fetch_add(faults, Ordering::Relaxed);
+            }
             self.events.lock().unwrap().extend(evs);
         }
     }

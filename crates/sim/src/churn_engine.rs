@@ -256,7 +256,7 @@ pub struct ChurnWindowStats {
 
 impl ChurnWindowStats {
     /// Zeroed accumulator for the window opening at `start`.
-    fn fresh(window: usize, start: VirtualTime) -> Self {
+    pub(crate) fn fresh(window: usize, start: VirtualTime) -> Self {
         ChurnWindowStats {
             window,
             start,
@@ -288,8 +288,10 @@ enum EngineEvent {
 }
 
 /// Draws an exponential inter-arrival gap (in whole ticks, >= 1) for a
-/// Poisson process with `rate` events per tick.
-fn exponential_gap(rate: f64, rng: &mut SmallRng) -> u64 {
+/// Poisson process with `rate` events per tick. Shared with the
+/// machine-backend engine (`churn_machine`) so both backends realise the
+/// same arrival process from the same gap streams.
+pub(crate) fn exponential_gap(rate: f64, rng: &mut SmallRng) -> u64 {
     let u: f64 = rng.gen(); // [0, 1)
                             // -ln(1-u)/rate, clamped into [1, 2^40] ticks: a gap of one tick is
                             // the event-queue resolution, and the upper clamp keeps a glacial

@@ -1,0 +1,592 @@
+//! Continuous churn through the protocol machines — the second backend.
+//!
+//! [`run_continuous_churn`](crate::churn_engine::run_continuous_churn)
+//! drives Poisson join/crash/depart against the oracle-backed
+//! [`Network`](crate::network::Network): repairs are `builder.rewire`
+//! calls and failure detection is free (the engine simply knows who is
+//! dead). This module runs the *same* [`ChurnSchedule`] against a fleet
+//! of [`PeerMachine`](oscar_protocol::PeerMachine)s hosted by any
+//! [`ProtocolDriver`] — the discrete-event simulator or the threaded
+//! actor runtime — where death must be *discovered* (ring probes,
+//! bounced sends, retry give-ups) and every repair is real messages.
+//!
+//! The engine owns the Poisson clock and the window books; the machines
+//! own detection and repair. Policy mapping
+//! ([`machine_repair_policy`]):
+//!
+//! * `SweepEvery(t)` → machines run [`RepairPolicy::Off`]; the engine
+//!   injects [`Command::Rewire`] to every live peer every `t` ticks
+//!   (the checkpoint protocol: O(n) per sweep, no detection needed).
+//! * `Reactive { k }` → machines run `ReactiveK { k }`; the engine
+//!   injects [`Command::ProbeRing`] every `probe_every` ticks and the
+//!   machines rewire where probes find corpses — O(damage) repair.
+//! * `OnProbe` → machines run `OnProbe`; ring probes run at depth 1 and
+//!   each measurement query that bounces off a corpse rewires its
+//!   prober, so repair trails the traffic that discovered the damage.
+//!
+//! Window books ([`ChurnWindowStats`]): `repairs` counts
+//! [`ProtocolEvent::RepairFired`] (sweeps count one per swept peer,
+//! matching the legacy engine); `repair_cost` is the driver's `sent()`
+//! delta across sweep and probe settles — honest maintenance traffic,
+//! including the failure-detection pings the oracle backend gets for
+//! free. Repairs fired *by* a measurement batch (the `OnProbe` path)
+//! are booked to the next window, exactly like the legacy engine's
+//! delayed repair events. `OnProbe` repair walks ride the measurement
+//! settle, so their traffic lands in the query books rather than
+//! `repair_cost` — the sweep-vs-reactive comparison is unaffected.
+//!
+//! Determinism: every draw comes from a labelled child of the run seed
+//! (scope `sim_churn_machine`), walks and queries carry token RNGs, and
+//! query reports are aggregated in qid order — so a DES run and a
+//! threaded-runtime run at the same seed produce the same windows.
+
+use crate::churn_engine::{exponential_gap, ChurnSchedule, ChurnWindowStats, RepairPolicy};
+use crate::events::{EventQueue, VirtualTime};
+use crate::routing::QueryBatchStats;
+use oscar_keydist::{KeyDistribution, QueryTarget, QueryWorkload};
+use oscar_protocol::{Command, ProtocolDriver, ProtocolEvent, QueryReport};
+use oscar_types::labels::sim_churn_machine::{
+    LBL_BOOT, LBL_CRASH_GAPS, LBL_CRASH_PICK, LBL_DEPART_GAPS, LBL_DEPART_PICK, LBL_JOIN,
+    LBL_JOIN_GAPS, LBL_MEASURE,
+};
+use oscar_types::{Error, Id, P2Quantile, Result, SeedTree};
+use rand::Rng;
+
+/// Timer-round budget for one settle: far above any single membership
+/// event's retry chains, so a hit means a protocol livelock, not churn.
+const SETTLE_ROUNDS: u64 = 4096;
+
+/// Shape of the machine fleet a churn run is driven against.
+#[derive(Clone, Debug)]
+pub struct MachineChurnConfig {
+    /// Peers bootstrapped (serial joins) before the schedule starts.
+    pub initial_peers: usize,
+    /// Sampling walks per link build: joins, sweeps, and bootstrap all
+    /// launch this many (repairs use `PeerConfig::repair_walks`).
+    pub build_walks: u32,
+    /// Ring-probe cadence in virtual ticks (reactive policies only).
+    pub probe_every: u64,
+}
+
+impl Default for MachineChurnConfig {
+    fn default() -> Self {
+        MachineChurnConfig {
+            initial_peers: 64,
+            build_walks: 3,
+            probe_every: 100,
+        }
+    }
+}
+
+impl MachineChurnConfig {
+    /// Checks the config is runnable.
+    pub fn validate(&self) -> Result<()> {
+        if self.initial_peers < 2 {
+            return Err(Error::InvalidConfig(
+                "machine churn needs initial_peers >= 2: one peer has no overlay".into(),
+            ));
+        }
+        if self.probe_every == 0 {
+            return Err(Error::InvalidConfig(
+                "probe_every must be >= 1: zero-cadence probing never detects anything".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// The machine-side repair policy a [`ChurnSchedule`] maps to. Callers
+/// must build their driver's `PeerConfig` with this before running —
+/// the engine cannot reconfigure machines after spawn.
+pub fn machine_repair_policy(repair: &RepairPolicy) -> oscar_protocol::RepairPolicy {
+    match repair {
+        RepairPolicy::SweepEvery(_) => oscar_protocol::RepairPolicy::Off,
+        RepairPolicy::Reactive { neighbors_k } => {
+            oscar_protocol::RepairPolicy::ReactiveK { k: *neighbors_k }
+        }
+        RepairPolicy::OnProbe => oscar_protocol::RepairPolicy::OnProbe,
+    }
+}
+
+/// The engine's event alphabet (the machine analogue of the legacy
+/// engine's: sweeps become `Rewire` injections, reactive repair becomes
+/// probe rounds, and there is no oracle `Repair` event — machines fire
+/// their own).
+#[derive(Copy, Clone, Debug)]
+enum MachineEvent {
+    Join,
+    Crash,
+    Depart,
+    /// Ring-probe round across the live fleet (reactive policies).
+    Probe,
+    /// Whole-network rewire sweep (`SweepEvery`).
+    Sweep,
+    WindowEnd,
+}
+
+/// Runs `windows` measurement windows of continuous churn against the
+/// machines hosted by `driver`, which must be empty (the engine
+/// bootstraps its own fleet so both drivers start from the same state).
+///
+/// Joins sample fresh identifiers from `keys` and enter through a
+/// uniformly random live contact; crash and depart victims are uniform
+/// over the live population; every window closes with a query batch
+/// sized by the schedule's budget. Identical inputs give identical
+/// windows on either driver.
+pub fn run_machine_churn<D: ProtocolDriver>(
+    driver: &mut D,
+    keys: &dyn KeyDistribution,
+    cfg: &MachineChurnConfig,
+    schedule: &ChurnSchedule,
+    windows: usize,
+    seed: SeedTree,
+) -> Result<Vec<ChurnWindowStats>> {
+    schedule.validate()?;
+    cfg.validate()?;
+    if !driver.peer_ids().is_empty() {
+        return Err(Error::InvalidConfig(
+            "machine churn bootstraps its own fleet: the driver must start empty".into(),
+        ));
+    }
+
+    // --- bootstrap: serial joins through the first peer -----------------
+    let mut boot = seed.child(LBL_BOOT).rng();
+    let mut ids: Vec<Id> = Vec::with_capacity(cfg.initial_peers);
+    while ids.len() < cfg.initial_peers {
+        let mut placed = false;
+        for _ in 0..1000 {
+            let id = keys.sample(&mut boot);
+            if !ids.contains(&id) {
+                ids.push(id);
+                placed = true;
+                break;
+            }
+        }
+        if !placed {
+            return Err(Error::InvalidConfig(
+                "key distribution too degenerate: 1000 consecutive id collisions".into(),
+            ));
+        }
+    }
+    driver.spawn_peer(ids[0]);
+    for &id in &ids[1..] {
+        driver.spawn_peer(id);
+        driver.inject(id, Command::Join { contact: ids[0] });
+        driver.settle(SETTLE_ROUNDS);
+    }
+    // One settle per peer, here and in the probe/sweep handlers below:
+    // concurrent walks read each other's half-built link tables in
+    // whatever order the driver interleaves them, which would make link
+    // state scheduling-dependent on the threaded runtime. Serialized
+    // injection keeps every link-mutating phase a pure function of the
+    // trace, so both drivers grow identical overlays.
+    for &id in &ids {
+        driver.inject(
+            id,
+            Command::BuildLinks {
+                walks: cfg.build_walks,
+            },
+        );
+        driver.settle(SETTLE_ROUNDS);
+    }
+    driver.drain_events(); // bootstrap milestones are not window data
+
+    let mut results = Vec::with_capacity(windows);
+    if windows == 0 {
+        return Ok(results);
+    }
+
+    // --- schedule: same pre-scheduled window timers as the legacy engine
+    // (a WindowEnd on a boundary tick always outranks same-tick churn).
+    let mut queue: EventQueue<MachineEvent> = EventQueue::new();
+    let mut join_gaps = seed.child(LBL_JOIN_GAPS).rng();
+    let mut crash_gaps = seed.child(LBL_CRASH_GAPS).rng();
+    let mut depart_gaps = seed.child(LBL_DEPART_GAPS).rng();
+    let mut crash_pick = seed.child(LBL_CRASH_PICK).rng();
+    let mut depart_pick = seed.child(LBL_DEPART_PICK).rng();
+    for k in 1..=windows as u64 {
+        queue.schedule(
+            VirtualTime(k * schedule.window_ticks),
+            MachineEvent::WindowEnd,
+        );
+    }
+    if schedule.join_rate > 0.0 {
+        queue.schedule_in(
+            exponential_gap(schedule.join_rate, &mut join_gaps),
+            MachineEvent::Join,
+        );
+    }
+    if schedule.crash_rate > 0.0 {
+        queue.schedule_in(
+            exponential_gap(schedule.crash_rate, &mut crash_gaps),
+            MachineEvent::Crash,
+        );
+    }
+    if schedule.depart_rate > 0.0 {
+        queue.schedule_in(
+            exponential_gap(schedule.depart_rate, &mut depart_gaps),
+            MachineEvent::Depart,
+        );
+    }
+    match schedule.repair {
+        RepairPolicy::SweepEvery(every) => {
+            if every > 0 {
+                queue.schedule_in(every, MachineEvent::Sweep);
+            }
+        }
+        RepairPolicy::Reactive { .. } | RepairPolicy::OnProbe => {
+            queue.schedule_in(cfg.probe_every, MachineEvent::Probe);
+        }
+    }
+
+    let mut joins_total = 0u64;
+    let mut window_start = VirtualTime(0);
+    let mut w = ChurnWindowStats::fresh(0, window_start);
+
+    while results.len() < windows {
+        let (now, event) = queue
+            .pop()
+            .expect("an engine process or the window timer is always scheduled");
+        match event {
+            MachineEvent::Join => {
+                let join_seed = seed.child2(LBL_JOIN, joins_total);
+                joins_total += 1;
+                let mut jrng = join_seed.rng();
+                let live = driver.peer_ids();
+                // Resample identifier collisions, like the legacy engine.
+                let mut admitted = false;
+                for _ in 0..1000 {
+                    let id = keys.sample(&mut jrng);
+                    if live.binary_search(&id).is_err() {
+                        let contact = live[jrng.gen_range(0..live.len())];
+                        driver.spawn_peer(id);
+                        driver.inject(id, Command::Join { contact });
+                        driver.settle(SETTLE_ROUNDS);
+                        // Links only after the splice: a walk needs the
+                        // joiner's ring links to leave from.
+                        driver.inject(
+                            id,
+                            Command::BuildLinks {
+                                walks: cfg.build_walks,
+                            },
+                        );
+                        driver.settle(SETTLE_ROUNDS);
+                        admitted = true;
+                        break;
+                    }
+                }
+                if !admitted {
+                    return Err(Error::InvalidConfig(
+                        "key distribution too degenerate: 1000 consecutive id collisions".into(),
+                    ));
+                }
+                w.joins += 1;
+                w.repairs += absorb_repairs(driver);
+                queue.schedule_in(
+                    exponential_gap(schedule.join_rate, &mut join_gaps),
+                    MachineEvent::Join,
+                );
+            }
+            MachineEvent::Crash => {
+                let live = driver.peer_ids();
+                if live.len() > schedule.min_live {
+                    let victim = live[crash_pick.gen_range(0..live.len())];
+                    // Abrupt: no farewell, mail to the corpse bounces (or
+                    // blackholes, per the fault plan). Survivors discover
+                    // the hole at the next probe round or query.
+                    driver.remove_peer(victim);
+                    w.crashes += 1;
+                } else {
+                    w.suppressed += 1;
+                }
+                queue.schedule_in(
+                    exponential_gap(schedule.crash_rate, &mut crash_gaps),
+                    MachineEvent::Crash,
+                );
+            }
+            MachineEvent::Depart => {
+                let live = driver.peer_ids();
+                if live.len() > schedule.min_live {
+                    let victim = live[depart_pick.gen_range(0..live.len())];
+                    driver.inject(victim, Command::Depart);
+                    driver.settle(SETTLE_ROUNDS);
+                    driver.remove_peer(victim);
+                    w.departs += 1;
+                    w.repairs += absorb_repairs(driver);
+                } else {
+                    w.suppressed += 1;
+                }
+                queue.schedule_in(
+                    exponential_gap(schedule.depart_rate, &mut depart_gaps),
+                    MachineEvent::Depart,
+                );
+            }
+            MachineEvent::Probe => {
+                let before = driver.sent();
+                for id in driver.peer_ids() {
+                    driver.inject(id, Command::ProbeRing);
+                    driver.settle(SETTLE_ROUNDS);
+                }
+                w.repair_cost += driver.sent() - before;
+                w.repairs += absorb_repairs(driver);
+                queue.schedule_in(cfg.probe_every, MachineEvent::Probe);
+            }
+            MachineEvent::Sweep => {
+                let live = driver.peer_ids();
+                let before = driver.sent();
+                for &id in &live {
+                    driver.inject(
+                        id,
+                        Command::Rewire {
+                            walks: cfg.build_walks,
+                        },
+                    );
+                    driver.settle(SETTLE_ROUNDS);
+                }
+                w.rewires += 1;
+                w.repairs += live.len() as u64;
+                w.repair_cost += driver.sent() - before;
+                driver.drain_events();
+                let RepairPolicy::SweepEvery(every) = schedule.repair else {
+                    unreachable!("Sweep events are only scheduled by SweepEvery")
+                };
+                queue.schedule_in(every, MachineEvent::Sweep);
+            }
+            MachineEvent::WindowEnd => {
+                let widx = results.len();
+                let mut qrng = seed.child2(LBL_MEASURE, widx as u64).rng();
+                w.window = widx;
+                w.start = window_start;
+                w.end = now;
+                // Close the repair books before measuring: batch-triggered
+                // repairs (OnProbe) belong to the next window, like the
+                // legacy engine's delayed repair events.
+                w.repairs += absorb_repairs(driver);
+                let live = driver.peer_ids();
+                w.live_at_end = live.len();
+                let batch = schedule.query_budget.resolve(w.live_at_end);
+                let mut issued = 0usize;
+                for q in 0..batch {
+                    if live.is_empty() {
+                        break;
+                    }
+                    let src = live[qrng.gen_range(0..live.len())];
+                    let key = match QueryWorkload::UniformPeers.draw(live.len(), &mut qrng) {
+                        QueryTarget::PeerRank(r) => live[r],
+                        QueryTarget::Key(k) => k,
+                    };
+                    driver.inject(
+                        src,
+                        Command::StartQuery {
+                            qid: ((widx as u64) << 32) | q as u64,
+                            key,
+                        },
+                    );
+                    issued += 1;
+                }
+                driver.settle(SETTLE_ROUNDS);
+                let (mut reports, batch_repairs) = split_events(driver.drain_events());
+                // The P² estimators are observation-order sensitive; qid
+                // order is the one ordering every driver agrees on.
+                reports.sort_by_key(|r| r.qid);
+                w.queries = aggregate_reports(&reports, issued);
+                results.push(w.clone());
+                window_start = now;
+                w = ChurnWindowStats::fresh(widx + 1, window_start);
+                w.repairs += batch_repairs;
+            }
+        }
+    }
+    Ok(results)
+}
+
+/// Drains the driver's events and counts the repairs that fired.
+fn absorb_repairs<D: ProtocolDriver>(driver: &mut D) -> u64 {
+    driver
+        .drain_events()
+        .iter()
+        .filter(|e| matches!(e, ProtocolEvent::RepairFired { .. }))
+        .count() as u64
+}
+
+/// Splits a measurement settle's events into query reports and the
+/// count of repairs the batch itself triggered.
+fn split_events(events: Vec<ProtocolEvent>) -> (Vec<QueryReport>, u64) {
+    let mut reports = Vec::new();
+    let mut repairs = 0u64;
+    for e in events {
+        match e {
+            ProtocolEvent::QueryCompleted(r) => reports.push(r),
+            ProtocolEvent::RepairFired { .. } => repairs += 1,
+            _ => {}
+        }
+    }
+    (reports, repairs)
+}
+
+/// Aggregates query reports with the same streaming math as the oracle
+/// backend's batch runner (`routing::run_query_batch`): wasted traffic
+/// over all issued queries, cost statistics over the successful ones.
+/// A query that produced no report (killed outright by the fault plan)
+/// counts as issued-and-failed with zero observed waste.
+fn aggregate_reports(reports: &[QueryReport], issued: usize) -> QueryBatchStats {
+    let mut p50 = P2Quantile::new(0.50);
+    let mut p95 = P2Quantile::new(0.95);
+    let mut cost_sum = 0.0f64;
+    let mut cost_sumsq = 0.0f64;
+    let mut max_cost = 0u32;
+    let mut hops_sum = 0u64;
+    let mut wasted_sum = 0u64;
+    let mut successes = 0usize;
+    for r in reports {
+        wasted_sum += r.wasted as u64;
+        if r.success {
+            successes += 1;
+            let c = r.cost();
+            let cf = c as f64;
+            cost_sum += cf;
+            cost_sumsq += cf * cf;
+            max_cost = max_cost.max(c);
+            p50.observe(cf);
+            p95.observe(cf);
+            hops_sum += r.hops as u64;
+        }
+    }
+    let mut stats = QueryBatchStats {
+        queries: issued,
+        ..Default::default()
+    };
+    stats.success_rate = successes as f64 / issued.max(1) as f64;
+    stats.mean_wasted = wasted_sum as f64 / issued.max(1) as f64;
+    if successes > 0 {
+        let m = successes as f64;
+        stats.mean_cost = cost_sum / m;
+        stats.mean_hops = hops_sum as f64 / m;
+        stats.max_cost = max_cost;
+        stats.p50_cost = p50.value();
+        stats.p95_cost = p95.value();
+        if successes > 1 {
+            let var = ((cost_sumsq - cost_sum * cost_sum / m) / (m - 1.0)).max(0.0);
+            stats.se_cost = (var / m).sqrt();
+        }
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol_des::DesDriver;
+    use oscar_keydist::UniformKeys;
+    use oscar_protocol::{FaultPlan, PeerConfig};
+
+    fn des_for(schedule: &ChurnSchedule, seed: u64) -> DesDriver {
+        let peer_cfg = PeerConfig {
+            repair: machine_repair_policy(&schedule.repair),
+            ..PeerConfig::default()
+        };
+        DesDriver::new_with_faults(seed, peer_cfg, FaultPlan::reliable())
+    }
+
+    fn small_schedule(repair: RepairPolicy) -> ChurnSchedule {
+        ChurnSchedule {
+            join_rate: 0.004,
+            crash_rate: 0.004,
+            depart_rate: 0.001,
+            repair,
+            window_ticks: 400,
+            query_budget: crate::churn_engine::QueryBudget::Fixed(40),
+            min_live: 8,
+        }
+    }
+
+    fn run(repair: RepairPolicy, seed: u64) -> Vec<ChurnWindowStats> {
+        let schedule = small_schedule(repair);
+        let mut des = des_for(&schedule, seed);
+        let cfg = MachineChurnConfig {
+            initial_peers: 32,
+            build_walks: 3,
+            probe_every: 100,
+        };
+        run_machine_churn(
+            &mut des,
+            &UniformKeys,
+            &cfg,
+            &schedule,
+            3,
+            SeedTree::new(seed),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn windows_carry_churn_and_query_books() {
+        let windows = run(RepairPolicy::Reactive { neighbors_k: 2 }, 7);
+        assert_eq!(windows.len(), 3);
+        let joins: u64 = windows.iter().map(|w| w.joins).sum();
+        let crashes: u64 = windows.iter().map(|w| w.crashes).sum();
+        assert!(joins > 0, "0.004/tick over 1200 ticks must join someone");
+        assert!(crashes > 0, "0.004/tick over 1200 ticks must crash someone");
+        for w in &windows {
+            assert_eq!(w.queries.queries, 40);
+            assert!(w.live_at_end >= 8);
+            assert!(
+                w.queries.success_rate > 0.5,
+                "window {}: reactive repair must keep the overlay navigable, got {}",
+                w.window,
+                w.queries.success_rate
+            );
+        }
+    }
+
+    #[test]
+    fn reactive_detection_repairs_crash_damage() {
+        let windows = run(RepairPolicy::Reactive { neighbors_k: 2 }, 11);
+        let crashes: u64 = windows.iter().map(|w| w.crashes).sum();
+        let repairs: u64 = windows.iter().map(|w| w.repairs).sum();
+        assert!(crashes > 0);
+        assert!(
+            repairs > 0,
+            "probe rounds must detect {crashes} crashes and fire repairs"
+        );
+        let cost: u64 = windows.iter().map(|w| w.repair_cost).sum();
+        assert!(cost > 0, "detection and repair are real messages here");
+    }
+
+    #[test]
+    fn sweeps_repair_without_detection() {
+        let windows = run(RepairPolicy::SweepEvery(400), 13);
+        let rewires: u64 = windows.iter().map(|w| w.rewires).sum();
+        let repairs: u64 = windows.iter().map(|w| w.repairs).sum();
+        assert!(rewires >= 2, "a sweep every window-length must fire");
+        assert!(repairs > rewires, "each sweep rewires the whole fleet");
+        for w in &windows {
+            assert!(
+                w.queries.success_rate > 0.5,
+                "sweeps must keep the overlay navigable"
+            );
+        }
+    }
+
+    #[test]
+    fn same_seed_same_windows() {
+        let a = run(RepairPolicy::Reactive { neighbors_k: 2 }, 23);
+        let b = run(RepairPolicy::Reactive { neighbors_k: 2 }, 23);
+        assert_eq!(a, b, "machine churn must be bit-deterministic");
+    }
+
+    #[test]
+    fn reactive_repair_is_cheaper_than_sweeping() {
+        let reactive = run(RepairPolicy::Reactive { neighbors_k: 2 }, 31);
+        let sweep = run(RepairPolicy::SweepEvery(400), 31);
+        let rc: u64 = reactive.iter().map(|w| w.repair_cost).sum();
+        let sc: u64 = sweep.iter().map(|w| w.repair_cost).sum();
+        // At 32 peers the probe rounds are a sizeable fraction of a sweep,
+        // so only strict ordering holds here; the order-of-magnitude gap
+        // appears at scale (see the phase tests in `tests/`).
+        assert!(
+            rc < sc,
+            "reactive maintenance ({rc} msgs) must undercut sweeps ({sc} msgs)"
+        );
+    }
+}

@@ -23,6 +23,10 @@
 //! * [`churn_engine`] — continuous churn: Poisson join/crash/depart
 //!   arrivals on the event queue, periodic rewire sweeps, steady-state
 //!   measurement windows.
+//! * [`churn_machine`] — the same churn schedules driven through
+//!   [`oscar_protocol::PeerMachine`] fleets on any `ProtocolDriver`
+//!   (the DES or the threaded runtime), where failure detection and
+//!   repair are real protocol messages.
 //! * [`metrics`] — message accounting by category.
 //!
 //! Each `Network` is single-threaded and allocation-conscious: a full
@@ -35,6 +39,7 @@
 
 pub mod churn;
 pub mod churn_engine;
+pub mod churn_machine;
 pub mod events;
 pub mod growth;
 pub mod metrics;
@@ -49,6 +54,7 @@ pub use churn::{kill_fraction, FaultModel};
 pub use churn_engine::{
     run_continuous_churn, ChurnSchedule, ChurnWindowStats, QueryBudget, RepairPolicy,
 };
+pub use churn_machine::{machine_repair_policy, run_machine_churn, MachineChurnConfig};
 pub use events::{Event, EventQueue, VirtualTime};
 pub use growth::{rewire_all_peers, Checkpoint, GrowthConfig, GrowthDriver, OverlayBuilder};
 pub use metrics::{Metrics, MsgKind};

@@ -15,7 +15,7 @@
 use crate::events::EventQueue;
 use oscar_protocol::machine::peer_seed;
 use oscar_protocol::{
-    Command, FaultPlan, Message, Outbound, PeerConfig, PeerMachine, ProtocolEvent,
+    Command, FaultPlan, Message, Outbound, PeerConfig, PeerMachine, ProtocolDriver, ProtocolEvent,
 };
 use oscar_types::labels::sim_protocol_des::LBL_CMD;
 use oscar_types::{Id, SeedTree};
@@ -49,6 +49,10 @@ pub struct DesDriver {
     bounced: u64,
     dropped: u64,
     duplicated: u64,
+    /// Lifetime count of [`ProtocolEvent::Fault`] occurrences — unlike
+    /// drained events this never resets, so harnesses can gate a whole
+    /// run on it staying zero.
+    faults: u64,
 }
 
 impl DesDriver {
@@ -75,6 +79,7 @@ impl DesDriver {
             bounced: 0,
             dropped: 0,
             duplicated: 0,
+            faults: 0,
         }
     }
 
@@ -147,6 +152,22 @@ impl DesDriver {
         self.round
     }
 
+    /// [`ProtocolEvent::Fault`] occurrences since the driver was built
+    /// (a lifetime counter, unaffected by [`DesDriver::drain_events`]).
+    pub fn fault_count(&self) -> u64 {
+        self.faults
+    }
+
+    /// Absorbs a machine's freshly drained events into the driver's
+    /// buffer, bumping the lifetime fault counter on the way.
+    fn absorb_events(&mut self, evs: Vec<ProtocolEvent>) {
+        self.faults += evs
+            .iter()
+            .filter(|e| matches!(e, ProtocolEvent::Fault { .. }))
+            .count() as u64;
+        self.events.extend(evs);
+    }
+
     /// Hands a command to one peer and queues its replies.
     pub fn inject(&mut self, id: Id, cmd: Command) -> bool {
         // Fresh per-command stream, mirroring the runtime's inject nonce.
@@ -159,7 +180,8 @@ impl DesDriver {
             return false;
         };
         let outs = peer.on_command(cmd, &mut rng);
-        self.events.extend(peer.drain_events());
+        let evs = peer.drain_events();
+        self.absorb_events(evs);
         self.enqueue_all(id, outs);
         true
     }
@@ -219,6 +241,19 @@ impl DesDriver {
             n += self.run_until_idle();
         }
         n
+    }
+
+    /// Advances the virtual clock to at least `round`: delivers all
+    /// queued envelopes, then fires every timer deadline up to `round`
+    /// (each followed by the deliveries it provokes). Deadlines beyond
+    /// `round` stay pending — they belong to a later slice of time.
+    pub fn advance_to(&mut self, round: u64) {
+        self.run_until_idle();
+        while self.next_timer_round().is_some_and(|d| d <= round) {
+            self.tick_timers();
+            self.run_until_idle();
+        }
+        self.round = self.round.max(round);
     }
 
     /// Spawns `joiner`, joins it through `contact`, and settles the
@@ -283,7 +318,8 @@ impl DesDriver {
                 .child2(LBL_CMD, self.cmd_nonce)
                 .rng();
             let outs = peer.on_message(env.from, env.msg, &mut rng);
-            self.events.extend(peer.drain_events());
+            let evs = peer.drain_events();
+            self.absorb_events(evs);
             self.enqueue_all(env.to, outs);
         } else if self.plan.blackhole_on_crash() {
             // The realistic crash model: the send vanishes; only the
@@ -297,9 +333,63 @@ impl DesDriver {
                 return; // both ends gone; the message evaporates
             };
             let outs = sender.on_delivery_failure(env.to, env.msg);
-            self.events.extend(sender.drain_events());
+            let evs = sender.drain_events();
+            self.absorb_events(evs);
             self.enqueue_all(env.from, outs);
         }
+    }
+}
+
+/// The DES as a generic machine host: virtual timer rounds are the
+/// round counter, so the churn engine's Poisson schedule lands on the
+/// same clock the retry timers use.
+impl ProtocolDriver for DesDriver {
+    fn spawn_peer(&mut self, id: Id) {
+        if !self.peers.contains_key(&id) {
+            DesDriver::spawn_peer(self, id);
+        }
+    }
+
+    fn remove_peer(&mut self, id: Id) {
+        DesDriver::remove_peer(self, id);
+    }
+
+    fn inject(&mut self, id: Id, cmd: Command) {
+        DesDriver::inject(self, id, cmd);
+    }
+
+    fn settle(&mut self, max_rounds: u64) -> u64 {
+        self.run_until_idle();
+        let mut rounds = 0;
+        while rounds < max_rounds && self.tick_timers() {
+            self.run_until_idle();
+            rounds += 1;
+        }
+        rounds
+    }
+
+    fn advance_to(&mut self, round: u64) {
+        DesDriver::advance_to(self, round);
+    }
+
+    fn round(&self) -> u64 {
+        DesDriver::round(self)
+    }
+
+    fn peer_ids(&self) -> Vec<Id> {
+        DesDriver::peer_ids(self)
+    }
+
+    fn drain_events(&mut self) -> Vec<ProtocolEvent> {
+        DesDriver::drain_events(self)
+    }
+
+    fn sent(&self) -> u64 {
+        DesDriver::sent(self)
+    }
+
+    fn fault_count(&self) -> u64 {
+        DesDriver::fault_count(self)
     }
 }
 

@@ -22,6 +22,8 @@ pub mod bench_experiments {
     pub const LBL_STEADY: u64 = 4;
     /// Label `LBL_PHASE` (= 5).
     pub const LBL_PHASE: u64 = 5;
+    /// Label `LBL_MACHINE` (= 6).
+    pub const LBL_MACHINE: u64 = 6;
 }
 
 /// Seed-tree labels of derivation scope `bench_repro_faults`.
@@ -80,6 +82,26 @@ pub mod sim_churn_engine {
     pub const LBL_MEASURE: u64 = 8;
     /// Label `LBL_REPAIR` (= 9).
     pub const LBL_REPAIR: u64 = 9;
+}
+
+/// Seed-tree labels of derivation scope `sim_churn_machine`.
+pub mod sim_churn_machine {
+    /// Label `LBL_JOIN_GAPS` (= 1).
+    pub const LBL_JOIN_GAPS: u64 = 1;
+    /// Label `LBL_CRASH_GAPS` (= 2).
+    pub const LBL_CRASH_GAPS: u64 = 2;
+    /// Label `LBL_DEPART_GAPS` (= 3).
+    pub const LBL_DEPART_GAPS: u64 = 3;
+    /// Label `LBL_JOIN` (= 4).
+    pub const LBL_JOIN: u64 = 4;
+    /// Label `LBL_CRASH_PICK` (= 5).
+    pub const LBL_CRASH_PICK: u64 = 5;
+    /// Label `LBL_DEPART_PICK` (= 6).
+    pub const LBL_DEPART_PICK: u64 = 6;
+    /// Label `LBL_MEASURE` (= 8).
+    pub const LBL_MEASURE: u64 = 8;
+    /// Label `LBL_BOOT` (= 10).
+    pub const LBL_BOOT: u64 = 10;
 }
 
 /// Seed-tree labels of derivation scope `sim_growth`.

@@ -41,6 +41,84 @@ fn sim_growth_digest_is_pinned() {
     assert_eq!(outcome, 0x709979aa63890b2d, "seeded sim artifact drifted");
 }
 
+/// Machine churn backend: Poisson join/crash/depart with reactive-k2
+/// detection and repair on the DES, the machinery behind the committed
+/// `BENCH_churn_machine.json`. The digest folds every window's books
+/// and every survivor's link tables, so a drift in the churn engine's
+/// seed streams, the repair path, or the P² aggregation fails here
+/// before it surfaces as a baseline diff.
+#[test]
+fn machine_churn_digest_is_pinned() {
+    use oscar::keydist::UniformKeys;
+    use oscar::protocol::PeerConfig;
+    use oscar::sim::{
+        machine_repair_policy, run_machine_churn, ChurnSchedule, DesDriver, MachineChurnConfig,
+        QueryBudget, RepairPolicy,
+    };
+    use oscar::types::SeedTree;
+
+    let schedule = ChurnSchedule {
+        join_rate: 0.004,
+        crash_rate: 0.004,
+        depart_rate: 0.001,
+        repair: RepairPolicy::Reactive { neighbors_k: 2 },
+        window_ticks: 400,
+        query_budget: QueryBudget::Fixed(40),
+        min_live: 8,
+    };
+    let cfg = MachineChurnConfig {
+        initial_peers: 32,
+        build_walks: 3,
+        probe_every: 100,
+    };
+    let peer_cfg = PeerConfig {
+        repair: machine_repair_policy(&schedule.repair),
+        ..PeerConfig::default()
+    };
+    let mut des = DesDriver::new(0xC_0DE, peer_cfg);
+    let windows = run_machine_churn(
+        &mut des,
+        &UniformKeys,
+        &cfg,
+        &schedule,
+        3,
+        SeedTree::new(0xC_0DE),
+    )
+    .unwrap();
+    let books = digest(windows.iter().flat_map(|w| {
+        [
+            w.joins,
+            w.crashes,
+            w.departs,
+            w.repairs,
+            w.repair_cost,
+            w.rewires,
+            w.live_at_end as u64,
+            w.queries.success_rate.to_bits(),
+            w.queries.mean_cost.to_bits(),
+            w.queries.mean_wasted.to_bits(),
+        ]
+    }));
+    let mut tables = Vec::new();
+    for id in des.peer_ids() {
+        let (pred, succs, long_out, long_in) = des.peer(id).unwrap().fingerprint();
+        tables.push(digest(
+            [id.raw(), pred.raw()]
+                .into_iter()
+                .chain(succs.iter().map(|s| s.raw()))
+                .chain(long_out.iter().map(|s| s.raw()))
+                .chain(long_in.iter().map(|s| s.raw())),
+        ));
+    }
+    assert_eq!(des.fault_count(), 0, "no machine faults in a seeded run");
+    let outcome = digest([books, digest(tables)]);
+    println!("machine churn digest: {outcome:#018x}");
+    assert_eq!(
+        outcome, 0x2a607608fa7c105d,
+        "seeded machine-churn artifact drifted"
+    );
+}
+
 /// Threaded-runtime path: joins, link walks and queries through the
 /// actor runtime, exercising the ordered `actors` map (`peer_ids`,
 /// enumeration) that the iter-order rule protects.

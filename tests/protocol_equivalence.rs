@@ -345,6 +345,109 @@ fn blackholed_crash_degrades_gracefully_not_fatally() {
     );
 }
 
+// --- equivalence under churn + repair --------------------------------------
+
+/// The machine churn engine replayed on both drivers: Poisson
+/// join/crash/depart, reactive-k2 detection and repair, and a lossy
+/// network, all at the same seed. Every window's books — churn counts,
+/// repair traffic, query statistics — and every surviving peer's link
+/// tables must be identical. This is the tentpole claim of the unified
+/// stack: churn outcomes are a function of the schedule and the seed,
+/// not of which driver hosts the machines.
+#[test]
+fn des_and_actor_runtime_agree_under_churn_and_repair() {
+    use oscar::keydist::UniformKeys;
+    use oscar::sim::{
+        machine_repair_policy, run_machine_churn, ChurnSchedule, ChurnWindowStats,
+        MachineChurnConfig, QueryBudget, RepairPolicy,
+    };
+    use oscar::types::SeedTree;
+
+    let schedule = ChurnSchedule {
+        join_rate: 0.004,
+        crash_rate: 0.004,
+        depart_rate: 0.001,
+        repair: RepairPolicy::Reactive { neighbors_k: 2 },
+        window_ticks: 400,
+        query_budget: QueryBudget::Fixed(40),
+        min_live: 8,
+    };
+    let cfg = MachineChurnConfig {
+        initial_peers: 32,
+        build_walks: 3,
+        probe_every: 100,
+    };
+    let peer_cfg = PeerConfig {
+        repair: machine_repair_policy(&schedule.repair),
+        ..PeerConfig::default()
+    };
+    // Blackholed crashes: corpses swallow mail silently and only timers
+    // detect them. The bounce path is driver-timed (synchronous in the
+    // runtime, next-tick in the DES) so it is excluded here — timeouts
+    // fire on the shared round clock and keep detection order-free.
+    let plan = FaultPlan::new(0xC0FFEE)
+        .with_drop(0.05)
+        .with_blackhole(true);
+
+    let mut des = DesDriver::new_with_faults(SEED, peer_cfg.clone(), plan.clone());
+    let des_windows: Vec<ChurnWindowStats> = run_machine_churn(
+        &mut des,
+        &UniformKeys,
+        &cfg,
+        &schedule,
+        3,
+        SeedTree::new(SEED),
+    )
+    .expect("DES churn run");
+    let des_live = des.peer_ids();
+    let des_tables: LinkTables = des_live
+        .iter()
+        .map(|&id| (id, des.peer(id).unwrap().fingerprint()))
+        .collect();
+
+    let mut rt = Runtime::new(
+        RuntimeConfig::new(SEED)
+            .with_workers(4)
+            .with_peer_cfg(peer_cfg)
+            .with_fault_plan(plan),
+    );
+    let rt_windows = run_machine_churn(
+        &mut rt,
+        &UniformKeys,
+        &cfg,
+        &schedule,
+        3,
+        SeedTree::new(SEED),
+    )
+    .expect("runtime churn run");
+    let rt_live = rt.peer_ids();
+    let rt_tables: LinkTables = rt_live
+        .iter()
+        .map(|&id| (id, rt.with_peer(id, |m| m.fingerprint()).unwrap()))
+        .collect();
+
+    let churned: u64 = des_windows.iter().map(|w| w.joins + w.crashes).sum();
+    assert!(churned > 0, "the schedule must actually churn the fleet");
+    assert_eq!(des_live, rt_live, "live populations diverge under churn");
+    for (id, des_fp) in &des_tables {
+        assert_eq!(
+            des_fp, &rt_tables[id],
+            "link tables diverge under churn at {id:?}"
+        );
+    }
+    assert_eq!(
+        des_windows, rt_windows,
+        "window stats diverge between drivers"
+    );
+    assert_eq!(des.fault_count(), 0, "DES machine faults in a seeded run");
+    assert_eq!(
+        rt.fault_count(),
+        0,
+        "runtime machine faults in a seeded run"
+    );
+    rt.shutdown();
+}
+
 #[test]
 fn actor_runtime_is_worker_count_invariant() {
     // The same trace under 1 worker and 4 workers: scheduling changes
