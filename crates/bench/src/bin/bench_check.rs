@@ -26,13 +26,14 @@ use oscar_bench::Report;
 use std::path::PathBuf;
 
 /// The tracked baselines, by file name (repo root and results dir agree).
-const TRACKED: [&str; 6] = [
+const TRACKED: [&str; 7] = [
     "BENCH_join.json",
     "BENCH_churn.json",
     "BENCH_churn_machine.json",
     "BENCH_growth.json",
     "BENCH_saturation.json",
     "BENCH_faults.json",
+    "BENCH_scenarios.json",
 ];
 
 fn read_or_exit(path: &PathBuf) -> String {

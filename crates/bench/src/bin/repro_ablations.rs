@@ -211,6 +211,7 @@ fn a5_skewed_access(scale: &Scale) -> std::io::Result<()> {
 }
 
 fn main() -> std::io::Result<()> {
+    oscar_bench::reject_unused_knobs_or_exit(&[]);
     let scale = ablation_scale();
     eprintln!(
         "running ablations at scale {} (step {}, seed {})",

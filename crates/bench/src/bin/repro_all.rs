@@ -35,6 +35,7 @@ enum Piece {
 }
 
 fn main() -> std::io::Result<()> {
+    oscar_bench::reject_unused_knobs_or_exit(&[]);
     let scale = Scale::from_env_or_exit();
     eprintln!(
         "regenerating all figures at scale {} (step {}, seed {}, {} threads)",

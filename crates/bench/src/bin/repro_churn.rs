@@ -83,6 +83,13 @@ fn levels_json(results: &[SteadyChurnResult]) -> String {
 }
 
 fn main() -> std::io::Result<()> {
+    oscar_bench::reject_unused_knobs_or_exit(&[
+        "OSCAR_CHURN_WINDOWS",
+        "OSCAR_CHURN_BACKEND",
+        "OSCAR_DEDUP_WINDOW",
+        "OSCAR_MAX_RETRIES",
+        "OSCAR_REPAIR_K",
+    ]);
     let scale = Scale::from_env_or_exit();
     let windows = Scale::churn_windows_from_env_or_exit();
     let backend = backend_from_env();

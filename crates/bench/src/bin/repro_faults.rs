@@ -320,6 +320,7 @@ fn run_rt_cell(scale: &Scale, ids: &[Id], idx: usize, loss_pct: u32, workers: us
 }
 
 fn main() -> std::io::Result<()> {
+    oscar_bench::reject_unused_knobs_or_exit(&["OSCAR_FAULT_QUERIES"]);
     let scale = Scale::from_env_or_exit();
     let n = scale.target;
     let workers = scale.thread_count().max(2);

@@ -8,6 +8,7 @@ use oscar_bench::figures::fig1a_report;
 use oscar_bench::Scale;
 
 fn main() -> std::io::Result<()> {
+    oscar_bench::reject_unused_knobs_or_exit(&[]);
     let scale = Scale::from_env_or_exit();
     fig1a_report(&scale).emit("fig1a_degree_pdf")?;
     Ok(())

@@ -10,6 +10,7 @@ use oscar_bench::figures::{fig1b_report, run_fig1_suite};
 use oscar_bench::Scale;
 
 fn main() -> std::io::Result<()> {
+    oscar_bench::reject_unused_knobs_or_exit(&[]);
     let scale = Scale::from_env_or_exit();
     let suite = run_fig1_suite(&scale).expect("fig1 suite");
     fig1b_report(&suite).emit("fig1b_degree_load")?;

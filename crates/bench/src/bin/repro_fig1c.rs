@@ -9,6 +9,7 @@ use oscar_bench::figures::{fig1c_report, run_fig1_suite};
 use oscar_bench::Scale;
 
 fn main() -> std::io::Result<()> {
+    oscar_bench::reject_unused_knobs_or_exit(&[]);
     let scale = Scale::from_env_or_exit();
     let suite = run_fig1_suite(&scale).expect("fig1 suite");
     fig1c_report(&suite, &scale).emit("fig1c_search_cost")?;

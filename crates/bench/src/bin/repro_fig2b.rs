@@ -10,6 +10,7 @@ use oscar_bench::Scale;
 use oscar_degree::SpikyDegrees;
 
 fn main() -> std::io::Result<()> {
+    oscar_bench::reject_unused_knobs_or_exit(&[]);
     let scale = Scale::from_env_or_exit();
     fig2_report(&scale, &SpikyDegrees::paper(), "realistic")
         .expect("fig2b experiment")

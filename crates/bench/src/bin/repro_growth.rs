@@ -34,6 +34,7 @@ fn decades(target: usize) -> Vec<usize> {
 }
 
 fn main() -> std::io::Result<()> {
+    oscar_bench::reject_unused_knobs_or_exit(&[]);
     let scale = Scale::from_env_or_exit();
     let builder = OscarBuilder::new(OscarConfig::default());
     let keys = GnutellaKeys::default();

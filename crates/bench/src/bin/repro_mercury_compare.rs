@@ -1,5 +1,6 @@
 //! Regenerates E7: Oscar vs Mercury search cost on the skewed (Gnutella)
-//! key distribution — the headline claim of the paper's prior work [8].
+//! key distribution — the headline claim of the paper's prior work
+//! (reference \[8\], the Mercury system).
 //!
 //! ```sh
 //! OSCAR_SCALE=10000 cargo run --release -p oscar-bench --bin repro_mercury_compare
@@ -9,6 +10,7 @@ use oscar_bench::figures::{mercury_compare_report, run_fig1_suite};
 use oscar_bench::Scale;
 
 fn main() -> std::io::Result<()> {
+    oscar_bench::reject_unused_knobs_or_exit(&[]);
     let scale = Scale::from_env_or_exit();
     let suite = run_fig1_suite(&scale).expect("fig1 suite");
     mercury_compare_report(&suite, &scale).emit("mercury_compare")?;

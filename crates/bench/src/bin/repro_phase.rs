@@ -22,6 +22,7 @@ use oscar_bench::figures::{phase_reports, run_phase_suite};
 use oscar_bench::Scale;
 
 fn main() -> std::io::Result<()> {
+    oscar_bench::reject_unused_knobs_or_exit(&["OSCAR_CHURN_WINDOWS"]);
     let scale = Scale::from_env_or_exit();
     let windows = Scale::churn_windows_from_env_or_exit();
 

@@ -44,6 +44,7 @@ fn queries_per_peer() -> usize {
 }
 
 fn main() -> std::io::Result<()> {
+    oscar_bench::reject_unused_knobs_or_exit(&["OSCAR_SAT_QUERIES"]);
     let scale = Scale::from_env_or_exit();
     let n = scale.target;
     // Saturation is meaningless single-threaded: floor at 2 workers even

@@ -1,0 +1,105 @@
+//! The scenario suite: adversarial and heterogeneous stress campaigns
+//! past the paper's steady-state figures — flash crowds, diurnal load,
+//! regional outages, targeted hub attacks, drifting query hotspots and
+//! partition/heal cycles (see `oscar_bench::scenario`).
+//!
+//! ```sh
+//! OSCAR_SCALE=2000 OSCAR_THREADS=4 cargo run --release -p oscar-bench --bin repro_scenarios
+//! ```
+//!
+//! Per scenario, the run writes `scenario_<name>.csv` (one row per
+//! measurement window) and a self-documenting markdown report
+//! `reports/<name>.md` into the results directory — both byte-identical
+//! at any `OSCAR_THREADS` and across reruns at the same
+//! `OSCAR_SCALE`/`OSCAR_SEED`. The suite summary lands in
+//! `BENCH_scenarios.json` (windows/sec throughput gated by
+//! `bench_check`, plus per-scenario delivery and verdicts). Exits
+//! non-zero if any scenario check fails: a red scenario is a regression
+//! in the overlay's resilience story, not a formatting problem.
+
+use oscar_bench::{run_all_scenarios, write_scenario_csv, write_scenario_report, Report, Scale};
+
+fn main() -> std::io::Result<()> {
+    oscar_bench::reject_unused_knobs_or_exit(&[]);
+    let scale = Scale::from_env_or_exit();
+    eprintln!(
+        "[scenarios] growing {}-peer substrates and running the scenario suite...",
+        scale.target
+    );
+    let t = std::time::Instant::now();
+    let outcomes = run_all_scenarios(&scale).expect("scenario suite");
+    let secs = t.elapsed().as_secs_f64();
+
+    let mut failed = 0usize;
+    let mut per_scenario = String::new();
+    for (i, out) in outcomes.iter().enumerate() {
+        let csv = write_scenario_csv(out)?;
+        let report = write_scenario_report(out)?;
+        let delivery_min = out
+            .rows
+            .iter()
+            .map(|r| r.stats.queries.success_rate)
+            .fold(f64::INFINITY, f64::min);
+        let delivery_final = out
+            .rows
+            .last()
+            .map(|r| r.stats.queries.success_rate)
+            .unwrap_or(0.0);
+        let verdict = if out.passed() { "pass" } else { "FAIL" };
+        if !out.passed() {
+            failed += 1;
+        }
+        println!(
+            "scenario {:<16} {:>2} windows  min delivery {:.4}  final {:.4}  {}  ({}, {})",
+            out.name,
+            out.rows.len(),
+            delivery_min,
+            delivery_final,
+            verdict,
+            csv.display(),
+            report.display()
+        );
+        let comma = if i + 1 < outcomes.len() { "," } else { "" };
+        per_scenario.push_str(&format!(
+            "    {{ \"scenario\": \"{}\", \"windows\": {}, \"min_delivery\": {:.4}, \
+             \"final_delivery\": {:.4}, \"checks_passed\": {}, \"checks_total\": {} }}{comma}\n",
+            out.name,
+            out.rows.len(),
+            delivery_min,
+            delivery_final,
+            out.checks.iter().filter(|c| c.passed).count(),
+            out.checks.len(),
+        ));
+    }
+
+    let total_windows: usize = outcomes.iter().map(|o| o.rows.len()).sum();
+    let windows_per_sec = total_windows as f64 / secs.max(1e-9);
+    let json = format!(
+        "{{\n  \"bench\": \"scenarios\",\n  \"n_peers\": {},\n  \"seed\": {},\n  \
+         \"scenarios\": {},\n  \"total_windows\": {total_windows},\n  \
+         \"suite_secs\": {secs:.2},\n  \"windows_per_sec\": {windows_per_sec:.2},\n  \
+         \"failed_scenarios\": {failed},\n  \"results\": [\n{per_scenario}  ]\n}}\n",
+        scale.target,
+        scale.seed,
+        outcomes.len(),
+    );
+    let dir = Report::results_dir();
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join("BENCH_scenarios.json");
+    std::fs::write(&path, &json)?;
+    println!("json: {}", path.display());
+    eprintln!(
+        "scenarios: {} suites, {total_windows} windows in {secs:.1}s \
+         ({windows_per_sec:.2} windows/s)",
+        outcomes.len()
+    );
+    if failed > 0 {
+        eprintln!(
+            "repro_scenarios: {failed} scenario(s) failed their checks — see the \
+             reports under {}/reports/",
+            dir.display()
+        );
+        std::process::exit(1);
+    }
+    Ok(())
+}

@@ -12,6 +12,7 @@ pub mod figures;
 pub mod parallel;
 pub mod report;
 pub mod scale;
+pub mod scenario;
 
 pub use experiments::{
     churn_schedule_for, grow_steady_churn_substrate, phase_churn_levels, phase_repair_policies,
@@ -22,7 +23,12 @@ pub use experiments::{
 };
 pub use parallel::{run_tasks, Task};
 pub use report::Report;
-pub use scale::{MachineKnobs, Scale};
+pub use scale::{reject_unused_knobs, reject_unused_knobs_or_exit, MachineKnobs, Scale};
+pub use scenario::{
+    machine_phases_for, render_scenario_report, run_all_scenarios, run_scenario, scenario_tag,
+    standard_scenarios, write_scenario_csv, write_scenario_report, Check, CheckOutcome, DegreeKind,
+    PhaseSpec, Scenario, ScenarioOutcome, ScenarioRow,
+};
 
 /// Serialises every test that touches process environment variables.
 ///

@@ -181,6 +181,59 @@ impl Scale {
     }
 }
 
+/// The knobs every repro binary accepts implicitly: the [`Scale`]
+/// family (parsed by every binary's `Scale::from_env`) plus the output
+/// and gating knobs that configure routing rather than the experiment.
+const BASE_KNOBS: [&str; 5] = [
+    "OSCAR_SCALE",
+    "OSCAR_SEED",
+    "OSCAR_THREADS",
+    "OSCAR_RESULTS_DIR",
+    "OSCAR_BENCH_TOLERANCE",
+];
+
+/// Rejects `OSCAR_*` environment variables the calling binary would
+/// silently ignore. `extra` lists the knobs the binary reads beyond
+/// the base set of `OSCAR_SCALE`/`OSCAR_SEED`/`OSCAR_THREADS`/
+/// `OSCAR_RESULTS_DIR`/`OSCAR_BENCH_TOLERANCE` (e.g.
+/// `OSCAR_CHURN_WINDOWS` for `repro_churn`).
+///
+/// An exported-but-unread knob used to be a silent no-op: setting
+/// `OSCAR_CHURN_WINDOWS` for `repro_fig1a`, or typo'ing
+/// `OSCAR_CHURN_WINDOW`, ran the default experiment and was then
+/// mistaken for the tuned one. Like the parse errors above, ignoring
+/// is worse than refusing — the full knob table lives in
+/// `ARCHITECTURE.md`.
+pub fn reject_unused_knobs(extra: &[&str]) -> oscar_types::Result<()> {
+    let mut unused: Vec<String> = std::env::vars()
+        .map(|(k, _)| k)
+        .filter(|k| {
+            k.starts_with("OSCAR_")
+                && !BASE_KNOBS.contains(&k.as_str())
+                && !extra.contains(&k.as_str())
+        })
+        .collect();
+    if unused.is_empty() {
+        return Ok(());
+    }
+    unused.sort();
+    Err(Error::InvalidConfig(format!(
+        "this binary does not read {}: unset it, or check ARCHITECTURE.md's \
+         OSCAR_* knob table for which binary does",
+        unused.join(", ")
+    )))
+}
+
+/// [`reject_unused_knobs`] for the repro binaries: prints the
+/// configuration error and exits non-zero before running the wrong
+/// experiment.
+pub fn reject_unused_knobs_or_exit(extra: &[&str]) {
+    if let Err(e) = reject_unused_knobs(extra) {
+        eprintln!("oscar-bench: {e}");
+        std::process::exit(2);
+    }
+}
+
 /// Protocol-machine tunables from the environment, for the binaries that
 /// drive [`oscar_protocol::PeerMachine`] fleets (`repro_faults`,
 /// `repro_saturation`, `repro_churn` in machine mode):
@@ -409,6 +462,27 @@ mod tests {
             let err = MachineKnobs::from_env().unwrap_err();
             assert!(err.to_string().contains(var), "{var}={bad}: {err}");
         }
+    }
+
+    #[test]
+    fn unused_knobs_error_loudly() {
+        let _lock = crate::env_guard::lock();
+        let _cleanup =
+            crate::env_guard::RemoveOnDrop(&["OSCAR_CHURN_WINDOWS", "OSCAR_CHURN_WINDOW"]);
+        std::env::remove_var("OSCAR_CHURN_WINDOWS");
+        std::env::remove_var("OSCAR_CHURN_WINDOW");
+        // Base knobs and declared extras pass.
+        reject_unused_knobs(&[]).unwrap();
+        std::env::set_var("OSCAR_CHURN_WINDOWS", "12");
+        reject_unused_knobs(&["OSCAR_CHURN_WINDOWS"]).unwrap();
+        // A knob the binary does not read is refused, not ignored.
+        let err = reject_unused_knobs(&[]).unwrap_err();
+        assert!(err.to_string().contains("OSCAR_CHURN_WINDOWS"), "{err}");
+        std::env::remove_var("OSCAR_CHURN_WINDOWS");
+        // So is a typo of one it does read.
+        std::env::set_var("OSCAR_CHURN_WINDOW", "12");
+        let err = reject_unused_knobs(&["OSCAR_CHURN_WINDOWS"]).unwrap_err();
+        assert!(err.to_string().contains("OSCAR_CHURN_WINDOW"), "{err}");
     }
 
     #[test]

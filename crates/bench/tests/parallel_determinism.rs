@@ -107,6 +107,32 @@ fn steady_churn_windows_identical_across_thread_counts() {
 }
 
 #[test]
+fn scenario_suite_artifacts_identical_across_thread_counts() {
+    // The repro_scenarios acceptance criterion: the whole scenario suite
+    // fans one scenario per worker, and both rendered artifacts — the
+    // per-window CSV body and the markdown report — must be
+    // byte-identical at any thread count. Scenario streams are keyed by
+    // name, not suite position, so scheduling cannot leak in.
+    let artifacts = |threads: usize| {
+        let scale = Scale::small(150, 13).with_threads(threads);
+        let outcomes = oscar_bench::run_all_scenarios(&scale).unwrap();
+        outcomes
+            .iter()
+            .map(|o| {
+                let rows: Vec<String> = o
+                    .rows
+                    .iter()
+                    .map(|r| format!("{}|{}|{:?}", r.window, r.phase_label, r.stats))
+                    .collect();
+                (o.name, rows, oscar_bench::render_scenario_report(o))
+            })
+            .collect::<Vec<_>>()
+    };
+    let sequential = artifacts(1);
+    assert_eq!(sequential, artifacts(4), "1 vs 4 threads");
+}
+
+#[test]
 fn churn_experiment_stats_identical_across_thread_counts() {
     // Below the CSV rendering too: the raw per-checkpoint stats must match
     // field for field (CSV rounding can never be doing the equalising).

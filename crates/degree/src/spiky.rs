@@ -1,7 +1,7 @@
 //! The "realistic" synthetic spiky degree distribution (Figure 1(a)).
 //!
 //! Measurement studies of unstructured overlays (Stutzbach et al., IMC'05 —
-//! the paper's reference [12]) show node-degree distributions that are
+//! the paper's reference \[12\]) show node-degree distributions that are
 //! *not* smooth power laws: they carry sharp probability spikes at the
 //! default neighbour-count settings of popular client builds, sitting on a
 //! heavy-tailed bulk from user customisation and capacity differences.

@@ -41,6 +41,21 @@ pub enum QueryWorkload {
         /// Zipf exponent of the access skew.
         exponent: f64,
     },
+    /// A *drifting* hot region: with probability `hot_fraction` the query
+    /// targets a live rank near `center` (a ring position expressed as a
+    /// fraction in `[0, 1)`), with the offset concentrated toward the
+    /// centre; otherwise it falls back to a uniform live-peer target.
+    /// Scenario drivers advance `center` between measurement windows to
+    /// model a flash-crowd topic moving through the key space.
+    Hotspot {
+        /// Ring position of the hot spot's centre, as a fraction of the
+        /// live ring (values outside `[0, 1)` wrap).
+        center: f64,
+        /// Half-width of the hot region, as a fraction of the live ring.
+        width: f64,
+        /// Probability that a query is hot (the rest are uniform).
+        hot_fraction: f64,
+    },
 }
 
 impl QueryWorkload {
@@ -73,6 +88,29 @@ impl QueryWorkload {
                 let scattered = scatter_rank(rank, n_live);
                 QueryTarget::PeerRank(scattered)
             }
+            QueryWorkload::Hotspot {
+                center,
+                width,
+                hot_fraction,
+            } => {
+                let u: f64 = rng.gen();
+                if u < *hot_fraction {
+                    let span = ((n_live as f64 * width).ceil() as usize).clamp(1, n_live);
+                    // Squared-uniform offset: mass concentrates toward the
+                    // centre (a cheap Zipf-like falloff over the window).
+                    let v: f64 = rng.gen();
+                    let dist = ((v * v) * span as f64) as usize % span;
+                    let c = (center.rem_euclid(1.0) * n_live as f64) as usize % n_live;
+                    let r = if rng.gen::<bool>() {
+                        (c + dist) % n_live
+                    } else {
+                        (c + n_live - (dist % n_live)) % n_live
+                    };
+                    QueryTarget::PeerRank(r)
+                } else {
+                    QueryTarget::PeerRank(rng.gen_range(0..n_live))
+                }
+            }
         }
     }
 
@@ -82,6 +120,11 @@ impl QueryWorkload {
             QueryWorkload::UniformPeers => "uniform-peers".into(),
             QueryWorkload::UniformKeys => "uniform-keys".into(),
             QueryWorkload::ZipfPeers { exponent } => format!("zipf-peers(s={exponent})"),
+            QueryWorkload::Hotspot {
+                center,
+                width,
+                hot_fraction,
+            } => format!("hotspot(c={center:.3},w={width},f={hot_fraction})"),
         }
     }
 }
@@ -192,6 +235,89 @@ mod tests {
         assert_eq!(
             QueryWorkload::ZipfPeers { exponent: 0.8 }.name(),
             "zipf-peers(s=0.8)"
+        );
+        assert_eq!(
+            QueryWorkload::Hotspot {
+                center: 0.25,
+                width: 0.05,
+                hot_fraction: 0.8,
+            }
+            .name(),
+            "hotspot(c=0.250,w=0.05,f=0.8)"
+        );
+    }
+
+    #[test]
+    fn hotspot_concentrates_near_center() {
+        let n = 1000;
+        let w = QueryWorkload::Hotspot {
+            center: 0.5,
+            width: 0.05,
+            hot_fraction: 0.9,
+        };
+        let mut rng = SeedTree::new(8).rng();
+        let mut in_window = 0usize;
+        let draws = 20_000;
+        for _ in 0..draws {
+            match w.draw(n, &mut rng) {
+                QueryTarget::PeerRank(r) => {
+                    assert!(r < n);
+                    // The hot window is centre ± width·n = 500 ± 50.
+                    if (450..=550).contains(&r) {
+                        in_window += 1;
+                    }
+                }
+                _ => panic!("expected a peer rank"),
+            }
+        }
+        // ~90% of draws are hot and land inside the window; uniform draws
+        // contribute ~10% of the remaining mass spread over the ring.
+        assert!(
+            in_window > draws / 2,
+            "only {in_window}/{draws} draws hit the hot window"
+        );
+    }
+
+    #[test]
+    fn hotspot_center_wraps_and_drifts() {
+        let n = 100;
+        let mut rng = SeedTree::new(9).rng();
+        // Centres outside [0, 1) wrap instead of panicking.
+        for center in [-0.25, 1.75, 0.999] {
+            let w = QueryWorkload::Hotspot {
+                center,
+                width: 0.1,
+                hot_fraction: 1.0,
+            };
+            for _ in 0..200 {
+                match w.draw(n, &mut rng) {
+                    QueryTarget::PeerRank(r) => assert!(r < n),
+                    _ => panic!("expected a peer rank"),
+                }
+            }
+        }
+        // Drifting the centre moves the hot mass: disjoint centres give
+        // (mostly) disjoint hot ranks.
+        let hits = |center: f64, rng: &mut rand::rngs::SmallRng| {
+            let w = QueryWorkload::Hotspot {
+                center,
+                width: 0.02,
+                hot_fraction: 1.0,
+            };
+            let mut counts = vec![0usize; n];
+            for _ in 0..2000 {
+                if let QueryTarget::PeerRank(r) = w.draw(n, rng) {
+                    counts[r] += 1;
+                }
+            }
+            counts
+        };
+        let a = hits(0.1, &mut rng);
+        let b = hits(0.6, &mut rng);
+        let overlap: usize = (0..n).map(|i| a[i].min(b[i])).sum();
+        assert!(
+            overlap < 200,
+            "drifted hotspots overlap too much: {overlap}"
         );
     }
 }

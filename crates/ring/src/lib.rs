@@ -12,7 +12,7 @@
 //!   sampling-based estimation is validated),
 //! * a stabilisation helper that re-stitches the ring after crashes.
 //!
-//! The representation is an **order-statistic treap** ([`treap`]): a BST
+//! The representation is an **order-statistic treap** (the private `treap` module): a BST
 //! keyed by id, heap-ordered on hash-derived priorities, with subtree
 //! counts. Every operation — insert, remove, rank, select, and the arc
 //! queries via rank arithmetic — runs in O(log n) expected, which keeps

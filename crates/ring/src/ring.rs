@@ -5,7 +5,7 @@ use oscar_types::{Arc, Id};
 
 /// An ordered set of peer identifiers on the ring.
 ///
-/// Backed by an order-statistic treap ([`crate::treap`]): insert, remove,
+/// Backed by an order-statistic treap (`crate::treap`): insert, remove,
 /// membership, rank/select, neighbour and owner lookups are all O(log n)
 /// expected, and the arc queries reduce to rank arithmetic on subtree
 /// counts. This is what lets `Network` growth scale far past the paper's

@@ -53,7 +53,7 @@ pub enum RepairPolicy {
     /// On each crash or graceful departure, schedule a rewire of the
     /// `neighbors_k` nearest live ring successors *and* predecessors of
     /// the dead peer (the peers whose ring neighbourhood the event
-    /// changed), as repair events [`REPAIR_DELAY`] ticks later. Repair
+    /// changed), as repair events `REPAIR_DELAY` ticks later. Repair
     /// work is O(k) per membership event instead of O(n) per sweep.
     Reactive {
         /// Live ring successors/predecessors rewired per membership
@@ -335,6 +335,34 @@ pub fn run_continuous_churn<B: OverlayBuilder + ?Sized>(
     windows: usize,
     seed: SeedTree,
 ) -> Result<Vec<ChurnWindowStats>> {
+    run_continuous_churn_with(
+        net,
+        builder,
+        keys,
+        degrees,
+        schedule,
+        &QueryWorkload::UniformPeers,
+        windows,
+        seed,
+    )
+}
+
+/// [`run_continuous_churn`] with an explicit measurement workload: each
+/// window's query batch draws targets from `workload` instead of the
+/// default uniform-live-peers mix. The scenario engine uses this to run
+/// drifting-hotspot query storms; with `QueryWorkload::UniformPeers` the
+/// two entry points are byte-identical.
+#[allow(clippy::too_many_arguments)]
+pub fn run_continuous_churn_with<B: OverlayBuilder + ?Sized>(
+    net: &mut Network,
+    builder: &B,
+    keys: &dyn KeyDistribution,
+    degrees: &dyn DegreeDistribution,
+    schedule: &ChurnSchedule,
+    workload: &QueryWorkload,
+    windows: usize,
+    seed: SeedTree,
+) -> Result<Vec<ChurnWindowStats>> {
     schedule.validate()?;
     if net.live_count() < 2 {
         return Err(Error::InvalidConfig(format!(
@@ -505,7 +533,7 @@ pub fn run_continuous_churn<B: OverlayBuilder + ?Sized>(
                     let mut probers = Vec::new();
                     let stats = run_query_batch_observed(
                         net,
-                        &QueryWorkload::UniformPeers,
+                        workload,
                         batch,
                         &RoutePolicy::default(),
                         &mut qrng,
@@ -516,13 +544,7 @@ pub fn run_continuous_churn<B: OverlayBuilder + ?Sized>(
                     }
                     stats
                 } else {
-                    run_query_batch(
-                        net,
-                        &QueryWorkload::UniformPeers,
-                        batch,
-                        &RoutePolicy::default(),
-                        &mut qrng,
-                    )
+                    run_query_batch(net, workload, batch, &RoutePolicy::default(), &mut qrng)
                 };
                 results.push(w.clone());
                 window_start = now;

@@ -14,7 +14,8 @@
 //! own detection and repair. Policy mapping
 //! ([`machine_repair_policy`]):
 //!
-//! * `SweepEvery(t)` → machines run [`RepairPolicy::Off`]; the engine
+//! * `SweepEvery(t)` → machines run `oscar_protocol::RepairPolicy::Off`; the
+//!   engine
 //!   injects [`Command::Rewire`] to every live peer every `t` ticks
 //!   (the checkpoint protocol: O(n) per sweep, no detection needed).
 //! * `Reactive { k }` → machines run `ReactiveK { k }`; the engine
@@ -35,6 +36,15 @@
 //! settle, so their traffic lands in the query books rather than
 //! `repair_cost` — the sweep-vs-reactive comparison is unaffected.
 //!
+//! Multi-phase runs ([`run_machine_phases`]): a scenario is a sequence
+//! of [`MachinePhase`]s — churn/measurement spans, mass-join bursts and
+//! contiguous arc kills — over one bootstrapped fleet. Each phase
+//! derives its randomness from a `LBL_SPAN`-keyed child of the run
+//! seed, and each churn span restarts its virtual clock at zero (the
+//! scenario layer re-indexes windows globally). [`run_machine_churn`]
+//! is the single-span special case and derives exactly the same streams
+//! it always has, so committed machine baselines are unaffected.
+//!
 //! Determinism: every draw comes from a labelled child of the run seed
 //! (scope `sim_churn_machine`), walks and queries carry token RNGs, and
 //! query reports are aggregated in qid order — so a DES run and a
@@ -47,9 +57,10 @@ use oscar_keydist::{KeyDistribution, QueryTarget, QueryWorkload};
 use oscar_protocol::{Command, ProtocolDriver, ProtocolEvent, QueryReport};
 use oscar_types::labels::sim_churn_machine::{
     LBL_BOOT, LBL_CRASH_GAPS, LBL_CRASH_PICK, LBL_DEPART_GAPS, LBL_DEPART_PICK, LBL_JOIN,
-    LBL_JOIN_GAPS, LBL_MEASURE,
+    LBL_JOIN_GAPS, LBL_MEASURE, LBL_SPAN,
 };
 use oscar_types::{Error, Id, P2Quantile, Result, SeedTree};
+use rand::rngs::SmallRng;
 use rand::Rng;
 
 /// Timer-round budget for one settle: far above any single membership
@@ -124,6 +135,39 @@ enum MachineEvent {
     WindowEnd,
 }
 
+/// One step of a multi-phase machine scenario run.
+#[derive(Clone, Debug)]
+pub enum MachinePhase {
+    /// A span of Poisson churn measured per window. Zero rates make it a
+    /// pure measurement span; `workload` picks what the window batches
+    /// target (`UniformPeers` reproduces the classic runs).
+    Churn {
+        /// Rates, repair policy and window geometry of the span.
+        schedule: ChurnSchedule,
+        /// Measurement workload of the span's window batches.
+        workload: QueryWorkload,
+        /// Measurement windows in the span.
+        windows: usize,
+    },
+    /// A flash crowd: exactly `count` serial joins through random live
+    /// contacts, links built immediately (no measurement of its own —
+    /// follow with a zero-rate `Churn` span to observe the aftermath).
+    MassJoin {
+        /// Joins injected by the burst.
+        count: usize,
+    },
+    /// A regional outage: crashes the contiguous arc of
+    /// `fraction · live` peers starting at ring position `start` (a
+    /// fraction of the sorted-identifier ring; values wrap). Survivors
+    /// must *discover* the hole — probes and queries in later phases do.
+    KillArc {
+        /// Ring position of the arc's first victim, as a fraction.
+        start: f64,
+        /// Fraction of the live fleet killed, in `(0, 1)`.
+        fraction: f64,
+    },
+}
+
 /// Runs `windows` measurement windows of continuous churn against the
 /// machines hosted by `driver`, which must be empty (the engine
 /// bootstraps its own fleet so both drivers start from the same state).
@@ -143,13 +187,110 @@ pub fn run_machine_churn<D: ProtocolDriver>(
 ) -> Result<Vec<ChurnWindowStats>> {
     schedule.validate()?;
     cfg.validate()?;
+    bootstrap_fleet(driver, keys, cfg, &seed)?;
+    let mut carry_repairs = 0u64;
+    churn_span(
+        driver,
+        keys,
+        cfg,
+        schedule,
+        &QueryWorkload::UniformPeers,
+        windows,
+        &seed,
+        &mut carry_repairs,
+    )
+}
+
+/// Runs a sequence of [`MachinePhase`]s over one bootstrapped fleet —
+/// the machine backend of the scenario engine. Returns one
+/// `Vec<ChurnWindowStats>` per phase, empty for phases that measure
+/// nothing themselves (`MassJoin`, `KillArc`).
+///
+/// Phase `p` derives all randomness from `seed.child2(LBL_SPAN, p)`;
+/// repairs fired by a phase's trailing measurement batch carry into the
+/// next churn span's first window, mirroring the single-span engine's
+/// next-window booking. Works on any [`ProtocolDriver`] and is
+/// bit-deterministic per `(phases, seed)` on all of them.
+pub fn run_machine_phases<D: ProtocolDriver>(
+    driver: &mut D,
+    keys: &dyn KeyDistribution,
+    cfg: &MachineChurnConfig,
+    phases: &[MachinePhase],
+    seed: SeedTree,
+) -> Result<Vec<Vec<ChurnWindowStats>>> {
+    cfg.validate()?;
+    bootstrap_fleet(driver, keys, cfg, &seed)?;
+    let mut results = Vec::with_capacity(phases.len());
+    let mut carry_repairs = 0u64;
+    for (p, phase) in phases.iter().enumerate() {
+        let span_seed = seed.child2(LBL_SPAN, p as u64);
+        match phase {
+            MachinePhase::Churn {
+                schedule,
+                workload,
+                windows,
+            } => {
+                schedule.validate()?;
+                results.push(churn_span(
+                    driver,
+                    keys,
+                    cfg,
+                    schedule,
+                    workload,
+                    *windows,
+                    &span_seed,
+                    &mut carry_repairs,
+                )?);
+            }
+            MachinePhase::MassJoin { count } => {
+                for i in 0..*count {
+                    let mut jrng = span_seed.child2(LBL_JOIN, i as u64).rng();
+                    machine_join(driver, keys, cfg, &mut jrng)?;
+                    carry_repairs += absorb_repairs(driver);
+                }
+                results.push(Vec::new());
+            }
+            MachinePhase::KillArc { start, fraction } => {
+                let live = driver.peer_ids();
+                let n = live.len();
+                if n < 3 {
+                    return Err(Error::InvalidConfig(format!(
+                        "KillArc needs >= 3 live peers, got {n}"
+                    )));
+                }
+                if !fraction.is_finite() || *fraction <= 0.0 || *fraction >= 1.0 {
+                    return Err(Error::InvalidConfig(format!(
+                        "KillArc fraction must be in (0, 1), got {fraction}"
+                    )));
+                }
+                let count = ((n as f64 * fraction).ceil() as usize).clamp(1, n - 2);
+                let first = (start.rem_euclid(1.0) * n as f64) as usize % n;
+                for i in 0..count {
+                    // Abrupt, like the Crash event: no farewell, mail to
+                    // the corpses bounces until survivors rewire.
+                    driver.remove_peer(live[(first + i) % n]);
+                }
+                results.push(Vec::new());
+            }
+        }
+    }
+    Ok(results)
+}
+
+/// Bootstraps the fleet: serial joins through the first peer, then one
+/// serialized link build per peer. The driver must start empty so both
+/// drivers (and every run) grow identical overlays from the seed.
+fn bootstrap_fleet<D: ProtocolDriver>(
+    driver: &mut D,
+    keys: &dyn KeyDistribution,
+    cfg: &MachineChurnConfig,
+    seed: &SeedTree,
+) -> Result<()> {
     if !driver.peer_ids().is_empty() {
         return Err(Error::InvalidConfig(
             "machine churn bootstraps its own fleet: the driver must start empty".into(),
         ));
     }
-
-    // --- bootstrap: serial joins through the first peer -----------------
     let mut boot = seed.child(LBL_BOOT).rng();
     let mut ids: Vec<Id> = Vec::with_capacity(cfg.initial_peers);
     while ids.len() < cfg.initial_peers {
@@ -190,7 +331,59 @@ pub fn run_machine_churn<D: ProtocolDriver>(
         driver.settle(SETTLE_ROUNDS);
     }
     driver.drain_events(); // bootstrap milestones are not window data
+    Ok(())
+}
 
+/// Admits one joiner: samples a fresh identifier (resampling collisions,
+/// like the legacy engine), joins through a uniformly random live
+/// contact and builds links once the splice settled.
+fn machine_join<D: ProtocolDriver>(
+    driver: &mut D,
+    keys: &dyn KeyDistribution,
+    cfg: &MachineChurnConfig,
+    jrng: &mut SmallRng,
+) -> Result<()> {
+    let live = driver.peer_ids();
+    for _ in 0..1000 {
+        let id = keys.sample(jrng);
+        if live.binary_search(&id).is_err() {
+            let contact = live[jrng.gen_range(0..live.len())];
+            driver.spawn_peer(id);
+            driver.inject(id, Command::Join { contact });
+            driver.settle(SETTLE_ROUNDS);
+            // Links only after the splice: a walk needs the joiner's
+            // ring links to leave from.
+            driver.inject(
+                id,
+                Command::BuildLinks {
+                    walks: cfg.build_walks,
+                },
+            );
+            driver.settle(SETTLE_ROUNDS);
+            return Ok(());
+        }
+    }
+    Err(Error::InvalidConfig(
+        "key distribution too degenerate: 1000 consecutive id collisions".into(),
+    ))
+}
+
+/// One churn span: `windows` measurement windows of Poisson churn, all
+/// randomness derived from `span_seed`, virtual clock starting at zero.
+/// `carry_repairs` feeds repairs booked past the previous span's books
+/// into this span's first window and returns this span's own trailing
+/// batch repairs the same way.
+#[allow(clippy::too_many_arguments)]
+fn churn_span<D: ProtocolDriver>(
+    driver: &mut D,
+    keys: &dyn KeyDistribution,
+    cfg: &MachineChurnConfig,
+    schedule: &ChurnSchedule,
+    workload: &QueryWorkload,
+    windows: usize,
+    span_seed: &SeedTree,
+    carry_repairs: &mut u64,
+) -> Result<Vec<ChurnWindowStats>> {
     let mut results = Vec::with_capacity(windows);
     if windows == 0 {
         return Ok(results);
@@ -199,11 +392,11 @@ pub fn run_machine_churn<D: ProtocolDriver>(
     // --- schedule: same pre-scheduled window timers as the legacy engine
     // (a WindowEnd on a boundary tick always outranks same-tick churn).
     let mut queue: EventQueue<MachineEvent> = EventQueue::new();
-    let mut join_gaps = seed.child(LBL_JOIN_GAPS).rng();
-    let mut crash_gaps = seed.child(LBL_CRASH_GAPS).rng();
-    let mut depart_gaps = seed.child(LBL_DEPART_GAPS).rng();
-    let mut crash_pick = seed.child(LBL_CRASH_PICK).rng();
-    let mut depart_pick = seed.child(LBL_DEPART_PICK).rng();
+    let mut join_gaps = span_seed.child(LBL_JOIN_GAPS).rng();
+    let mut crash_gaps = span_seed.child(LBL_CRASH_GAPS).rng();
+    let mut depart_gaps = span_seed.child(LBL_DEPART_GAPS).rng();
+    let mut crash_pick = span_seed.child(LBL_CRASH_PICK).rng();
+    let mut depart_pick = span_seed.child(LBL_DEPART_PICK).rng();
     for k in 1..=windows as u64 {
         queue.schedule(
             VirtualTime(k * schedule.window_ticks),
@@ -242,6 +435,8 @@ pub fn run_machine_churn<D: ProtocolDriver>(
     let mut joins_total = 0u64;
     let mut window_start = VirtualTime(0);
     let mut w = ChurnWindowStats::fresh(0, window_start);
+    w.repairs += *carry_repairs;
+    *carry_repairs = 0;
 
     while results.len() < windows {
         let (now, event) = queue
@@ -249,37 +444,10 @@ pub fn run_machine_churn<D: ProtocolDriver>(
             .expect("an engine process or the window timer is always scheduled");
         match event {
             MachineEvent::Join => {
-                let join_seed = seed.child2(LBL_JOIN, joins_total);
+                let join_seed = span_seed.child2(LBL_JOIN, joins_total);
                 joins_total += 1;
                 let mut jrng = join_seed.rng();
-                let live = driver.peer_ids();
-                // Resample identifier collisions, like the legacy engine.
-                let mut admitted = false;
-                for _ in 0..1000 {
-                    let id = keys.sample(&mut jrng);
-                    if live.binary_search(&id).is_err() {
-                        let contact = live[jrng.gen_range(0..live.len())];
-                        driver.spawn_peer(id);
-                        driver.inject(id, Command::Join { contact });
-                        driver.settle(SETTLE_ROUNDS);
-                        // Links only after the splice: a walk needs the
-                        // joiner's ring links to leave from.
-                        driver.inject(
-                            id,
-                            Command::BuildLinks {
-                                walks: cfg.build_walks,
-                            },
-                        );
-                        driver.settle(SETTLE_ROUNDS);
-                        admitted = true;
-                        break;
-                    }
-                }
-                if !admitted {
-                    return Err(Error::InvalidConfig(
-                        "key distribution too degenerate: 1000 consecutive id collisions".into(),
-                    ));
-                }
+                machine_join(driver, keys, cfg, &mut jrng)?;
                 w.joins += 1;
                 w.repairs += absorb_repairs(driver);
                 queue.schedule_in(
@@ -354,7 +522,7 @@ pub fn run_machine_churn<D: ProtocolDriver>(
             }
             MachineEvent::WindowEnd => {
                 let widx = results.len();
-                let mut qrng = seed.child2(LBL_MEASURE, widx as u64).rng();
+                let mut qrng = span_seed.child2(LBL_MEASURE, widx as u64).rng();
                 w.window = widx;
                 w.start = window_start;
                 w.end = now;
@@ -371,7 +539,7 @@ pub fn run_machine_churn<D: ProtocolDriver>(
                         break;
                     }
                     let src = live[qrng.gen_range(0..live.len())];
-                    let key = match QueryWorkload::UniformPeers.draw(live.len(), &mut qrng) {
+                    let key = match workload.draw(live.len(), &mut qrng) {
                         QueryTarget::PeerRank(r) => live[r],
                         QueryTarget::Key(k) => k,
                     };
@@ -397,6 +565,10 @@ pub fn run_machine_churn<D: ProtocolDriver>(
             }
         }
     }
+    // Whatever the last measurement batch triggered was booked to the
+    // window that will never close in this span; hand it to the caller so
+    // a following span can own it instead of silently dropping it.
+    *carry_repairs = w.repairs;
     Ok(results)
 }
 
@@ -476,6 +648,7 @@ fn aggregate_reports(reports: &[QueryReport], issued: usize) -> QueryBatchStats 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::churn_engine::QueryBudget;
     use crate::protocol_des::DesDriver;
     use oscar_keydist::UniformKeys;
     use oscar_protocol::{FaultPlan, PeerConfig};
@@ -587,6 +760,113 @@ mod tests {
         assert!(
             rc < sc,
             "reactive maintenance ({rc} msgs) must undercut sweeps ({sc} msgs)"
+        );
+    }
+
+    fn measure_phase(windows: usize) -> MachinePhase {
+        MachinePhase::Churn {
+            schedule: ChurnSchedule {
+                join_rate: 0.0,
+                crash_rate: 0.0,
+                depart_rate: 0.0,
+                repair: RepairPolicy::Reactive { neighbors_k: 2 },
+                window_ticks: 400,
+                query_budget: QueryBudget::Fixed(40),
+                min_live: 8,
+            },
+            workload: QueryWorkload::UniformPeers,
+            windows,
+        }
+    }
+
+    fn phase_cfg() -> MachineChurnConfig {
+        MachineChurnConfig {
+            initial_peers: 32,
+            build_walks: 3,
+            probe_every: 100,
+        }
+    }
+
+    fn run_phases(phases: &[MachinePhase], seed: u64) -> Vec<Vec<ChurnWindowStats>> {
+        let schedule = small_schedule(RepairPolicy::Reactive { neighbors_k: 2 });
+        let mut des = des_for(&schedule, seed);
+        run_machine_phases(
+            &mut des,
+            &UniformKeys,
+            &phase_cfg(),
+            phases,
+            SeedTree::new(seed),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn phases_mass_join_grows_the_fleet() {
+        let phases = vec![
+            measure_phase(1),
+            MachinePhase::MassJoin { count: 16 },
+            measure_phase(1),
+        ];
+        let out = run_phases(&phases, 41);
+        assert_eq!(out.len(), 3);
+        assert_eq!(out[0].len(), 1);
+        assert!(out[1].is_empty(), "a burst phase has no windows");
+        assert_eq!(out[2][0].live_at_end, out[0][0].live_at_end + 16);
+        assert!(
+            out[2][0].queries.success_rate > 0.9,
+            "a 50% flash crowd must not break delivery, got {}",
+            out[2][0].queries.success_rate
+        );
+    }
+
+    #[test]
+    fn phases_kill_arc_damages_then_probes_recover() {
+        let phases = vec![
+            measure_phase(1),
+            MachinePhase::KillArc {
+                start: 0.25,
+                fraction: 0.2,
+            },
+            // Two zero-rate spans: probes run between windows, so the
+            // second span measures the healed overlay.
+            measure_phase(4),
+        ];
+        let out = run_phases(&phases, 43);
+        let pre = out[0][0].queries.success_rate;
+        let post = out[2].last().unwrap().queries.success_rate;
+        assert_eq!(out[2][0].live_at_end, 32 - 7); // ceil(32 * 0.2) = 7
+        let repairs: u64 = out[2].iter().map(|w| w.repairs).sum();
+        assert!(repairs > 0, "probe rounds must discover the arc kill");
+        assert!(
+            post >= pre - 0.05,
+            "reactive probes must heal the outage: pre {pre}, post {post}"
+        );
+    }
+
+    #[test]
+    fn phases_are_deterministic_and_reject_bad_specs() {
+        let phases = vec![
+            measure_phase(1),
+            MachinePhase::MassJoin { count: 8 },
+            MachinePhase::KillArc {
+                start: 0.9,
+                fraction: 0.1,
+            },
+            measure_phase(2),
+        ];
+        let a = run_phases(&phases, 47);
+        let b = run_phases(&phases, 47);
+        assert_eq!(a, b, "multi-phase machine runs must be bit-deterministic");
+
+        let schedule = small_schedule(RepairPolicy::Reactive { neighbors_k: 2 });
+        let mut des = des_for(&schedule, 1);
+        let bad = vec![MachinePhase::KillArc {
+            start: 0.0,
+            fraction: 1.5,
+        }];
+        assert!(
+            run_machine_phases(&mut des, &UniformKeys, &phase_cfg(), &bad, SeedTree::new(1))
+                .is_err()
         );
     }
 }

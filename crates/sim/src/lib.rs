@@ -26,7 +26,12 @@
 //! * [`churn_machine`] — the same churn schedules driven through
 //!   [`oscar_protocol::PeerMachine`] fleets on any `ProtocolDriver`
 //!   (the DES or the threaded runtime), where failure detection and
-//!   repair are real protocol messages.
+//!   repair are real protocol messages; multi-phase scenario runs via
+//!   [`run_machine_phases`].
+//! * [`scenario_hooks`] — shock primitives for the scenario engine:
+//!   contiguous ring-arc kills, targeted top-degree kills, mass-join
+//!   bursts, partition (cross-arc link severing) and reactive healing,
+//!   all against the oracle-backed `Network`.
 //! * [`metrics`] — message accounting by category.
 //!
 //! Each `Network` is single-threaded and allocation-conscious: a full
@@ -48,13 +53,17 @@ pub mod overlay;
 pub mod peer;
 pub mod protocol_des;
 pub mod routing;
+pub mod scenario_hooks;
 pub mod walker;
 
 pub use churn::{kill_fraction, FaultModel};
 pub use churn_engine::{
-    run_continuous_churn, ChurnSchedule, ChurnWindowStats, QueryBudget, RepairPolicy,
+    run_continuous_churn, run_continuous_churn_with, ChurnSchedule, ChurnWindowStats, QueryBudget,
+    RepairPolicy,
 };
-pub use churn_machine::{machine_repair_policy, run_machine_churn, MachineChurnConfig};
+pub use churn_machine::{
+    machine_repair_policy, run_machine_churn, run_machine_phases, MachineChurnConfig, MachinePhase,
+};
 pub use events::{Event, EventQueue, VirtualTime};
 pub use growth::{rewire_all_peers, Checkpoint, GrowthConfig, GrowthDriver, OverlayBuilder};
 pub use metrics::{Metrics, MsgKind};
@@ -65,5 +74,9 @@ pub use protocol_des::{DesDriver, Envelope};
 pub use routing::{
     route_to_owner, run_query_batch, run_query_batch_observed, QueryBatchStats, RouteOutcome,
     RoutePolicy,
+};
+pub use scenario_hooks::{
+    burst_joins, kill_ring_arc, kill_top_degree, reactive_heal, sever_arc_links, PartitionDamage,
+    ShockDamage,
 };
 pub use walker::{sample_peers, WalkConfig, Walker};

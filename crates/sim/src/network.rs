@@ -427,6 +427,26 @@ impl Network {
         Ok(())
     }
 
+    /// Tears down the single directed long-range link `from -> to`,
+    /// releasing the in-degree budget at `to`. Returns whether the link
+    /// existed. Used by the scenario partition hook to sever exactly the
+    /// links that cross a cut, leaving the rest of both peers' link
+    /// tables intact.
+    pub fn unlink(&mut self, from: PeerIdx, to: PeerIdx) -> bool {
+        let fp = &mut self.peers[from.as_usize()];
+        let Some(pos) = fp.long_out.iter().position(|&t| t == to) else {
+            return false;
+        };
+        fp.long_out.swap_remove(pos);
+        let tp = &mut self.peers[to.as_usize()];
+        if let Some(pos) = tp.long_in.iter().position(|&s| s == from) {
+            tp.long_in.swap_remove(pos);
+        }
+        self.touch_walk(from);
+        self.touch_walk(to);
+        true
+    }
+
     /// Tears down all outgoing long-range links of `from` (rewiring step),
     /// releasing the corresponding in-degree budget at the targets.
     pub fn unlink_long_out(&mut self, from: PeerIdx) {

@@ -63,7 +63,7 @@ impl DesDriver {
     }
 
     /// An empty world whose every send is subjected to `plan` at the
-    /// driver's single routing point ([`DesDriver::enqueue_all`]).
+    /// driver's single routing point (`DesDriver::enqueue_all`).
     pub fn new_with_faults(seed: u64, peer_cfg: PeerConfig, plan: FaultPlan) -> Self {
         DesDriver {
             peers: BTreeMap::new(),

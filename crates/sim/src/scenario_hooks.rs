@@ -1,0 +1,501 @@
+//! Shock hooks for the scenario engine: one-shot structural events that
+//! the continuous-churn engine's Poisson processes cannot express —
+//! contiguous ring-arc outages, targeted highest-degree kills, mass-join
+//! bursts and partition cuts — plus the reactive heal pass that repairs
+//! their damage.
+//!
+//! Each hook is a deterministic function of the network state (and, where
+//! it draws anything, a labelled [`SeedTree`] child in scope
+//! `sim_scenario_hooks`), so a scenario run stays a pure function of its
+//! seed. Hooks mutate the oracle [`Network`] directly — they are the
+//! legacy-backend analogue of what `run_machine_phases` does to a
+//! machine fleet with real messages.
+//!
+//! The kill hooks compute their **repair set** (the live ring neighbours
+//! whose neighbourhood the kill changes, exactly the set the engine's
+//! `Reactive` policy would probe) *before* removing anyone, because a
+//! dead peer's live-ring pointers are stale. [`reactive_heal`] then
+//! rewires that set plus every live peer left holding a dangling
+//! long-range link — repair work proportional to the damage, O(k) per
+//! victim plus O(dangling), never a whole-network sweep.
+
+use crate::growth::OverlayBuilder;
+use crate::network::Network;
+use crate::peer::PeerIdx;
+use oscar_degree::DegreeDistribution;
+use oscar_keydist::KeyDistribution;
+use oscar_types::labels::sim_scenario_hooks::{LBL_BURST, LBL_HEAL};
+use oscar_types::{Error, Result, SeedTree};
+
+/// What a kill hook destroyed, and who is left to repair it.
+#[derive(Clone, Debug)]
+pub struct ShockDamage {
+    /// The peers that were killed, in kill order.
+    pub victims: Vec<PeerIdx>,
+    /// Live ring neighbours of the victims (computed pre-kill, the
+    /// reactive repair set); peers that died in the same shock are
+    /// filtered out. May contain peers killed by a *later* hook — the
+    /// heal pass re-checks liveness.
+    pub repair_set: Vec<PeerIdx>,
+}
+
+/// What a partition hook severed.
+#[derive(Clone, Debug)]
+pub struct PartitionDamage {
+    /// Directed long-range links removed by the cut.
+    pub severed: usize,
+    /// Sources whose out-links were cut (sorted, deduplicated) — the
+    /// repair set of the heal phase.
+    pub repair_set: Vec<PeerIdx>,
+}
+
+/// Resolves an arc spec into `(first_rank, count)` over `n` live peers,
+/// keeping at least 2 peers out of the arc.
+fn resolve_arc(n: usize, start: f64, fraction: f64) -> Result<(usize, usize)> {
+    if n < 3 {
+        return Err(Error::InvalidConfig(format!(
+            "arc hooks need >= 3 live peers, got {n}"
+        )));
+    }
+    if !fraction.is_finite() || fraction <= 0.0 || fraction >= 1.0 {
+        return Err(Error::InvalidConfig(format!(
+            "arc fraction must be in (0, 1), got {fraction}"
+        )));
+    }
+    let count = ((n as f64 * fraction).ceil() as usize).clamp(1, n - 2);
+    let first = (start.rem_euclid(1.0) * n as f64) as usize % n;
+    Ok((first, count))
+}
+
+/// Kills the contiguous live-ring arc of `fraction · live_count` peers
+/// starting at ring position `start` (a fraction of the ring; values
+/// outside `[0, 1)` wrap) — a regional outage: one data centre, one AS,
+/// one geography going dark at once. The repair set is the `neighbors_k`
+/// nearest surviving ring neighbours on each side of the hole.
+pub fn kill_ring_arc(
+    net: &mut Network,
+    start: f64,
+    fraction: f64,
+    neighbors_k: usize,
+) -> Result<ShockDamage> {
+    let n = net.live_count();
+    let (first, count) = resolve_arc(n, start, fraction)?;
+    let victims: Vec<PeerIdx> = (0..count)
+        .map(|i| net.live_peer_by_rank((first + i) % n))
+        .collect();
+    // The survivors that border the hole: neighbours of the arc's two
+    // ends, minus the arc itself. Computed before any kill — afterwards
+    // the victims' live-ring pointers are gone.
+    let mut repair_set = Vec::new();
+    for &end in [victims[0], victims[count - 1]].iter() {
+        for p in net.live_ring_neighborhood(end, neighbors_k.max(1) + count) {
+            if !victims.contains(&p) && !repair_set.contains(&p) {
+                repair_set.push(p);
+            }
+        }
+    }
+    repair_set.truncate(2 * neighbors_k.max(1));
+    repair_set.sort_by_key(|p| p.as_usize());
+    for &v in &victims {
+        net.kill(v)?;
+    }
+    Ok(ShockDamage {
+        victims,
+        repair_set,
+    })
+}
+
+/// Kills the `fraction · live_count` live peers with the highest total
+/// degree (in + out long-range links), ties broken by identifier — a
+/// targeted attack on the overlay's best-connected members. Repair set:
+/// the `neighbors_k` live ring neighbours of each victim, computed just
+/// before that victim dies (exactly when the engine's reactive policy
+/// would have probed them).
+pub fn kill_top_degree(
+    net: &mut Network,
+    fraction: f64,
+    neighbors_k: usize,
+) -> Result<ShockDamage> {
+    let n = net.live_count();
+    if n < 3 {
+        return Err(Error::InvalidConfig(format!(
+            "targeted kill needs >= 3 live peers, got {n}"
+        )));
+    }
+    if !fraction.is_finite() || fraction <= 0.0 || fraction >= 1.0 {
+        return Err(Error::InvalidConfig(format!(
+            "targeted-kill fraction must be in (0, 1), got {fraction}"
+        )));
+    }
+    let count = ((n as f64 * fraction).ceil() as usize).clamp(1, n - 2);
+    let mut ranked: Vec<(u32, oscar_types::Id, PeerIdx)> = net
+        .live_peers()
+        .map(|p| {
+            let peer = net.peer(p);
+            (peer.in_degree() + peer.out_degree(), peer.id, p)
+        })
+        .collect();
+    // Highest degree first; identifier order is the deterministic
+    // tiebreak (no RNG anywhere in this hook).
+    ranked.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+    let victims: Vec<PeerIdx> = ranked[..count].iter().map(|&(_, _, p)| p).collect();
+    let mut repair_set = Vec::new();
+    for &v in &victims {
+        for p in net.live_ring_neighborhood(v, neighbors_k.max(1)) {
+            if !victims.contains(&p) && !repair_set.contains(&p) {
+                repair_set.push(p);
+            }
+        }
+        net.kill(v)?;
+    }
+    repair_set.sort_by_key(|p| p.as_usize());
+    Ok(ShockDamage {
+        victims,
+        repair_set,
+    })
+}
+
+/// Admits `count` peers at once — a flash crowd. Each joiner runs the
+/// growth driver's join protocol (fresh identifier from `keys`, degree
+/// caps from `degrees`, links through `builder`) with its own seed-tree
+/// child, so the burst is deterministic and order-independent of any
+/// interleaved measurement.
+pub fn burst_joins<B: OverlayBuilder + ?Sized>(
+    net: &mut Network,
+    builder: &B,
+    keys: &dyn KeyDistribution,
+    degrees: &dyn DegreeDistribution,
+    count: usize,
+    seed: &SeedTree,
+) -> Result<Vec<PeerIdx>> {
+    let mut joined = Vec::with_capacity(count);
+    for i in 0..count {
+        let mut rng = seed.child2(LBL_BURST, i as u64).rng();
+        let caps = degrees.sample(&mut rng);
+        let mut admitted = false;
+        for _ in 0..1000 {
+            let id = keys.sample(&mut rng);
+            if net.idx_of(id).is_none() {
+                let p = net.add_peer(id, caps)?;
+                builder.build_links(net, p, &mut rng)?;
+                joined.push(p);
+                admitted = true;
+                break;
+            }
+        }
+        if !admitted {
+            return Err(Error::InvalidConfig(
+                "key distribution too degenerate: 1000 consecutive id collisions".into(),
+            ));
+        }
+    }
+    Ok(joined)
+}
+
+/// Severs every long-range link crossing between the live-ring arc
+/// `[start, start + fraction)` and the rest of the network, in both
+/// directions — a partition mask: the two sides stay internally wired
+/// but lose all shortcut connectivity across the cut (the ring itself is
+/// untouched, as ring edges model the underlying key order, not sockets).
+pub fn sever_arc_links(net: &mut Network, start: f64, fraction: f64) -> Result<PartitionDamage> {
+    let n = net.live_count();
+    let (first, count) = resolve_arc(n, start, fraction)?;
+    let mut in_arc = vec![false; net.len()];
+    for i in 0..count {
+        in_arc[net.live_peer_by_rank((first + i) % n).as_usize()] = true;
+    }
+    let live: Vec<PeerIdx> = net.live_peers().collect();
+    let mut severed = 0usize;
+    let mut repair_set = Vec::new();
+    for p in live {
+        let crossing: Vec<PeerIdx> = net
+            .peer(p)
+            .long_out
+            .iter()
+            .copied()
+            .filter(|&t| net.is_alive(t) && in_arc[p.as_usize()] != in_arc[t.as_usize()])
+            .collect();
+        if crossing.is_empty() {
+            continue;
+        }
+        for t in crossing {
+            if net.unlink(p, t) {
+                severed += 1;
+            }
+        }
+        repair_set.push(p);
+    }
+    repair_set.sort_by_key(|p| p.as_usize());
+    repair_set.dedup();
+    Ok(PartitionDamage {
+        severed,
+        repair_set,
+    })
+}
+
+/// Reactive heal: rewires (tear down + rebuild long links) every still-
+/// alive peer in `repair_set`, plus every live peer left holding a
+/// dangling long-range link to a corpse — the peers that would discover
+/// the damage through probes and bounced traffic. Targets are visited in
+/// peer-index order with per-repair seed children, so the heal is a pure
+/// function of `(network, repair_set, seed)`.
+///
+/// Returns `(repairs, repair_cost)`: peers rewired, and the simulated
+/// messages (sampling walks, link handshakes) the rewires generated.
+pub fn reactive_heal<B: OverlayBuilder + ?Sized>(
+    net: &mut Network,
+    builder: &B,
+    repair_set: &[PeerIdx],
+    seed: &SeedTree,
+) -> Result<(u64, u64)> {
+    let mut targets: Vec<PeerIdx> = repair_set
+        .iter()
+        .copied()
+        .filter(|&p| net.is_alive(p))
+        .collect();
+    for p in net.live_peers() {
+        if net.peer(p).long_out.iter().any(|&t| !net.is_alive(t)) {
+            targets.push(p);
+        }
+    }
+    targets.sort_by_key(|p| p.as_usize());
+    targets.dedup();
+    let before = net.metrics.total();
+    for (i, &p) in targets.iter().enumerate() {
+        let mut rng = seed.child2(LBL_HEAL, i as u64).rng();
+        builder.rewire(net, p, &mut rng)?;
+    }
+    Ok((targets.len() as u64, net.metrics.total() - before))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::churn::FaultModel;
+    use crate::growth::{GrowthConfig, GrowthDriver};
+    use crate::peer::LinkError;
+    use oscar_degree::ConstantDegrees;
+    use oscar_keydist::UniformKeys;
+    use rand::rngs::SmallRng;
+    use rand::Rng;
+
+    /// Toy builder: links to up to 4 random live peers.
+    struct RandomBuilder;
+
+    impl OverlayBuilder for RandomBuilder {
+        fn name(&self) -> &str {
+            "random"
+        }
+        fn build_links(&self, net: &mut Network, p: PeerIdx, rng: &mut SmallRng) -> Result<()> {
+            for _ in 0..16 {
+                if net.peer(p).out_degree() >= 4 {
+                    break;
+                }
+                if let Some(t) = net.random_live_peer(rng) {
+                    match net.try_link(p, t) {
+                        Ok(())
+                        | Err(LinkError::SelfLink)
+                        | Err(LinkError::Duplicate)
+                        | Err(LinkError::TargetFull) => {}
+                        Err(e) => panic!("unexpected {e:?}"),
+                    }
+                }
+            }
+            Ok(())
+        }
+    }
+
+    fn grown(n: usize, seed: u64) -> Network {
+        let mut net = Network::new(FaultModel::StabilizedRing);
+        GrowthDriver::new(GrowthConfig {
+            target_size: n,
+            seed_size: 4,
+            checkpoints: vec![],
+            rewire_at_checkpoints: false,
+        })
+        .run(
+            &mut net,
+            &RandomBuilder,
+            &UniformKeys,
+            &ConstantDegrees::new(8),
+            SeedTree::new(seed),
+            |_, _| Ok(()),
+        )
+        .unwrap();
+        net
+    }
+
+    #[test]
+    fn arc_kill_removes_contiguous_ring_range() {
+        let mut net = grown(100, 1);
+        let damage = kill_ring_arc(&mut net, 0.25, 0.10, 2).unwrap();
+        assert_eq!(damage.victims.len(), 10);
+        assert_eq!(net.live_count(), 90);
+        for &v in &damage.victims {
+            assert!(!net.is_alive(v));
+        }
+        // The repair set borders the hole and survived it.
+        assert!(!damage.repair_set.is_empty());
+        for &p in &damage.repair_set {
+            assert!(net.is_alive(p));
+        }
+    }
+
+    #[test]
+    fn arc_kill_is_deterministic() {
+        let mut a = grown(80, 2);
+        let mut b = grown(80, 2);
+        let da = kill_ring_arc(&mut a, 0.5, 0.2, 2).unwrap();
+        let db = kill_ring_arc(&mut b, 0.5, 0.2, 2).unwrap();
+        assert_eq!(da.victims, db.victims);
+        assert_eq!(da.repair_set, db.repair_set);
+    }
+
+    #[test]
+    fn arc_kill_rejects_degenerate_specs() {
+        let mut net = grown(50, 3);
+        assert!(kill_ring_arc(&mut net, 0.0, 0.0, 2).is_err());
+        assert!(kill_ring_arc(&mut net, 0.0, 1.0, 2).is_err());
+        assert!(kill_ring_arc(&mut net, 0.0, f64::NAN, 2).is_err());
+        // A huge fraction clamps to leave 2 survivors rather than erroring.
+        let damage = kill_ring_arc(&mut net, 0.0, 0.99, 2).unwrap();
+        assert_eq!(net.live_count(), 50 - damage.victims.len());
+        assert!(net.live_count() >= 2);
+    }
+
+    #[test]
+    fn targeted_kill_takes_highest_degree_first() {
+        let mut net = grown(100, 4);
+        let max_live_degree = |net: &Network| {
+            net.live_peers()
+                .map(|p| net.peer(p).in_degree() + net.peer(p).out_degree())
+                .max()
+                .unwrap()
+        };
+        let before_max = max_live_degree(&net);
+        let damage = kill_top_degree(&mut net, 0.05, 2).unwrap();
+        assert_eq!(damage.victims.len(), 5);
+        let victim_min = damage
+            .victims
+            .iter()
+            .map(|&v| net.peer(v).in_degree() + net.peer(v).out_degree())
+            .min()
+            .unwrap();
+        // Degrees recorded post-kill undercount (links to victims vanish),
+        // but the top victim had the max degree by construction.
+        assert!(victim_min <= before_max);
+        assert_eq!(net.live_count(), 95);
+        // Survivors all had degree <= the pre-kill max.
+        assert!(max_live_degree(&net) <= before_max);
+    }
+
+    #[test]
+    fn burst_joins_admits_exactly_count() {
+        let mut net = grown(60, 5);
+        let joined = burst_joins(
+            &mut net,
+            &RandomBuilder,
+            &UniformKeys,
+            &ConstantDegrees::new(8),
+            40,
+            &SeedTree::new(77),
+        )
+        .unwrap();
+        assert_eq!(joined.len(), 40);
+        assert_eq!(net.live_count(), 100);
+        let linked = joined
+            .iter()
+            .filter(|&&p| net.peer(p).out_degree() > 0)
+            .count();
+        assert!(linked >= 39, "{linked}/40 joiners got links");
+    }
+
+    #[test]
+    fn partition_severs_only_crossing_links() {
+        let mut net = grown(100, 6);
+        let total_links_before: usize = net.live_peers().map(|p| net.peer(p).long_out.len()).sum();
+        let damage = sever_arc_links(&mut net, 0.0, 0.3).unwrap();
+        assert!(damage.severed > 0, "a 30% arc must cut some links");
+        let total_links_after: usize = net.live_peers().map(|p| net.peer(p).long_out.len()).sum();
+        assert_eq!(total_links_before - total_links_after, damage.severed);
+        assert_eq!(net.live_count(), 100, "partition kills nobody");
+        // Adjacency stays symmetric after the cut.
+        for p in net.live_peers() {
+            for &t in &net.peer(p).long_out {
+                assert!(net.peer(t).long_in.contains(&p));
+            }
+        }
+    }
+
+    #[test]
+    fn heal_repairs_dangling_links_and_repair_set() {
+        let mut net = grown(100, 7);
+        let damage = kill_ring_arc(&mut net, 0.1, 0.15, 2).unwrap();
+        let dangling_before = net
+            .live_peers()
+            .filter(|&p| net.peer(p).long_out.iter().any(|&t| !net.is_alive(t)))
+            .count();
+        assert!(dangling_before > 0, "an arc kill must leave dangling links");
+        let (repairs, cost) = reactive_heal(
+            &mut net,
+            &RandomBuilder,
+            &damage.repair_set,
+            &SeedTree::new(9),
+        )
+        .unwrap();
+        assert!(repairs >= dangling_before as u64);
+        assert!(cost > 0, "rewires are counted maintenance traffic");
+        let dangling_after = net
+            .live_peers()
+            .filter(|&p| net.peer(p).long_out.iter().any(|&t| !net.is_alive(t)))
+            .count();
+        assert_eq!(dangling_after, 0, "heal must clear every dangling link");
+    }
+
+    #[test]
+    fn unlink_is_the_exact_inverse_of_try_link() {
+        let mut net = Network::new(FaultModel::StabilizedRing);
+        let a = net
+            .add_peer(
+                oscar_types::Id::new(10),
+                oscar_degree::DegreeCaps::symmetric(4),
+            )
+            .unwrap();
+        let b = net
+            .add_peer(
+                oscar_types::Id::new(20),
+                oscar_degree::DegreeCaps::symmetric(4),
+            )
+            .unwrap();
+        net.try_link(a, b).unwrap();
+        assert!(net.unlink(a, b));
+        assert!(!net.unlink(a, b), "double-unlink reports absence");
+        assert!(net.peer(a).long_out.is_empty());
+        assert!(net.peer(b).long_in.is_empty());
+        // Budget released: the link can be re-opened.
+        net.try_link(a, b).unwrap();
+    }
+
+    #[test]
+    fn hooks_fuzz_preserve_adjacency_invariants() {
+        let mut rng = SeedTree::new(11).rng();
+        for round in 0..5u64 {
+            let mut net = grown(60, 100 + round);
+            let start: f64 = rng.gen();
+            kill_ring_arc(&mut net, start, 0.1, 2).unwrap();
+            sever_arc_links(&mut net, start + 0.3, 0.2).unwrap();
+            kill_top_degree(&mut net, 0.05, 1).unwrap();
+            reactive_heal(&mut net, &RandomBuilder, &[], &SeedTree::new(round)).unwrap();
+            for p in net.live_peers() {
+                let peer = net.peer(p);
+                assert!(peer.in_degree() <= peer.caps.rho_in);
+                assert!(peer.out_degree() <= peer.caps.rho_out);
+                for &t in &peer.long_out {
+                    if net.is_alive(t) {
+                        assert!(net.peer(t).long_in.contains(&p));
+                    }
+                }
+            }
+        }
+    }
+}

@@ -42,6 +42,18 @@ pub mod bench_repro_saturation {
     pub const LBL_KEYS: u64 = 0x4E45;
 }
 
+/// Seed-tree labels of derivation scope `bench_scenario`.
+pub mod bench_scenario {
+    /// Label `LBL_RUN` (= 1).
+    pub const LBL_RUN: u64 = 1;
+    /// Label `LBL_PHASE` (= 2).
+    pub const LBL_PHASE: u64 = 2;
+    /// Label `LBL_WINDOW` (= 3).
+    pub const LBL_WINDOW: u64 = 3;
+    /// Label `LBL_GROW` (= 4).
+    pub const LBL_GROW: u64 = 4;
+}
+
 /// Seed-tree labels of derivation scope `protocol_machine`.
 pub mod protocol_machine {
     /// Label `LBL_LINK` (= 76).
@@ -102,6 +114,8 @@ pub mod sim_churn_machine {
     pub const LBL_MEASURE: u64 = 8;
     /// Label `LBL_BOOT` (= 10).
     pub const LBL_BOOT: u64 = 10;
+    /// Label `LBL_SPAN` (= 11).
+    pub const LBL_SPAN: u64 = 11;
 }
 
 /// Seed-tree labels of derivation scope `sim_growth`.
@@ -134,4 +148,12 @@ pub mod sim_overlay {
 pub mod sim_protocol_des {
     /// Label `LBL_CMD` (= 3557).
     pub const LBL_CMD: u64 = 0xDE5;
+}
+
+/// Seed-tree labels of derivation scope `sim_scenario_hooks`.
+pub mod sim_scenario_hooks {
+    /// Label `LBL_BURST` (= 1).
+    pub const LBL_BURST: u64 = 1;
+    /// Label `LBL_HEAL` (= 2).
+    pub const LBL_HEAL: u64 = 2;
 }
